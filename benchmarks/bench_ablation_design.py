@@ -1,0 +1,127 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each test disables one of the paper's mechanisms and measures the cost:
+overlap itself (§3.2), progression during Unpack/FFTx (the NEW-vs-TH
+delta, §3.2), loop tiling (§3.4), the Nx==Ny fast transpose (§3.5), and
+the modeled eager/rendezvous threshold (§3.3's reason MPI_Test matters).
+"""
+
+from repro.core import NEW, ProblemShape, VariantSpec, run_case
+from repro.machine import UMD_CLUSTER
+from repro.report import format_table
+
+SHAPE = ProblemShape(256, 256, 256, 16)
+
+
+def timed(spec_or_name, platform=UMD_CLUSTER, shape=SHAPE, **kw):
+    res, _ = run_case(spec_or_name, platform, shape, **kw)
+    return res
+
+
+def test_overlap_ablation(report_writer, benchmark):
+    new = timed("NEW")
+    new0 = timed("NEW-0")
+    th = timed("TH")
+    rows = [
+        ["NEW (full overlap)", new.elapsed],
+        ["TH (FFTy/Pack overlap only)", th.elapsed],
+        ["NEW-0 (no overlap)", new0.elapsed],
+    ]
+    report_writer(
+        "ablation_overlap",
+        format_table(["configuration", "time (s)"], rows,
+                     title="Ablation - overlap mechanisms (untuned defaults)"),
+    )
+    assert new.elapsed < th.elapsed < new0.elapsed * 1.05
+    benchmark.pedantic(lambda: timed("NEW"), rounds=1, iterations=1)
+
+
+def test_loop_tiling_ablation(report_writer, benchmark):
+    untiled = VariantSpec(
+        name="NEW", overlap=True, overlap_unpack=True,
+        tiled_pack=False, fast_transpose=True, transpose_kind="zxy",
+    )
+    tiled_res = timed(NEW)
+    untiled_res = timed(untiled)
+    report_writer(
+        "ablation_loop_tiling",
+        format_table(
+            ["configuration", "time (s)", "Pack (s)", "FFTx (s)"],
+            [
+                ["tiled (paper)", tiled_res.elapsed,
+                 tiled_res.breakdown["Pack"], tiled_res.breakdown["FFTx"]],
+                ["untiled", untiled_res.elapsed,
+                 untiled_res.breakdown["Pack"], untiled_res.breakdown["FFTx"]],
+            ],
+            title="Ablation - loop tiling of Pack/Unpack (Section 3.4)",
+        ),
+    )
+    assert tiled_res.breakdown["Pack"] <= untiled_res.breakdown["Pack"]
+    assert tiled_res.breakdown["FFTx"] <= untiled_res.breakdown["FFTx"]
+    benchmark.pedantic(lambda: timed(NEW), rounds=1, iterations=1)
+
+
+def test_fast_transpose_ablation(report_writer, benchmark):
+    slow = VariantSpec(
+        name="NEW", overlap=True, overlap_unpack=True,
+        tiled_pack=True, fast_transpose=False, transpose_kind="zxy",
+    )
+    fast_res = timed(NEW)
+    slow_res = timed(slow)
+    report_writer(
+        "ablation_fast_transpose",
+        format_table(
+            ["configuration", "Transpose (s)", "total (s)"],
+            [
+                ["x-z-y fast path (Nx==Ny)", fast_res.breakdown["Transpose"],
+                 fast_res.elapsed],
+                ["generic z-x-y", slow_res.breakdown["Transpose"],
+                 slow_res.elapsed],
+            ],
+            title="Ablation - Nx==Ny fast Transpose (Section 3.5)",
+        ),
+    )
+    assert fast_res.breakdown["Transpose"] < slow_res.breakdown["Transpose"]
+    benchmark.pedantic(lambda: timed(NEW), rounds=1, iterations=1)
+
+
+def test_eager_threshold_ablation(report_writer, benchmark):
+    """Rendezvous kicks in above the eager threshold and couples the
+    exchange to the receiver's library entries; an (unrealistically)
+    infinite eager limit must therefore never be slower."""
+    rows = []
+    times = {}
+    for label, threshold in [
+        ("8 KiB", 8 * 1024),
+        ("32 KiB (UMD default)", 32 * 1024),
+        ("unbounded (all eager)", 1 << 60),
+    ]:
+        plat = UMD_CLUSTER.with_(net_eager_threshold=threshold)
+        res = timed("NEW", platform=plat)
+        times[label] = res.elapsed
+        rows.append([label, res.elapsed])
+    report_writer(
+        "ablation_eager_threshold",
+        format_table(["eager threshold", "time (s)"], rows,
+                     title="Ablation - eager/rendezvous threshold (Section 3.3)"),
+    )
+    assert times["unbounded (all eager)"] <= times["8 KiB"] + 1e-9
+    benchmark.pedantic(lambda: timed("NEW"), rounds=1, iterations=1)
+
+
+def test_window_zero_equals_blocking(report_writer, benchmark):
+    """Sanity: NEW-0 (window disabled) must track the FFTW-style blocking
+    pipeline closely — the paper's 'FFTW should be similar to NEW-0'."""
+    new0 = timed("NEW-0")
+    fftw = timed("FFTW")
+    report_writer(
+        "ablation_new0_vs_fftw",
+        format_table(
+            ["variant", "time (s)"],
+            [["NEW-0", new0.elapsed], ["FFTW", fftw.elapsed]],
+            title="Ablation - NEW-0 vs the FFTW-style baseline",
+        ),
+    )
+    assert abs(new0.elapsed - fftw.elapsed) / fftw.elapsed < 0.25
+
+    benchmark.pedantic(lambda: timed("NEW"), rounds=3, iterations=1)

@@ -1,0 +1,81 @@
+"""Ablation sweeps over the individual tunable parameters.
+
+Not figures from the paper, but the knob-by-knob evidence behind its
+Table 1 trade-off claims: T balances overlap vs messaging efficiency
+(§3.1), W sets communication parallelism, F* balances progression vs
+call overhead (§3.3), and the sub-tile extents trade loop overhead
+against cache residency (§3.4).
+"""
+
+import pytest
+
+from repro.core import ProblemShape, default_params
+from repro.machine import UMD_CLUSTER
+from repro.report import format_table
+from repro.tuning import sweep_parameter
+
+SHAPE = ProblemShape(256, 256, 256, 16)
+
+
+def run_sweep(name, **kw):
+    return sweep_parameter("NEW", UMD_CLUSTER, SHAPE, name,
+                           include_fixed_steps=False, **kw)
+
+
+def write_sweep(report_writer, tag, pts):
+    report_writer(
+        f"ablation_{tag}",
+        format_table(
+            [tag, "time (s)"],
+            [[p.value, p.objective] for p in pts],
+            title=f"Ablation - sweep of {tag} (UMD-Cluster, p=16, 256^3,"
+                  " other parameters at the paper's default point)",
+        ),
+    )
+
+
+def test_tile_size_tradeoff(report_writer, benchmark):
+    """T: small tiles overlap more but pay per-message/per-round costs,
+    huge tiles can't overlap — interior optimum (Section 3.1)."""
+    pts = run_sweep("T")
+    write_sweep(report_writer, "T", pts)
+    times = [p.objective for p in pts]
+    best = min(range(len(times)), key=times.__getitem__)
+    assert 0 < best < len(times) - 1
+    # The single-tile extreme (no overlap) is clearly bad.
+    assert times[-1] > 1.1 * times[best]
+    benchmark.pedantic(lambda: run_sweep("W"), rounds=1, iterations=1)
+
+
+def test_window_size(report_writer, benchmark):
+    """W: more concurrent exchanges help until the NIC saturates."""
+    pts = run_sweep("W")
+    write_sweep(report_writer, "W", pts)
+    times = {p.value: p.objective for p in pts}
+    assert times[2] <= times[1] * 1.01  # W=2 no worse than W=1
+    benchmark.pedantic(lambda: run_sweep("W"), rounds=1, iterations=1)
+
+
+def test_test_frequency_tradeoff(report_writer, benchmark):
+    """Fy: too few tests stall the rounds, too many burn call overhead."""
+    base = default_params(SHAPE)
+    pts = []
+    for name in ("Fy",):
+        pts = run_sweep(name, base=base.replace(Fp=1, Fu=1, Fx=1, T=8))
+    write_sweep(report_writer, "Fy", pts)
+    times = [p.objective for p in pts]
+    # The extremes lose to the best interior value.
+    best = min(times)
+    assert times[0] > best
+    assert times[-1] > best
+    benchmark.pedantic(lambda: run_sweep("W"), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("name", ["Px", "Uy"])
+def test_subtile_extents(name, report_writer, benchmark):
+    """Px/Uy: the loop-tiling working-set trade-off (Section 3.4)."""
+    pts = run_sweep(name)
+    write_sweep(report_writer, name, pts)
+    times = [p.objective for p in pts]
+    assert min(times) < times[0] * 1.001  # size-1 sub-tiles never optimal
+    benchmark.pedantic(lambda: run_sweep(name), rounds=1, iterations=1)

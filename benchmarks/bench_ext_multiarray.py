@@ -1,0 +1,45 @@
+"""Extension bench (paper §6-§7): inter-array vs intra-array overlap.
+
+The paper argues Kandalla et al.'s inter-array overlap cannot help the
+single-array workloads scientific simulations run, and proposes
+combining intra- and inter-array overlap as future work.  This bench
+quantifies all four modes for 1 and 4 successive transforms.
+"""
+
+from repro.core import ProblemShape
+from repro.core.multiarray import MODES, run_multi_array
+from repro.machine import UMD_CLUSTER
+from repro.report import format_table
+
+SHAPE = ProblemShape(256, 256, 256, 16)
+
+
+def test_multiarray_modes(report_writer, benchmark):
+    rows = []
+    times = {}
+    for m in (1, 4):
+        for mode in MODES:
+            sim, _ = run_multi_array(UMD_CLUSTER, SHAPE, m, mode)
+            times[(m, mode)] = sim.elapsed
+            rows.append([m, mode, sim.elapsed, sim.elapsed / m])
+    report_writer(
+        "ext_multiarray_overlap",
+        format_table(
+            ["arrays", "mode", "total (s)", "per array (s)"],
+            rows,
+            title="Extension - inter vs intra vs combined overlap"
+                  " (UMD-Cluster, p=16, 256^3)",
+        ),
+    )
+    # Single array: inter-array overlap is no better than blocking;
+    # the paper's intra-array method still wins (Section 1).
+    assert times[(1, "inter")] >= times[(1, "sequential")] * 0.98
+    assert times[(1, "intra")] < times[(1, "inter")]
+    # Many arrays: the combined mode is at least as good as either alone.
+    assert times[(4, "both")] <= times[(4, "intra")] * 1.001
+    assert times[(4, "both")] <= times[(4, "inter")] * 1.001
+
+    benchmark.pedantic(
+        lambda: run_multi_array(UMD_CLUSTER, SHAPE, 2, "both"),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,48 @@
+"""Figure 5: cumulative distribution of the 3-D FFT execution time over
+200 random parameter configurations (16 processes, 256^3 elements,
+FFTz/Transpose excluded) — the observation that motivates auto-tuning.
+"""
+
+import os
+
+from repro.core import ProblemShape
+from repro.machine import UMD_CLUSTER
+from repro.report import format_cdf, format_table, summarize_cdf
+from repro.tuning import random_search
+
+N_SAMPLES = 50 if os.environ.get("REPRO_BENCH_SCALE") == "quick" else 200
+SHAPE = ProblemShape(256, 256, 256, 16)
+
+
+def test_fig5_cdf(report_writer, benchmark):
+    result = random_search(
+        "NEW", UMD_CLUSTER, SHAPE,
+        n_samples=N_SAMPLES, seed=2014, include_fixed_steps=False,
+    )
+    stats = summarize_cdf(result.times)
+    text = (
+        "Figure 5 - CDF of 3-D FFT time over "
+        f"{N_SAMPLES} random configurations (p=16, 256^3)\n"
+        + format_cdf(result.times)
+        + "\n\n"
+        + format_table(
+            ["min", "p1", "median", "p99", "max", "max/min"],
+            [[stats["min"], stats["p1"], stats["median"],
+              stats["p99"], stats["max"], stats["spread"]]],
+        )
+        + "\n\npaper: times range ~0.16 to ~0.48 s (nearly 3x) depending on"
+        " the configuration"
+    )
+    report_writer("fig5_random_cdf", text)
+
+    # The paper's qualitative claim: configuration choice moves the time
+    # by a large factor, so hand-picking is hopeless.
+    assert stats["spread"] > 1.5
+
+    benchmark.pedantic(
+        lambda: random_search(
+            "NEW", UMD_CLUSTER, SHAPE, n_samples=3, seed=1,
+            include_fixed_steps=False,
+        ),
+        rounds=1, iterations=1,
+    )

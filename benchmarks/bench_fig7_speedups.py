@@ -1,0 +1,75 @@
+"""Figure 7(a,b,c): speedup of NEW and TH over FFTW on both platforms.
+
+Derived from the Table 2 cells; the series are printed in the figure's
+layout (one row per (p, N) tick) with the paper's values alongside.
+"""
+
+from repro.bench import PAPER_SPEEDUP_RANGES, PAPER_TABLE2, cells_for, evaluate_cell
+from repro.machine import HOPPER, UMD_CLUSTER
+from repro.report import format_table
+
+
+def speedup_series(platform, kind, paper_key):
+    paper = PAPER_TABLE2[paper_key]
+    rows, ours = [], []
+    for p, n in cells_for(kind):
+        cell = evaluate_cell(platform, p, n)
+        pf, pn, pt = paper[(p, n)]
+        rows.append(
+            [f"{p}/{n}^3",
+             pf / pn, cell.speedup("NEW"),
+             pf / pt, cell.speedup("TH")]
+        )
+        ours.append(cell.speedup("NEW"))
+    return rows, ours
+
+
+def test_fig7a_umd(report_writer, benchmark):
+    rows, ours = speedup_series(UMD_CLUSTER, "small", "UMD-Cluster")
+    report_writer(
+        "fig7a_speedup_umd",
+        format_table(
+            ["p/N", "NEW(paper)", "NEW(ours)", "TH(paper)", "TH(ours)"],
+            rows,
+            title="Figure 7(a) - speedup over FFTW on UMD-Cluster",
+        ),
+    )
+    lo, hi = PAPER_SPEEDUP_RANGES["UMD-Cluster"]
+    assert min(ours) > 1.05
+    assert max(ours) < hi + 0.4
+    benchmark.pedantic(
+        lambda: speedup_series(UMD_CLUSTER, "small", "UMD-Cluster"),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig7b_hopper(report_writer, benchmark):
+    rows, ours = speedup_series(HOPPER, "small", "Hopper")
+    report_writer(
+        "fig7b_speedup_hopper",
+        format_table(
+            ["p/N", "NEW(paper)", "NEW(ours)", "TH(paper)", "TH(ours)"],
+            rows,
+            title="Figure 7(b) - speedup over FFTW on Hopper",
+        ),
+    )
+    assert min(ours) > 1.0
+    benchmark.pedantic(
+        lambda: speedup_series(HOPPER, "small", "Hopper"),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig7c_hopper_large(report_writer, benchmark):
+    rows, ours = speedup_series(HOPPER, "large", "Hopper-large")
+    report_writer(
+        "fig7c_speedup_hopper_large",
+        format_table(
+            ["p/N", "NEW(paper)", "NEW(ours)", "TH(paper)", "TH(ours)"],
+            rows,
+            title="Figure 7(c) - speedup over FFTW on Hopper (large scale)",
+        ),
+    )
+    assert min(ours) > 1.2  # paper: 1.48-1.76x
+
+    benchmark.pedantic(lambda: ours, rounds=1, iterations=1)

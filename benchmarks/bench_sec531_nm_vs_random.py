@@ -1,0 +1,61 @@
+"""Section 5.3.1: how good is Nelder-Mead versus random search?
+
+The paper: the tuning result for p=16, 256^3 on UMD-Cluster ranks in the
+first percentile of the 200-random-configuration distribution (Figure
+5), found after testing ~35 configurations — while 35 random draws only
+reach the first percentile with probability ~30%.
+"""
+
+import math
+import os
+
+from repro.core import ProblemShape
+from repro.machine import UMD_CLUSTER
+from repro.report import format_table
+from repro.tuning import autotune, random_search
+
+SHAPE = ProblemShape(256, 256, 256, 16)
+N_SAMPLES = 50 if os.environ.get("REPRO_BENCH_SCALE") == "quick" else 200
+
+
+def test_nm_vs_random(report_writer, benchmark):
+    rs = random_search(
+        "NEW", UMD_CLUSTER, SHAPE, n_samples=N_SAMPLES, seed=2014,
+        include_fixed_steps=False,
+    )
+    tuned = autotune("NEW", UMD_CLUSTER, SHAPE)
+
+    # Percentile rank of the NM result within the random distribution.
+    below = sum(1 for t in rs.times if t < tuned.best_objective)
+    rank_pct = 100.0 * below / len(rs.times)
+    p1 = rs.percentile(1)
+    evals_to_p1 = tuned.session.evals_to_reach(p1)
+    prob_random = (
+        1 - (1 - 0.01) ** evals_to_p1 if evals_to_p1 is not None else float("nan")
+    )
+
+    text = format_table(
+        ["metric", "paper", "ours"],
+        [
+            ["NM rank in random CDF (%)", "~1", f"{rank_pct:.1f}"],
+            ["configs tested to reach p1", "35", str(evals_to_p1)],
+            ["P(random reaches p1 in same #)", "~0.30",
+             f"{prob_random:.2f}" if not math.isnan(prob_random) else "n/a"],
+            ["NM total evaluations", "-", str(tuned.evaluations)],
+            ["NM executed evaluations", "-",
+             str(tuned.session.executed_evaluations)],
+        ],
+        title="Section 5.3.1 - Nelder-Mead vs random search"
+              " (UMD-Cluster, p=16, 256^3)",
+    )
+    report_writer("sec531_nm_vs_random", text)
+
+    # NM's winner sits in the good tail of the random distribution.
+    assert tuned.best_objective <= rs.percentile(10)
+    # And it got there within a modest number of suggestions.
+    assert evals_to_p1 is None or evals_to_p1 <= 120
+
+    benchmark.pedantic(
+        lambda: autotune("NEW", UMD_CLUSTER, SHAPE, max_evaluations=40),
+        rounds=1, iterations=1,
+    )

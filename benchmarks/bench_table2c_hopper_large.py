@@ -1,0 +1,57 @@
+"""Table 2(c): parallel 3-D FFT time on Hopper at large scale.
+
+p in {128, 256}, N in {1280, 1536, 1792, 2048}^3 — up to 137 GB of
+payload per transform, which is exactly why the pipeline's virtual
+(bytes-only) mode exists.
+"""
+
+from repro.bench import PAPER_TABLE2, cells_for, evaluate_cell
+from repro.core import ProblemShape, run_case
+from repro.machine import HOPPER
+from repro.report import format_table
+
+PAPER = PAPER_TABLE2["Hopper-large"]
+
+
+def test_table2c(report_writer, benchmark):
+    rows, cells = [], {}
+    for p, n in cells_for("large"):
+        cell = evaluate_cell(HOPPER, p, n)
+        cells[(p, n)] = cell
+        paper = PAPER[(p, n)]
+        rows.append(
+            [p, f"{n}^3",
+             paper[0], cell.times["FFTW"],
+             paper[1], cell.times["NEW"],
+             paper[2], cell.times["TH"]]
+        )
+    text = format_table(
+        ["p", "N^3", "FFTW(paper)", "FFTW(ours)", "NEW(paper)",
+         "NEW(ours)", "TH(paper)", "TH(ours)"],
+        rows,
+        title="Table 2(c) - 3-D FFT time on Hopper, large scale (seconds)",
+    )
+    report_writer("table2c_hopper_large", text)
+
+    for (p, n), cell in cells.items():
+        assert cell.times["NEW"] < cell.times["FFTW"], (p, n)
+        assert cell.times["NEW"] < cell.times["TH"], (p, n)
+        # Large scale is where overlap pays most (paper: 1.48-1.76x).
+        assert cell.speedup("NEW") > 1.25, (p, n)
+
+    (p, n), sample = next(iter(cells.items()))
+    shape = ProblemShape(n, n, n, p)
+    benchmark.pedantic(
+        lambda: run_case("NEW", HOPPER, shape, sample.params["NEW"]),
+        rounds=1, iterations=1,
+    )
+
+
+def test_large_scale_speedup_exceeds_small_scale(benchmark):
+    """Figure 7(b) vs 7(c): communication dominance at scale makes the
+    overlap win bigger than at p in {16, 32}."""
+    small = evaluate_cell(HOPPER, 32, 640).speedup("NEW")
+    big_cells = cells_for("large")
+    big = max(evaluate_cell(HOPPER, p, n).speedup("NEW") for p, n in big_cells)
+    assert big > small
+    benchmark.pedantic(lambda: big, rounds=1, iterations=1)

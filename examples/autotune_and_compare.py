@@ -1,0 +1,60 @@
+"""Auto-tune the overlapped FFT and compare the three methods.
+
+Reproduces one cell of the paper's evaluation end to end: tune NEW
+(ten parameters, Nelder-Mead via the Harmony-style loop), tune TH
+(three parameters), time the FFTW-style baseline, then run the
+cross-platform check of Figure 9 for this cell.
+
+    python examples/autotune_and_compare.py [N] [p]
+"""
+
+import sys
+
+from repro.core import ProblemShape, run_case
+from repro.machine import HOPPER, UMD_CLUSTER
+from repro.report import format_table
+from repro.tuning import autotune
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    p = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    shape = ProblemShape(n, n, n, p)
+    print(f"Auto-tuning parallel 3-D FFT for N={n}^3, p={p}\n")
+
+    rows = []
+    tuned = {}
+    for platform in (UMD_CLUSTER, HOPPER):
+        for variant in ("FFTW", "NEW", "TH"):
+            result = autotune(variant, platform, shape)
+            tuned[(platform.name, variant)] = result
+            rows.append(
+                [platform.name, variant, result.fft_time,
+                 result.tuning_time, result.evaluations]
+            )
+    print(format_table(
+        ["platform", "method", "FFT time (s)", "tuning time (s)", "evals"],
+        rows,
+    ))
+
+    for platform in (UMD_CLUSTER, HOPPER):
+        new = tuned[(platform.name, "NEW")]
+        fftw = tuned[(platform.name, "FFTW")]
+        print(f"\n{platform.name}: NEW speedup over FFTW = "
+              f"{fftw.fft_time / new.fft_time:.2f}x")
+        print(f"  tuned parameters: {new.best_params.as_dict()}")
+
+    # Figure 9 in miniature: swap the tuned configurations.
+    print("\nCross-platform test (Figure 9):")
+    for run_on, other in ((UMD_CLUSTER, HOPPER), (HOPPER, UMD_CLUSTER)):
+        native = tuned[(run_on.name, "NEW")]
+        foreign_params = tuned[(other.name, "NEW")].best_params
+        res, _ = run_case("NEW", run_on, shape, foreign_params)
+        loss = (res.elapsed / native.fft_time - 1.0) * 100
+        print(f"  {run_on.name} with {other.name}'s configuration: "
+              f"{res.elapsed:.4f}s vs native {native.fft_time:.4f}s "
+              f"({loss:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

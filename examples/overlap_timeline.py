@@ -1,0 +1,50 @@
+"""Visualize computation-communication overlap (the paper's Figure 3).
+
+Runs NEW and NEW-0 on one cell with event recording enabled and renders
+rank 0's virtual timeline as an ASCII Gantt strip: with overlap, the
+Wait slots shrink to slivers because the all-to-all progressed during
+FFTy/Pack/Unpack/FFTx; without it, Wait dominates.
+
+    python examples/overlap_timeline.py
+"""
+
+from repro.core import ProblemShape, run_case
+from repro.machine import UMD_CLUSTER
+
+GLYPH = {
+    "FFTz": "z", "Transpose": "t", "FFTy": "y", "Pack": "p",
+    "Unpack": "u", "FFTx": "x", "Ialltoall": "i", "Wait": "W", "Test": ".",
+}
+WIDTH = 100
+
+
+def timeline(variant: str) -> tuple[str, float]:
+    shape = ProblemShape(256, 256, 256, 16)
+    res, _ = run_case(variant, UMD_CLUSTER, shape, record_events=True)
+    events = res.sim.traces[0].events
+    total = res.elapsed
+    strip = [" "] * WIDTH
+    for t0, t1, label in events:
+        g = GLYPH.get(label, "?")
+        c0 = int(t0 / total * (WIDTH - 1))
+        c1 = max(c0 + 1, int(t1 / total * (WIDTH - 1)) + 1)
+        for c in range(c0, min(c1, WIDTH)):
+            strip[c] = g
+    return "".join(strip), total
+
+
+def main() -> None:
+    print("Rank-0 virtual timeline, one 256^3 FFT on 16 UMD-Cluster ranks")
+    print("legend: " + "  ".join(f"{g}={k}" for k, g in GLYPH.items()))
+    print()
+    for variant in ("NEW", "NEW-0"):
+        strip, total = timeline(variant)
+        print(f"{variant:>6} ({total:.3f}s) |{strip}|")
+    print()
+    print("NEW's Wait (W) regions collapse because the non-blocking"
+          " all-to-all progressed inside the compute steps;")
+    print("NEW-0 exposes the full exchange at every tile boundary.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Shared cell evaluation for the benchmark suite.
+
+``evaluate_cell`` tunes NEW and TH and runs FFTW for one (platform, p, N)
+setting, exactly the way the paper built each Table 2 row; results are
+memoized per process (and optionally on disk) because Tables 2/3/4 and
+Figures 7/9 all consume the same cells.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.api import RunResult, run_case
+from ..core.params import ProblemShape, TuningParams
+from ..machine.platforms import Platform, get_platform
+from ..tuning.tuner import TuningResult, autotune
+from .workloads import tuning_budget
+
+
+@dataclass
+class CellResult:
+    """One (platform, p, N) row of Table 2 with its tuning byproducts."""
+
+    platform: str
+    p: int
+    n: int
+    times: dict[str, float]           # variant -> tuned 3-D FFT seconds
+    tuning_times: dict[str, float]    # variant -> Table 4 seconds
+    params: dict[str, TuningParams]   # variant -> winning configuration
+    evaluations: dict[str, int]       # variant -> tuning evaluations
+
+    def speedup(self, variant: str) -> float:
+        """Speedup of ``variant`` over the FFTW baseline (Figure 7)."""
+        return self.times["FFTW"] / self.times[variant]
+
+
+_CACHE: dict[tuple[str, int, int], CellResult] = {}
+
+
+def evaluate_cell(
+    platform: Platform | str,
+    p: int,
+    n: int,
+    max_evaluations: int | None = None,
+) -> CellResult:
+    """Tune and time FFTW/NEW/TH for one cell (memoized)."""
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    key = (plat.name, p, n)
+    if key in _CACHE:
+        return _CACHE[key]
+    shape = ProblemShape(n, n, n, p)
+    budget = max_evaluations if max_evaluations is not None else tuning_budget(p)
+    times, tunings, params, evals = {}, {}, {}, {}
+    for variant in ("FFTW", "NEW", "TH"):
+        result: TuningResult = autotune(
+            variant, plat, shape, max_evaluations=budget
+        )
+        times[variant] = result.fft_time
+        tunings[variant] = result.tuning_time
+        params[variant] = result.best_params
+        evals[variant] = result.evaluations
+    cell = CellResult(
+        platform=plat.name, p=p, n=n,
+        times=times, tuning_times=tunings, params=params, evaluations=evals,
+    )
+    _CACHE[key] = cell
+    return cell
+
+
+def run_breakdown(
+    platform: Platform | str,
+    p: int,
+    n: int,
+    variants: tuple[str, ...] = ("NEW", "NEW-0", "TH", "TH-0"),
+) -> dict[str, RunResult]:
+    """Figure 8 data: per-step breakdowns; the overlapped variants run
+    with their tuned configuration, the ``-0`` twins reuse it with
+    overlap disabled ("with all the other parameters equal", §5.2.1)."""
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    cell = evaluate_cell(plat, p, n)
+    shape = ProblemShape(n, n, n, p)
+    out: dict[str, RunResult] = {}
+    for variant in variants:
+        tuned_source = "NEW" if variant.startswith("NEW") else "TH"
+        params = cell.params.get(tuned_source)
+        res, _ = run_case(variant, plat, shape, params)
+        out[variant] = res
+    return out
+
+
+def cross_platform_time(
+    run_on: Platform | str,
+    tuned_on: Platform | str,
+    p: int,
+    n: int,
+    variant: str = "NEW",
+) -> float:
+    """Figure 9's CROSS bar: run on one platform with the configuration
+    tuned on the other."""
+    plat = get_platform(run_on) if isinstance(run_on, str) else run_on
+    foreign = evaluate_cell(tuned_on, p, n)
+    shape = ProblemShape(n, n, n, p)
+    res, _ = run_case(variant, plat, shape, foreign.params[variant])
+    return res.elapsed
+
+
+# ------------------------------------------------------------------------
+# optional on-disk cache so repeated benchmark invocations skip tuning
+# ------------------------------------------------------------------------
+
+
+def save_cache(path: str | Path) -> None:
+    """Persist all memoized cells to JSON."""
+    payload = []
+    for cell in _CACHE.values():
+        payload.append(
+            {
+                "platform": cell.platform,
+                "p": cell.p,
+                "n": cell.n,
+                "times": cell.times,
+                "tuning_times": cell.tuning_times,
+                "evaluations": cell.evaluations,
+                "params": {k: v.as_dict() for k, v in cell.params.items()},
+            }
+        )
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_cache(path: str | Path) -> int:
+    """Load previously saved cells; returns the number restored."""
+    file = Path(path)
+    if not file.exists():
+        return 0
+    restored = 0
+    for item in json.loads(file.read_text()):
+        cell = CellResult(
+            platform=item["platform"],
+            p=item["p"],
+            n=item["n"],
+            times=item["times"],
+            tuning_times=item["tuning_times"],
+            evaluations=item["evaluations"],
+            params={k: TuningParams(**v) for k, v in item["params"].items()},
+        )
+        _CACHE[(cell.platform, cell.p, cell.n)] = cell
+        restored += 1
+    return restored
+
+
+def clear_cache() -> None:
+    """Drop all memoized cells (test isolation)."""
+    _CACHE.clear()

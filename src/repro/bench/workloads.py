@@ -1,0 +1,205 @@
+"""The paper's experiment grid and published reference numbers.
+
+Cell grids drive the benchmark harness; the ``PAPER_*`` dictionaries
+hold the numbers printed in the paper's tables so every benchmark can
+report *paper vs. measured* side by side (the comparison target is the
+shape — orderings, ratios, crossovers — not absolute seconds; see
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..core.params import TuningParams
+
+#: (p, N) cells of Tables 2(a)/2(b), Figures 7(a)/7(b), Table 3(a)/3(b).
+SMALL_CELLS: list[tuple[int, int]] = [
+    (p, n) for p in (16, 32) for n in (256, 384, 512, 640)
+]
+
+#: (p, N) cells of Table 2(c), Figure 7(c), Table 3(c) — Hopper only.
+LARGE_CELLS: list[tuple[int, int]] = [
+    (p, n) for p in (128, 256) for n in (1280, 1536, 1792, 2048)
+]
+
+#: Figure 8 breakdown settings: (platform name, p, N).
+BREAKDOWN_CELLS: list[tuple[str, int, int]] = [
+    ("UMD-Cluster", 32, 640),
+    ("Hopper", 32, 640),
+    ("Hopper", 256, 2048),
+]
+
+VARIANT_ORDER = ("FFTW", "NEW", "TH")
+
+
+def bench_scale() -> str:
+    """``full`` (default) or ``quick`` via $REPRO_BENCH_SCALE.
+
+    ``quick`` trims cell grids and tuning budgets so the whole benchmark
+    suite runs in a couple of minutes; ``full`` regenerates everything.
+    """
+    return os.environ.get("REPRO_BENCH_SCALE", "full").lower()
+
+
+def cells_for(kind: str) -> list[tuple[int, int]]:
+    """Cell grid for ``"small"`` or ``"large"``, honoring the scale."""
+    cells = SMALL_CELLS if kind == "small" else LARGE_CELLS
+    if bench_scale() == "quick":
+        return [cells[0], cells[-1]]
+    return cells
+
+
+def tuning_budget(p: int) -> int:
+    """Max Nelder-Mead suggestions per tuning session.
+
+    Large-scale cells get a smaller cap: each evaluation simulates a
+    256-rank machine, and Nelder-Mead has long since converged to its
+    neighborhood by 100 suggestions (cache hits dominate after ~40).
+    """
+    if bench_scale() == "quick":
+        return 40
+    return 100 if p >= 128 else 300
+
+
+# ---------------------------------------------------------------------------
+# published numbers (seconds) — Table 2: {(p, N): (FFTW, NEW, TH)}
+# ---------------------------------------------------------------------------
+
+PAPER_TABLE2A_UMD: dict[tuple[int, int], tuple[float, float, float]] = {
+    (16, 256): (0.369, 0.245, 0.319),
+    (16, 384): (1.207, 0.725, 1.063),
+    (16, 512): (2.948, 1.966, 2.514),
+    (16, 640): (5.927, 3.515, 5.234),
+    (32, 256): (0.189, 0.153, 0.197),
+    (32, 384): (0.653, 0.477, 0.644),
+    (32, 512): (1.580, 1.119, 1.520),
+    (32, 640): (3.129, 2.158, 3.061),
+}
+
+PAPER_TABLE2B_HOPPER: dict[tuple[int, int], tuple[float, float, float]] = {
+    (16, 256): (0.096, 0.087, 0.106),
+    (16, 384): (0.322, 0.293, 0.354),
+    (16, 512): (0.836, 0.693, 0.885),
+    (16, 640): (1.636, 1.428, 1.725),
+    (32, 256): (0.061, 0.046, 0.061),
+    (32, 384): (0.189, 0.146, 0.198),
+    (32, 512): (0.475, 0.340, 0.488),
+    (32, 640): (0.920, 0.747, 0.930),
+}
+
+PAPER_TABLE2C_HOPPER_LARGE: dict[tuple[int, int], tuple[float, float, float]] = {
+    (128, 1280): (2.426, 1.638, 2.505),
+    (128, 1536): (4.722, 3.092, 4.573),
+    (128, 1792): (8.029, 5.115, 7.746),
+    (128, 2048): (11.269, 7.079, 12.994),
+    (256, 1280): (1.373, 0.920, 1.389),
+    (256, 1536): (2.574, 1.650, 2.452),
+    (256, 1792): (4.781, 2.850, 4.253),
+    (256, 2048): (6.467, 3.679, 6.850),
+}
+
+PAPER_TABLE2: dict[str, dict[tuple[int, int], tuple[float, float, float]]] = {
+    "UMD-Cluster": PAPER_TABLE2A_UMD,
+    "Hopper": PAPER_TABLE2B_HOPPER,
+    "Hopper-large": PAPER_TABLE2C_HOPPER_LARGE,
+}
+
+# ------------------------------------------------------------------------
+# Table 4 — auto-tuning time (seconds): {(p, N): (FFTW, NEW, TH)}
+# ------------------------------------------------------------------------
+
+PAPER_TABLE4A_UMD = {
+    (16, 256): (22.569, 16.443, 5.732),
+    (16, 384): (60.859, 27.178, 13.279),
+    (16, 512): (87.568, 123.993, 30.916),
+    (16, 640): (202.134, 197.916, 71.724),
+    (32, 256): (14.388, 11.385, 3.768),
+    (32, 384): (44.795, 28.489, 7.834),
+    (32, 512): (67.426, 45.308, 25.124),
+    (32, 640): (174.081, 73.263, 52.897),
+}
+
+PAPER_TABLE4B_HOPPER = {
+    (16, 256): (11.413, 9.091, 2.221),
+    (16, 384): (37.786, 17.342, 17.984),
+    (16, 512): (69.912, 43.718, 27.020),
+    (16, 640): (249.358, 87.573, 22.857),
+    (32, 256): (6.614, 6.467, 1.382),
+    (32, 384): (23.317, 155.975, 10.425),
+    (32, 512): (41.969, 165.527, 6.666),
+    (32, 640): (188.474, 38.279, 15.027),
+}
+
+PAPER_TABLE4C_HOPPER_LARGE = {
+    (128, 1280): (461.240, 140.986, 34.474),
+    (128, 1536): (460.229, 198.068, 60.475),
+    (128, 1792): (484.678, 335.273, 83.986),
+    (128, 2048): (562.398, 396.553, 120.555),
+    (256, 1280): (400.582, 80.085, 17.172),
+    (256, 1536): (401.474, 109.250, 34.568),
+    (256, 1792): (414.020, 144.743, 46.684),
+    (256, 2048): (465.411, 224.744, 75.616),
+}
+
+PAPER_TABLE4 = {
+    "UMD-Cluster": PAPER_TABLE4A_UMD,
+    "Hopper": PAPER_TABLE4B_HOPPER,
+    "Hopper-large": PAPER_TABLE4C_HOPPER_LARGE,
+}
+
+
+def _tp(t, w, px, pz, uy, uz, fy, fp, fu, fx) -> TuningParams:
+    return TuningParams(T=t, W=w, Px=px, Pz=pz, Uy=uy, Uz=uz,
+                        Fy=fy, Fp=fp, Fu=fu, Fx=fx)
+
+
+# -------------------------------------------------------------------------
+# Table 3 — parameter values the paper's tuner found for NEW
+# -------------------------------------------------------------------------
+
+PAPER_TABLE3A_UMD: dict[tuple[int, int], TuningParams] = {
+    (16, 256): _tp(32, 3, 8, 2, 16, 4, 32, 8, 8, 16),
+    (16, 384): _tp(16, 2, 16, 1, 16, 2, 16, 16, 8, 16),
+    (16, 512): _tp(64, 3, 16, 2, 16, 2, 32, 16, 32, 32),
+    (16, 640): _tp(32, 3, 16, 1, 16, 2, 16, 16, 16, 16),
+    (32, 256): _tp(64, 3, 8, 8, 8, 4, 64, 8, 16, 64),
+    (32, 384): _tp(32, 2, 12, 2, 8, 2, 32, 8, 8, 16),
+    (32, 512): _tp(32, 2, 16, 4, 16, 4, 64, 8, 8, 16),
+    (32, 640): _tp(32, 2, 8, 1, 8, 1, 16, 16, 16, 16),
+}
+
+PAPER_TABLE3B_HOPPER: dict[tuple[int, int], TuningParams] = {
+    (16, 256): _tp(32, 3, 16, 2, 8, 2, 16, 16, 16, 32),
+    (16, 384): _tp(32, 3, 24, 1, 24, 2, 16, 16, 16, 16),
+    (16, 512): _tp(64, 3, 32, 1, 16, 2, 64, 64, 64, 64),
+    (16, 640): _tp(64, 3, 16, 2, 16, 2, 64, 32, 64, 32),
+    (32, 256): _tp(64, 2, 8, 4, 8, 4, 64, 16, 16, 64),
+    (32, 384): _tp(64, 3, 12, 2, 8, 2, 128, 32, 64, 128),
+    (32, 512): _tp(128, 3, 16, 2, 8, 4, 128, 64, 32, 64),
+    (32, 640): _tp(64, 3, 16, 2, 16, 2, 64, 64, 64, 64),
+}
+
+PAPER_TABLE3C_HOPPER_LARGE: dict[tuple[int, int], TuningParams] = {
+    (128, 1280): _tp(256, 4, 10, 2, 8, 2, 512, 128, 256, 512),
+    (128, 1536): _tp(128, 3, 12, 1, 8, 2, 1024, 128, 128, 1024),
+    (128, 1792): _tp(128, 4, 14, 1, 8, 2, 256, 128, 128, 512),
+    (128, 2048): _tp(128, 4, 16, 1, 8, 2, 512, 128, 128, 512),
+    (256, 1280): _tp(256, 4, 5, 4, 2, 8, 1280, 64, 64, 1024),
+    (256, 1536): _tp(256, 3, 6, 2, 4, 2, 1024, 128, 256, 1024),
+    (256, 1792): _tp(256, 3, 7, 2, 4, 2, 512, 128, 256, 1024),
+    (256, 2048): _tp(512, 3, 8, 2, 4, 2, 2048, 256, 512, 2048),
+}
+
+PAPER_TABLE3 = {
+    "UMD-Cluster": PAPER_TABLE3A_UMD,
+    "Hopper": PAPER_TABLE3B_HOPPER,
+    "Hopper-large": PAPER_TABLE3C_HOPPER_LARGE,
+}
+
+#: Headline speedup ranges the paper reports (Section 5.2).
+PAPER_SPEEDUP_RANGES = {
+    "UMD-Cluster": (1.23, 1.68),
+    "Hopper": (1.10, 1.40),
+    "Hopper-large": (1.48, 1.76),
+}

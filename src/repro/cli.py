@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Simulate one 3-D FFT (any variant/platform/size) and print the time
+    and per-step breakdown.
+``tune``
+    Auto-tune a variant for a setting; prints the winning configuration,
+    objective, and tuning cost.
+``sweep``
+    One-parameter ablation sweep (tile size, window, test frequency...).
+``random``
+    Figure-5-style random-configuration CDF.
+``calibrate``
+    Machine-model calibration against the paper's published numbers.
+``platforms``
+    List available platform models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.api import BREAKDOWN_LABELS, run_case
+from .core.params import ProblemShape, TuningParams
+from .core.variants import VARIANTS
+from .machine.platforms import PLATFORMS, get_platform
+from .report.ascii import format_table
+from .report.cdf import format_cdf, summarize_cdf
+
+
+def _add_setting_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-n", "--size", type=int, default=256,
+                   help="array extent N (N^3 elements)")
+    p.add_argument("-p", "--procs", type=int, default=16,
+                   help="number of simulated ranks")
+    p.add_argument("-m", "--machine", default="UMD-Cluster",
+                   help="platform model (see `platforms`)")
+    p.add_argument("-v", "--variant", default="NEW",
+                   help=f"method: {', '.join(sorted(VARIANTS))}")
+
+
+def _shape(args) -> ProblemShape:
+    return ProblemShape(args.size, args.size, args.size, args.procs)
+
+
+def _parse_params(text: str | None) -> TuningParams | None:
+    """Parse 'T=32,W=2,...' into a TuningParams (missing keys error)."""
+    if not text:
+        return None
+    fields = {}
+    for item in text.split(","):
+        key, _, value = item.partition("=")
+        fields[key.strip()] = int(value)
+    return TuningParams(**fields)
+
+
+def cmd_run(args) -> int:
+    """``repro run``: simulate one FFT and print the breakdown."""
+    platform = get_platform(args.machine)
+    shape = _shape(args)
+    if args.decomposition == "pencil":
+        from .core.pencil import PencilFFT3D
+        from .simmpi.spmd import run_spmd
+
+        def prog(ctx):
+            PencilFFT3D(ctx, (args.size, args.size, args.size)).execute(None)
+
+        sim = run_spmd(args.procs, prog, platform)
+        print(f"pencil FFT on {platform.name}: N={args.size}^3, p={args.procs}")
+        print(f"simulated time: {sim.elapsed:.4f} s")
+        rows = [[k, v] for k, v in sorted(sim.breakdown().items())]
+        print(format_table(["step", "seconds"], rows))
+        return 0
+    if args.real:
+        from .core.realfft3d import ParallelRFFT3D
+        from .simmpi.spmd import run_spmd
+
+        def prog(ctx):
+            ParallelRFFT3D(ctx, shape, _parse_params(args.params)).execute(None)
+
+        sim = run_spmd(args.procs, prog, platform)
+        print(f"r2c FFT on {platform.name}: N={args.size}^3, p={args.procs}")
+        print(f"simulated time: {sim.elapsed:.4f} s")
+        return 0
+    result, _ = run_case(
+        args.variant, platform, shape, _parse_params(args.params)
+    )
+    print(f"{result.variant} on {result.platform}: "
+          f"N={args.size}^3, p={args.procs}")
+    print(f"simulated time: {result.elapsed:.4f} s")
+    rows = [
+        [label, secs, 100.0 * secs / result.elapsed]
+        for label, secs in result.breakdown.items()
+        if label in BREAKDOWN_LABELS
+    ]
+    print(format_table(["step", "seconds", "% of total"], rows))
+    return 0
+
+
+def cmd_multi(args) -> int:
+    """``repro multi``: compare the four multi-array overlap modes."""
+    from .core.multiarray import MODES, run_multi_array
+
+    platform = get_platform(args.machine)
+    shape = _shape(args)
+    rows = []
+    for mode in MODES:
+        sim, _ = run_multi_array(platform, shape, args.arrays, mode)
+        rows.append([mode, sim.elapsed, sim.elapsed / args.arrays])
+    print(format_table(
+        ["mode", "total (s)", "per array (s)"],
+        rows,
+        title=f"{args.arrays} successive FFTs on {platform.name}"
+              f" (N={args.size}^3, p={args.procs})",
+    ))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """``repro tune``: auto-tune a variant and print the winner."""
+    from .tuning.tuner import autotune
+
+    platform = get_platform(args.machine)
+    result = autotune(
+        args.variant, platform, _shape(args), max_evaluations=args.budget
+    )
+    print(f"tuned {result.variant} on {result.platform}: "
+          f"N={args.size}^3, p={args.procs}")
+    print(f"  FFT time       : {result.fft_time:.4f} s")
+    print(f"  objective      : {result.best_objective:.4f} s "
+          f"(FFTz/Transpose excluded)")
+    print(f"  evaluations    : {result.evaluations} "
+          f"({result.session.executed_evaluations} executed)")
+    print(f"  tuning time    : {result.tuning_time:.1f} simulated s")
+    print(f"  configuration  : {result.best_params.as_dict()}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep``: one-parameter ablation table."""
+    from .tuning.gridsearch import sweep_parameter
+
+    platform = get_platform(args.machine)
+    pts = sweep_parameter(args.variant, platform, _shape(args), args.name)
+    print(format_table(
+        [args.name, "time (s)"],
+        [[p.value, p.objective] for p in pts],
+        title=f"sweep of {args.name} ({args.variant}, {platform.name}, "
+              f"N={args.size}^3, p={args.procs})",
+    ))
+    return 0
+
+
+def cmd_random(args) -> int:
+    """``repro random``: Figure-5-style random-configuration CDF."""
+    from .tuning.random_search import random_search
+
+    platform = get_platform(args.machine)
+    rs = random_search(
+        args.variant, platform, _shape(args),
+        n_samples=args.samples, seed=args.seed,
+    )
+    print(format_cdf(rs.times))
+    stats = summarize_cdf(rs.times)
+    print(format_table(
+        ["min", "median", "max", "max/min"],
+        [[stats["min"], stats["median"], stats["max"], stats["spread"]]],
+    ))
+    return 0
+
+
+def cmd_calibrate(_args) -> int:
+    """``repro calibrate``: machine-model vs paper numbers."""
+    from .bench.calibrate import main as calibrate_main
+
+    calibrate_main()
+    return 0
+
+
+def cmd_platforms(_args) -> int:
+    """``repro platforms``: list the machine models."""
+    rows = []
+    for name, plat in sorted(PLATFORMS.items()):
+        rows.append([
+            name,
+            f"{plat.cpu.flops / 1e9:.2f} GF/s",
+            f"{plat.net.node_bw / 1e6:.0f} MB/s",
+            plat.net.ranks_per_node,
+            plat.net.contention_model,
+        ])
+    print(format_table(
+        ["platform", "core", "node NIC", "ranks/node", "contention"], rows
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Auto-tuned overlapped parallel 3-D FFT (PPoPP'14 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one 3-D FFT")
+    _add_setting_args(p_run)
+    p_run.add_argument("--params", help="config as 'T=32,W=2,Px=8,...'")
+    p_run.add_argument(
+        "--decomposition", choices=("slab", "pencil"), default="slab",
+        help="slab (the paper's 1-D method) or pencil (2-D extension)",
+    )
+    p_run.add_argument(
+        "--real", action="store_true",
+        help="real-to-complex transform (half spectrum, Section 2.3)",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_multi = sub.add_parser(
+        "multi", help="compare inter/intra/combined multi-array overlap"
+    )
+    _add_setting_args(p_multi)
+    p_multi.add_argument("--arrays", type=int, default=4,
+                         help="number of successive transforms")
+    p_multi.set_defaults(func=cmd_multi)
+
+    p_tune = sub.add_parser("tune", help="auto-tune a variant")
+    _add_setting_args(p_tune)
+    p_tune.add_argument("--budget", type=int, default=300,
+                        help="max Nelder-Mead suggestions")
+    p_tune.set_defaults(func=cmd_tune)
+
+    p_sweep = sub.add_parser("sweep", help="sweep one parameter")
+    _add_setting_args(p_sweep)
+    p_sweep.add_argument("name", help="parameter to sweep (T, W, Fy, ...)")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_rand = sub.add_parser("random", help="random-config CDF (Figure 5)")
+    _add_setting_args(p_rand)
+    p_rand.add_argument("--samples", type=int, default=200)
+    p_rand.add_argument("--seed", type=int, default=0)
+    p_rand.set_defaults(func=cmd_random)
+
+    p_cal = sub.add_parser("calibrate", help="model-vs-paper calibration")
+    p_cal.set_defaults(func=cmd_calibrate)
+
+    p_plat = sub.add_parser("platforms", help="list platform models")
+    p_plat.set_defaults(func=cmd_platforms)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro-fft ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

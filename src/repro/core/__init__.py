@@ -1,0 +1,55 @@
+"""The paper's contribution: overlapped, auto-tunable parallel 3-D FFT.
+
+Public surface: problem/parameter types, the per-rank pipeline plan, the
+compared variants, and the array-level convenience API.
+"""
+
+from .api import BREAKDOWN_LABELS, RunResult, parallel_fft3d, parallel_ifft3d, run_case
+from .decompose import Decomposition, gather_spectrum, scatter_slabs
+from .multiarray import MultiArrayFFT3D, run_multi_array
+from .pencil import PencilFFT3D, parallel_fft3d_pencil
+from .realfft3d import ParallelRFFT3D, parallel_rfft3d
+from .params import PARAM_NAMES, ProblemShape, TuningParams, default_params
+from .plan import ParallelFFT3D
+from .variants import (
+    FFTW_BASELINE,
+    NEW,
+    NEW0,
+    TH,
+    TH0,
+    VARIANTS,
+    VariantSpec,
+    baseline_params,
+    get_variant,
+)
+
+__all__ = [
+    "BREAKDOWN_LABELS",
+    "Decomposition",
+    "FFTW_BASELINE",
+    "MultiArrayFFT3D",
+    "NEW",
+    "NEW0",
+    "PARAM_NAMES",
+    "ParallelFFT3D",
+    "ParallelRFFT3D",
+    "PencilFFT3D",
+    "ProblemShape",
+    "RunResult",
+    "TH",
+    "TH0",
+    "TuningParams",
+    "VARIANTS",
+    "VariantSpec",
+    "baseline_params",
+    "default_params",
+    "gather_spectrum",
+    "get_variant",
+    "parallel_fft3d",
+    "parallel_fft3d_pencil",
+    "parallel_ifft3d",
+    "parallel_rfft3d",
+    "run_multi_array",
+    "run_case",
+    "scatter_slabs",
+]

@@ -1,0 +1,149 @@
+"""Top-level user API for the distributed 3-D FFT.
+
+* :func:`run_case` — simulate one (variant, platform, p, N, params) cell
+  and return a :class:`RunResult` with the virtual time and per-step
+  breakdown.  This is what the benchmarks call.
+* :func:`parallel_fft3d` / :func:`parallel_ifft3d` — transform an actual
+  array on the simulated cluster and return the assembled spectrum
+  (real-payload mode; intended for correctness work and the examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..machine.platforms import Platform
+from ..simmpi.spmd import SimResult, run_spmd
+from .decompose import gather_spectrum, scatter_slabs
+from .params import ProblemShape, TuningParams
+from .plan import ParallelFFT3D
+from .variants import VariantSpec, baseline_params, get_variant
+
+#: Step labels in the paper's Figure 8 stacking order.
+BREAKDOWN_LABELS = [
+    "FFTz", "Transpose", "FFTy", "Pack", "Unpack", "FFTx",
+    "Ialltoall", "Wait", "Test",
+]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated 3-D FFT execution."""
+
+    variant: str
+    platform: str
+    shape: ProblemShape
+    params: TuningParams
+    elapsed: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    sim: SimResult | None = None
+
+    @property
+    def total_breakdown(self) -> float:
+        """Sum of all per-step times (close to ``elapsed``)."""
+        return sum(self.breakdown.values())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        n = self.shape
+        return (
+            f"{self.variant} on {self.platform} p={n.p} "
+            f"{n.nx}x{n.ny}x{n.nz}: {self.elapsed:.4f}s"
+        )
+
+
+def _spmd_fft(ctx, shape, params, spec, include_fixed, local_blocks):
+    plan = ParallelFFT3D(ctx, shape, params, spec, include_fixed)
+    local = None if local_blocks is None else local_blocks[ctx.rank]
+    return plan.execute(local), plan.output_layout
+
+
+def run_case(
+    variant: str | VariantSpec,
+    platform: Platform,
+    shape: ProblemShape,
+    params: TuningParams | None = None,
+    global_array: np.ndarray | None = None,
+    include_fixed_steps: bool = True,
+    record_events: bool = False,
+) -> tuple[RunResult, np.ndarray | None]:
+    """Simulate one 3-D FFT run.
+
+    Returns ``(result, spectrum)``; ``spectrum`` is the assembled
+    ``F[kx, ky, kz]`` when ``global_array`` is given (real mode), else
+    ``None`` (virtual mode).  ``params=None`` uses the variant's untuned
+    baseline configuration.
+    """
+    spec = get_variant(variant) if isinstance(variant, str) else variant
+    if params is None:
+        params = baseline_params(spec, shape)
+    local_blocks = None
+    if global_array is not None:
+        arr = np.asarray(global_array, dtype=np.complex128)
+        if arr.shape != (shape.nx, shape.ny, shape.nz):
+            raise ParameterError(
+                f"array shape {arr.shape} != problem shape "
+                f"({shape.nx}, {shape.ny}, {shape.nz})"
+            )
+        local_blocks = scatter_slabs(arr, shape.p)
+
+    sim = run_spmd(
+        shape.p, _spmd_fft, platform,
+        shape, params, spec, include_fixed_steps, local_blocks,
+        record_events=record_events,
+    )
+    result = RunResult(
+        variant=spec.name,
+        platform=platform.name,
+        shape=shape,
+        params=spec.effective_params(params, shape),
+        elapsed=sim.elapsed,
+        breakdown=sim.breakdown(BREAKDOWN_LABELS),
+        sim=sim,
+    )
+    spectrum = None
+    if local_blocks is not None:
+        outputs = [out for (out, _layout) in sim.results]
+        layout = sim.results[0][1]
+        spectrum = gather_spectrum(outputs, (shape.nx, shape.ny, shape.nz), layout)
+    return result, spectrum
+
+
+def parallel_fft3d(
+    array: np.ndarray,
+    p: int,
+    platform: Platform,
+    params: TuningParams | None = None,
+    variant: str | VariantSpec = "NEW",
+) -> tuple[np.ndarray, RunResult]:
+    """Forward 3-D FFT of ``array`` on ``p`` simulated ranks.
+
+    Returns ``(spectrum, result)`` where ``spectrum`` matches
+    ``numpy.fft.fftn(array)`` up to round-off.
+    """
+    arr = np.asarray(array)
+    if arr.ndim != 3:
+        raise ParameterError(f"expected a 3-D array, got shape {arr.shape}")
+    shape = ProblemShape(nx=arr.shape[0], ny=arr.shape[1], nz=arr.shape[2], p=p)
+    result, spectrum = run_case(
+        variant, platform, shape, params, global_array=arr
+    )
+    return spectrum, result
+
+
+def parallel_ifft3d(
+    spectrum: np.ndarray,
+    p: int,
+    platform: Platform,
+    params: TuningParams | None = None,
+    variant: str | VariantSpec = "NEW",
+) -> tuple[np.ndarray, RunResult]:
+    """Normalized inverse 3-D FFT via the conjugation identity
+    ``ifft(x) = conj(fft(conj(x))) / N`` — the paper's forward pipeline
+    applied backward (Section 2.3)."""
+    arr = np.asarray(spectrum, dtype=np.complex128)
+    fwd, result = parallel_fft3d(np.conj(arr), p, platform, params, variant)
+    return np.conj(fwd) / arr.size, result

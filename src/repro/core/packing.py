@@ -1,0 +1,175 @@
+"""Pack/Unpack with loop tiling (Section 3.4, Algorithms 2-3).
+
+Each communication tile is processed in *sub-tiles*: FFTy runs on a
+``Px x Ny x Pz`` block and Pack immediately scatters that block into the
+per-destination send chunks while it is still cache-resident; Unpack
+writes a ``Nx x Uy x Uz`` block into the output layout and FFTx consumes
+it likewise.  Two things live here:
+
+* the *real* data movement (numpy) used in real-payload mode, and
+* closed-form cost functions charging the machine model — grouped by
+  sub-tile size class so simulator cost is O(1) per tile, not O(#sub-
+  tiles), which keeps huge parameter sweeps cheap.
+
+Chunk wire format: the message from rank s to rank d for one tile is a
+``(tz, nxl_s, nyl_d)`` complex array in z-x-y order, independent of the
+transpose variant in use — both ends agree by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..machine.cpu import CpuModel
+from ..util.intmath import iter_blocks
+
+ITEMSIZE = 16  # complex128
+
+
+def subtile_classes(
+    total_a: int, block_a: int, total_b: int, block_b: int
+) -> list[tuple[int, int, int]]:
+    """Group the 2-D sub-tile grid by size: ``(count, a_extent, b_extent)``.
+
+    A ``total_a x total_b`` region cut into ``block_a x block_b`` blocks
+    yields at most four distinct block shapes (interior, two edges, one
+    corner); costs are per-class so the model never loops over blocks.
+    """
+    if block_a < 1 or block_b < 1:
+        raise ParameterError(f"sub-tile extents must be >= 1, got {block_a}x{block_b}")
+    fa, ra = divmod(total_a, block_a)
+    fb, rb = divmod(total_b, block_b)
+    classes = []
+    if fa and fb:
+        classes.append((fa * fb, block_a, block_b))
+    if fa and rb:
+        classes.append((fa, block_a, rb))
+    if ra and fb:
+        classes.append((fb, ra, block_b))
+    if ra and rb:
+        classes.append((1, ra, rb))
+    return classes
+
+
+# --------------------------------------------------------------------------
+# cost model
+# --------------------------------------------------------------------------
+
+
+def pack_cost(
+    cpu: CpuModel, nxl: int, ny: int, tz: int, px: int, pz: int
+) -> float:
+    """Seconds for the Pack half of Algorithm 2 on one tile.
+
+    Working set per sub-tile is ``px * ny * pz`` elements (the block FFTy
+    just produced); residency against the private cache decides the copy
+    bandwidth, and every sub-tile pays the fixed loop overhead.
+    """
+    total = 0.0
+    for count, bx, bz in subtile_classes(nxl, px, tz, pz):
+        ws = bx * ny * bz * ITEMSIZE
+        total += count * cpu.pack_subtile_time(ws)
+    return total
+
+
+def unpack_cost(
+    cpu: CpuModel, nx: int, nyl: int, tz: int, uy: int, uz: int
+) -> float:
+    """Seconds for the Unpack half of Algorithm 3 on one tile
+    (sub-tiles span the full x extent: ``nx * uy * uz`` elements)."""
+    total = 0.0
+    for count, by, bz in subtile_classes(nyl, uy, tz, uz):
+        ws = nx * by * bz * ITEMSIZE
+        total += count * cpu.pack_subtile_time(ws)
+    return total
+
+
+def untiled_copy_cost(cpu: CpuModel, nbytes: int) -> float:
+    """Whole-tile copy with no tiling (the TH baseline): always
+    memory-bound, single loop iteration."""
+    return cpu.copy_time(nbytes, resident=False) + cpu.loop_overhead
+
+
+# ----------------------------------------------------------------------------
+# real data movement
+# ----------------------------------------------------------------------------
+
+
+def ffty_pack_real(
+    tile: np.ndarray,
+    ffty,
+    y_counts: list[int],
+    px: int,
+    pz: int,
+    layout: str,
+) -> list[np.ndarray]:
+    """FFTy + Pack one tile (Algorithm 2), returning per-dest chunks.
+
+    ``tile`` is the communication tile in the post-Transpose layout:
+    ``(tz, nxl, ny)`` for ``"zxy"`` or ``(nxl, tz, ny)`` for ``"xzy"``.
+    ``ffty`` is a callable transforming the last axis.  Sub-tiles of
+    ``px`` x-planes by ``pz`` z-planes are transformed and immediately
+    scattered into the send chunks.
+    """
+    if layout == "zxy":
+        tz, nxl, ny = tile.shape
+    elif layout == "xzy":
+        nxl, tz, ny = tile.shape
+    else:
+        raise ParameterError(f"unknown tile layout {layout!r}")
+    if sum(y_counts) != ny:
+        raise ParameterError("y_counts must sum to the tile's y extent")
+    chunks = [
+        np.empty((tz, nxl, nyl_d), dtype=np.complex128) for nyl_d in y_counts
+    ]
+    y_starts = np.concatenate([[0], np.cumsum(y_counts)])
+    for x0, x1 in iter_blocks(nxl, px):
+        for z0, z1 in iter_blocks(tz, pz):
+            if layout == "zxy":
+                block = ffty(tile[z0:z1, x0:x1, :])
+            else:
+                # x-z-y tile: bring the block to (z, x, y) chunk order.
+                block = ffty(tile[x0:x1, z0:z1, :]).transpose(1, 0, 2)
+            for d, nyl_d in enumerate(y_counts):
+                ys = y_starts[d]
+                chunks[d][z0:z1, x0:x1, :] = block[:, :, ys : ys + nyl_d]
+    return chunks
+
+
+def unpack_fftx_real(
+    chunks: list[np.ndarray],
+    fftx,
+    x_counts: list[int],
+    nyl: int,
+    uy: int,
+    uz: int,
+    layout: str,
+) -> np.ndarray:
+    """Unpack + FFTx one tile (Algorithm 3), returning the output tile.
+
+    ``chunks[s]`` is the ``(tz, nxl_s, nyl)`` message from source ``s``.
+    The output tile is ``(tz, nyl, nx)`` in z-y-x order for ``"zyx"`` or
+    ``(nyl, tz, nx)`` in y-z-x order for ``"yzx"`` (the Nx==Ny variant);
+    either way x is contiguous for FFTx.
+    """
+    nx = sum(x_counts)
+    tz = chunks[0].shape[0]
+    if layout == "zyx":
+        out = np.empty((tz, nyl, nx), dtype=np.complex128)
+    elif layout == "yzx":
+        out = np.empty((nyl, tz, nx), dtype=np.complex128)
+    else:
+        raise ParameterError(f"unknown output layout {layout!r}")
+    x_starts = np.concatenate([[0], np.cumsum(x_counts)])
+    for y0, y1 in iter_blocks(nyl, uy):
+        for z0, z1 in iter_blocks(tz, uz):
+            for s, nxl_s in enumerate(x_counts):
+                xs = x_starts[s]
+                # chunk block (z, x, y) -> output order.
+                blk = chunks[s][z0:z1, :, y0:y1]
+                if layout == "zyx":
+                    out[z0:z1, y0:y1, xs : xs + nxl_s] = blk.transpose(0, 2, 1)
+                else:
+                    out[y0:y1, z0:z1, xs : xs + nxl_s] = blk.transpose(2, 0, 1)
+    return fftx(out)

@@ -1,0 +1,287 @@
+"""The parallel 3-D FFT pipeline (Section 3, Algorithms 1-3).
+
+:class:`ParallelFFT3D` is the per-rank plan an SPMD function builds and
+executes.  One code path serves every compared method — the
+:class:`~repro.core.variants.VariantSpec` decides whether the exchange is
+non-blocking, which steps progress it, and whether Pack/Unpack are loop-
+tiled — and serves both payload modes:
+
+* **real**: the local slab is an actual complex array; every step does
+  the numpy work and the final result is the true distributed FFT
+  (verified against ``numpy.fft.fftn`` in the tests);
+* **virtual**: only byte counts flow; the control flow, communication
+  and virtual-time accounting are identical, which is what makes the
+  paper's 2048-cubed / 256-rank cases simulatable.
+
+Step labels traced to the engine ("FFTz", "Transpose", "FFTy", "Pack",
+"Unpack", "FFTx", "Ialltoall", "Wait", "Test") are exactly the Figure 8
+legend.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..fft.plan import Plan1D
+from ..fft.transpose import xyz_to_xzy, xyz_to_zxy
+from ..machine.cpu import CpuModel
+from ..simmpi.comm import SimContext
+from ..simmpi.request import AlltoallRequest
+from .decompose import Decomposition
+from .packing import (
+    ITEMSIZE,
+    ffty_pack_real,
+    pack_cost,
+    unpack_cost,
+    unpack_fftx_real,
+    untiled_copy_cost,
+)
+from .params import ProblemShape, TuningParams
+from .variants import NEW, VariantSpec
+
+
+class ParallelFFT3D:
+    """Per-rank plan for one distributed forward 3-D FFT."""
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        shape: ProblemShape,
+        params: TuningParams,
+        spec: VariantSpec = NEW,
+        include_fixed_steps: bool = True,
+        fftz_mode: str = "complex",
+    ) -> None:
+        """``fftz_mode``: ``"complex"`` runs the standard FFTz step;
+        ``"none"`` assumes the caller already transformed z (used by the
+        real-to-complex front end, which replaces FFTz with an r2c
+        transform and hands this plan the half-spectrum planes)."""
+        if fftz_mode not in ("complex", "none"):
+            raise ParameterError(f"bad fftz_mode {fftz_mode!r}")
+        if shape.p != ctx.comm.size:
+            raise ParameterError(
+                f"shape expects p={shape.p}, communicator has {ctx.comm.size}"
+            )
+        self.ctx = ctx
+        self.comm = ctx.comm
+        self.cpu: CpuModel = ctx.cpu
+        self.shape = shape
+        self.spec = spec
+        self.fftz_mode = fftz_mode
+        self.params = spec.effective_params(params, shape)
+        if spec.overlap:
+            self.params.check_feasible(shape)
+        self.include_fixed_steps = include_fixed_steps
+        self.dec = Decomposition(shape.nx, shape.ny, shape.nz, shape.p, ctx.comm.rank)
+        #: fast x-z-y Transpose is legal only when Nx == Ny (Section 3.5)
+        self.use_fast_transpose = spec.fast_transpose and shape.nx == shape.ny
+        self.tile_layout = "xzy" if self.use_fast_transpose else "zxy"
+        #: output layout: y-z-x under the fast path, z-y-x otherwise
+        self.output_layout = "yzx" if self.use_fast_transpose else "zyx"
+        self.tiles = self.dec.tile_ranges(self.params.T)
+        self._plans: dict[str, Plan1D] = {}
+
+    # -- lazily planned 1-D kernels (real mode only) -----------------------
+
+    def _plan(self, axis: str, n: int) -> Plan1D:
+        if axis not in self._plans:
+            self._plans[axis] = Plan1D(n)
+        return self._plans[axis]
+
+    # -- cost helpers ---------------------------------------------------------
+
+    def _tile_bytes(self, tz: int) -> int:
+        return tz * self.dec.nxl * self.shape.ny * ITEMSIZE
+
+    def _ffty_time(self, tz: int) -> float:
+        return self.cpu.fft_time(self.shape.ny, self.dec.nxl * tz)
+
+    def _pack_time(self, tz: int) -> float:
+        if self.spec.tiled_pack:
+            return pack_cost(
+                self.cpu, self.dec.nxl, self.shape.ny, tz,
+                self.params.Px, self.params.Pz,
+            )
+        return untiled_copy_cost(self.cpu, self._tile_bytes(tz))
+
+    def _unpack_time(self, tz: int) -> float:
+        if self.spec.tiled_pack:
+            return unpack_cost(
+                self.cpu, self.shape.nx, self.dec.nyl, tz,
+                self.params.Uy, self.params.Uz,
+            )
+        return untiled_copy_cost(
+            self.cpu, tz * self.dec.nyl * self.shape.nx * ITEMSIZE
+        )
+
+    def _fftx_time(self, tz: int) -> float:
+        t = self.cpu.fft_time(self.shape.nx, tz * self.dec.nyl)
+        if not self.spec.tiled_pack:
+            # Untiled Unpack leaves nothing cache-resident, so FFTx
+            # re-streams the tile from memory (TH's larger FFTx bar in
+            # Figure 8).
+            t += self.cpu.copy_time(
+                tz * self.dec.nyl * self.shape.nx * ITEMSIZE, resident=False
+            )
+        return t
+
+    # -- test-call budgeting -----------------------------------------------
+
+    @staticmethod
+    def _share_tests(
+        reqs: list[AlltoallRequest], total: int
+    ) -> list[tuple[AlltoallRequest, int]]:
+        """Spread a phase's test budget over the active window, the way
+        Algorithms 2-3 call MPI_Test "on W previous/next tiles F times in
+        total"."""
+        live = [r for r in reqs if r is not None and not r.consumed]
+        if not live or total <= 0:
+            return []
+        n = len(live)
+        base, extra = divmod(total, n)
+        return [(r, base + (1 if i < extra else 0)) for i, r in enumerate(live)]
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, local: np.ndarray | None = None) -> np.ndarray | None:
+        """Run the transform; returns the local output block (real mode)
+        in :attr:`output_layout` order, or ``None`` (virtual mode)."""
+        real = local is not None
+        dec, ctx, P = self.dec, self.ctx, self.params
+        nx, ny, nz = self.shape.nx, self.shape.ny, self.shape.nz
+
+        data: np.ndarray | None = None
+        if real:
+            expected = (dec.nxl, ny, nz)
+            if tuple(local.shape) != expected:
+                raise ParameterError(
+                    f"rank {self.comm.rank} expected local block {expected}, "
+                    f"got {tuple(local.shape)}"
+                )
+            if self.include_fixed_steps is False:
+                raise ParameterError(
+                    "real payload requires the fixed steps (FFTz/Transpose)"
+                )
+
+        # ---- FFTz + Transpose (parameter-independent; skippable while
+        # tuning — Section 4.4, technique 3) --------------------------------
+        if self.include_fixed_steps:
+            if self.fftz_mode == "complex":
+                if real:
+                    data = self._plan("z", nz).execute(local, axis=2)
+                ctx.compute(self.cpu.fft_time(nz, dec.nxl * ny), "FFTz")
+            elif real:
+                data = np.asarray(local, dtype=np.complex128)
+            kind = "xzy" if self.use_fast_transpose else self.spec.transpose_kind
+            if real:
+                data = (
+                    xyz_to_xzy(data) if self.use_fast_transpose else xyz_to_zxy(data)
+                )
+            ctx.compute(
+                self.cpu.transpose_time(self._tile_bytes(nz), kind), "Transpose"
+            )
+
+        # ---- tiled exchange pipeline (Algorithm 1) ---------------------------
+        k = len(self.tiles)
+        out = self._alloc_output() if real else None
+        reqs: list[AlltoallRequest | None] = [None] * k
+        recv: list[Any] = [None] * k
+        chunks: list[Any] = [None] * k
+
+        if self.spec.overlap and P.W > 0:
+            w = min(P.W, k)
+            for i in range(k + w):
+                if i < k:
+                    self._ffty_pack(i, data, chunks, reqs)
+                if i >= w:
+                    recv[i - w] = self.comm.wait(reqs[i - w], label="Wait")
+                if i < k:
+                    self._post(i, chunks, reqs)
+                if i >= w:
+                    self._unpack_fftx(i - w, recv, reqs, out if real else None)
+        else:
+            for i in range(k):
+                self._ffty_pack(i, data, chunks, reqs)
+                self._post(i, chunks, reqs)
+                recv[i] = self.comm.wait(reqs[i], label="Wait")
+                self._unpack_fftx(i, recv, reqs, out if real else None)
+
+        return out if real else None
+
+    # -- pipeline stages -----------------------------------------------------
+
+    def _tile_view(self, i: int, data: np.ndarray) -> np.ndarray:
+        z0, z1 = self.tiles[i]
+        if self.tile_layout == "zxy":
+            return data[z0:z1]
+        return data[:, z0:z1, :]
+
+    def _ffty_pack(self, i, data, chunks, reqs) -> None:
+        z0, z1 = self.tiles[i]
+        tz = z1 - z0
+        P = self.params
+        self.ctx.compute_with_progress(
+            self._ffty_time(tz), self._share_tests(reqs, P.Fy), "FFTy"
+        )
+        if data is not None:
+            plan = self._plan("y", self.shape.ny)
+            chunks[i] = ffty_pack_real(
+                self._tile_view(i, data),
+                lambda a: plan.execute(a, axis=-1),
+                self.dec.y_counts,
+                P.Px if self.spec.tiled_pack else self.dec.nxl,
+                P.Pz if self.spec.tiled_pack else tz,
+                self.tile_layout,
+            )
+        self.ctx.compute_with_progress(
+            self._pack_time(tz), self._share_tests(reqs, P.Fp), "Pack"
+        )
+
+    def _post(self, i, chunks, reqs) -> None:
+        z0, z1 = self.tiles[i]
+        tz = z1 - z0
+        reqs[i] = self.comm.ialltoall(
+            self.dec.sendcounts_bytes(tz),
+            self.dec.recvcounts_bytes(tz),
+            payload=chunks[i],
+        )
+        chunks[i] = None  # buffer handed to the library
+
+    def _unpack_fftx(self, j, recv, reqs, out) -> None:
+        z0, z1 = self.tiles[j]
+        tz = z1 - z0
+        P = self.params
+        self.ctx.compute_with_progress(
+            self._unpack_time(tz), self._share_tests(reqs, P.Fu), "Unpack"
+        )
+        if out is not None:
+            plan = self._plan("x", self.shape.nx)
+            tile_out = unpack_fftx_real(
+                recv[j],
+                lambda a: plan.execute(a, axis=-1),
+                self.dec.x_counts,
+                self.dec.nyl,
+                P.Uy if self.spec.tiled_pack else self.dec.nyl,
+                P.Uz if self.spec.tiled_pack else tz,
+                self.output_layout,
+            )
+            if self.output_layout == "zyx":
+                out[z0:z1] = tile_out
+            else:
+                out[:, z0:z1, :] = tile_out
+        recv[j] = None
+        self.ctx.compute_with_progress(
+            self._fftx_time(tz), self._share_tests(reqs, P.Fx), "FFTx"
+        )
+
+    def _alloc_output(self) -> np.ndarray:
+        if self.output_layout == "zyx":
+            return np.empty(
+                (self.shape.nz, self.dec.nyl, self.shape.nx), dtype=np.complex128
+            )
+        return np.empty(
+            (self.dec.nyl, self.shape.nz, self.shape.nx), dtype=np.complex128
+        )

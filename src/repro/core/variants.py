@@ -1,0 +1,138 @@
+"""The compared 3-D FFT methods (Section 5.1's FFTW / NEW / TH and the
+non-overlapped NEW-0 / TH-0 used in the Figure 8 breakdowns).
+
+A :class:`VariantSpec` captures *how* a method runs the seven-step
+procedure; the shared pipeline in :mod:`repro.core.plan` interprets it:
+
+``NEW``
+    the paper's method — MPI_Ialltoall per tile, window of W concurrent
+    exchanges, manual progression during *all four* overlappable steps,
+    tiled Pack/Unpack, FFTW-guru-quality Transpose with the Nx==Ny fast
+    path.
+``NEW-0``
+    NEW with overlap disabled (blocking per-tile exchange, F*=0); the
+    paper uses it as the no-overlap reference in Figure 8 and notes FFTW
+    "should be similar to NEW-0".
+``TH``
+    Hoefler et al.'s kernel as the paper evaluates it: overlap *only*
+    during FFTy and Pack, one shared Test frequency, untiled Pack/Unpack,
+    plain transpose, no Nx==Ny fast path.  Three tunable parameters
+    (T, W, F).
+``TH-0``
+    TH without overlap.
+``FFTW``
+    the classic 1-D-decomposition procedure of Section 2.2: one blocking
+    all-to-all for the whole slab, no tiles, no overlap, well-optimized
+    local computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import PARAM_NAMES, ProblemShape, TuningParams, default_params
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """Behavioral switches interpreted by the pipeline."""
+
+    name: str
+    overlap: bool            # non-blocking exchange + window
+    overlap_unpack: bool     # progress communication during Unpack/FFTx
+    tiled_pack: bool         # loop tiling of Pack/Unpack (Section 3.4)
+    fast_transpose: bool     # x-z-y Transpose when Nx == Ny (Section 3.5)
+    transpose_kind: str      # cost class of the general Transpose
+    single_tile: bool = False  # whole slab as one tile (FFTW baseline)
+    tunable: tuple[str, ...] = PARAM_NAMES
+
+    def effective_params(
+        self, params: TuningParams, shape: ProblemShape
+    ) -> TuningParams:
+        """Normalize a configuration for this variant.
+
+        Non-overlapping variants zero the window and test frequencies;
+        the FFTW baseline additionally collapses to a single slab-sized
+        tile.  TH shares one test frequency across its two overlapped
+        steps and never tests during Unpack/FFTx.
+        """
+        if self.single_tile:
+            params = params.replace(T=shape.nz, Pz=min(params.Pz, shape.nz),
+                                    Uz=min(params.Uz, shape.nz))
+        if not self.overlap:
+            params = params.replace(W=0, Fy=0, Fp=0, Fu=0, Fx=0)
+        elif not self.overlap_unpack:
+            params = params.replace(Fu=0, Fx=0)
+        return params
+
+
+NEW = VariantSpec(
+    name="NEW",
+    overlap=True,
+    overlap_unpack=True,
+    tiled_pack=True,
+    fast_transpose=True,
+    transpose_kind="zxy",
+)
+
+NEW0 = VariantSpec(
+    name="NEW-0",
+    overlap=False,
+    overlap_unpack=False,
+    tiled_pack=True,
+    fast_transpose=True,
+    transpose_kind="zxy",
+)
+
+TH = VariantSpec(
+    name="TH",
+    overlap=True,
+    overlap_unpack=False,
+    tiled_pack=False,
+    fast_transpose=False,
+    transpose_kind="naive",
+    tunable=("T", "W", "Fy"),
+)
+
+TH0 = VariantSpec(
+    name="TH-0",
+    overlap=False,
+    overlap_unpack=False,
+    tiled_pack=False,
+    fast_transpose=False,
+    transpose_kind="naive",
+)
+
+FFTW_BASELINE = VariantSpec(
+    name="FFTW",
+    overlap=False,
+    overlap_unpack=False,
+    tiled_pack=True,
+    fast_transpose=True,
+    transpose_kind="zxy",
+    single_tile=True,
+    tunable=(),
+)
+
+VARIANTS: dict[str, VariantSpec] = {
+    v.name: v for v in (NEW, NEW0, TH, TH0, FFTW_BASELINE)
+}
+
+
+def get_variant(name: str) -> VariantSpec:
+    """Look up a variant by its paper name (case-insensitive)."""
+    for key, spec in VARIANTS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}")
+
+
+def baseline_params(spec: VariantSpec, shape: ProblemShape,
+                    cache_bytes: int = 256 * 1024) -> TuningParams:
+    """Sensible untuned configuration for a variant (the FFTW baseline
+    always runs with this; tunable variants use it as a starting point)."""
+    params = default_params(shape, cache_bytes)
+    if spec.name == "TH":
+        # TH couples its single F to both overlapped phases.
+        params = params.replace(Fu=0, Fx=0, Fp=params.Fy)
+    return spec.effective_params(params, shape)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PlanError(ReproError):
+    """An FFT plan could not be constructed or executed."""
+
+
+class DecompositionError(ReproError):
+    """A domain decomposition request is invalid (e.g. p > N)."""
+
+
+class ParameterError(ReproError):
+    """A tuning-parameter configuration is malformed."""
+
+
+class InfeasibleConfigError(ParameterError):
+    """A configuration violates a dependent-range constraint.
+
+    The auto-tuner treats these as "report infinity without running"
+    (Section 4.4 of the paper); direct users of the core API get the
+    exception instead.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Every simulated rank is blocked and no event can make progress."""
+
+
+class MPIUsageError(SimulationError):
+    """A simulated MPI call was used incorrectly (wrong sizes, reused
+    request, mismatched collective participation, ...)."""
+
+
+class TuningError(ReproError):
+    """The auto-tuning machinery failed (empty space, bad objective...)."""

@@ -1,0 +1,35 @@
+"""From-scratch FFT substrate (the library's stand-in for FFTW).
+
+Public surface:
+
+* :class:`Plan1D`, :class:`Plan3D`, :class:`Flag` -- planned transforms
+  with FFTW-style effort levels and wisdom;
+* :func:`fft` / :func:`ifft` / :func:`fftn` / :func:`ifftn` -- one-shot
+  conveniences;
+* :class:`RealPlan1D`, :func:`rfft`, :func:`irfft` -- real transforms;
+* layout rearrangement in :mod:`repro.fft.transpose`;
+* :data:`GLOBAL_WISDOM` -- the process-wide planner cache.
+"""
+
+from .dftmat import BACKWARD, FORWARD, direct_dft
+from .plan import Flag, Plan1D, Plan3D, fft, fftn, ifft, ifftn
+from .realfft import RealPlan1D, irfft, rfft
+from .wisdom import GLOBAL_WISDOM, WisdomStore
+
+__all__ = [
+    "BACKWARD",
+    "FORWARD",
+    "Flag",
+    "GLOBAL_WISDOM",
+    "Plan1D",
+    "Plan3D",
+    "RealPlan1D",
+    "WisdomStore",
+    "direct_dft",
+    "fft",
+    "fftn",
+    "ifft",
+    "ifftn",
+    "irfft",
+    "rfft",
+]

@@ -1,0 +1,17 @@
+"""Analytic machine models: CPU, cache, network, and platform presets."""
+
+from .cache import CacheModel
+from .cpu import CpuModel
+from .network import NetworkModel
+from .platforms import HOPPER, PLATFORMS, UMD_CLUSTER, Platform, get_platform
+
+__all__ = [
+    "CacheModel",
+    "CpuModel",
+    "HOPPER",
+    "NetworkModel",
+    "PLATFORMS",
+    "Platform",
+    "UMD_CLUSTER",
+    "get_platform",
+]

@@ -1,0 +1,54 @@
+"""Cache-hierarchy model.
+
+The paper's loop-tiling optimization (Section 3.4) works because a
+sub-tile that was just produced by FFTy is still resident in the private
+cache when Pack reads it.  This module decides residency: a working set
+"fits" when it is no larger than a configurable fraction of the private
+cache (the rest is occupied by twiddles, buffers, and other live data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Private cache hierarchy of one core.
+
+    ``l1_bytes``/``l2_bytes`` are per-core capacities; ``line_bytes`` is
+    the coherence-line size; ``usable_fraction`` is the share of the last
+    private level that a sub-tile may occupy and still be considered
+    resident when re-read.
+    """
+
+    l1_bytes: int
+    l2_bytes: int
+    line_bytes: int = 64
+    usable_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.l1_bytes <= 0 or self.l2_bytes <= 0:
+            raise ValueError("cache sizes must be positive")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ValueError(
+                f"usable_fraction must be in (0, 1], got {self.usable_fraction}"
+            )
+
+    @property
+    def private_bytes(self) -> int:
+        """Capacity of the last private level (what tiling targets)."""
+        return self.l2_bytes
+
+    def fits_private(self, working_set_bytes: int) -> bool:
+        """True when ``working_set_bytes`` can stay resident between the
+        producing step (FFTy/Unpack) and the consuming step (Pack/FFTx)."""
+        return working_set_bytes <= self.usable_fraction * self.private_bytes
+
+    def fits_l1(self, working_set_bytes: int) -> bool:
+        """True when the working set is L1-resident."""
+        return working_set_bytes <= self.usable_fraction * self.l1_bytes
+
+    def lines_touched(self, nbytes: int) -> int:
+        """Number of cache lines covering ``nbytes`` of contiguous data."""
+        return -(-nbytes // self.line_bytes)

@@ -1,0 +1,102 @@
+"""Analytic CPU cost model.
+
+Virtual time in the simulator is charged from this model, never from
+wall-clock: a :class:`CpuModel` turns operation descriptions (1-D FFT
+batches, packing copies, layout transposes) into seconds on the modeled
+core.  Constants for the paper's two machines live in
+:mod:`repro.machine.platforms` and are calibrated in
+``repro/bench/calibrate.py`` against the paper's absolute numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .cache import CacheModel
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """One core of the modeled machine.
+
+    Parameters
+    ----------
+    flops:
+        Sustained floating-point rate (FLOP/s) for FFT butterflies on
+        cache-resident data.
+    mem_bw:
+        Sustained main-memory streaming bandwidth (bytes/s) for one core.
+    cache_bw:
+        Bandwidth (bytes/s) when the working set is resident in the last
+        private cache level.
+    cache:
+        Cache hierarchy used to decide residency.
+    loop_overhead:
+        Fixed cost (s) per sub-tile loop iteration: plan dispatch, index
+        arithmetic, function-call cost.  This is what penalizes absurdly
+        small ``Px/Pz/Uy/Uz`` sub-tiles.
+    test_overhead:
+        Cost (s) of one ``MPI_Test`` call (library entry + poll).  This is
+        what penalizes absurdly large ``F*`` frequencies (Section 3.3).
+    fft_cache_penalty:
+        Multiplier applied to FFT time when one transform row does not
+        fit in the private cache (strided twiddle access thrashes).
+    """
+
+    flops: float
+    mem_bw: float
+    cache_bw: float
+    cache: CacheModel
+    loop_overhead: float = 2.0e-7
+    test_overhead: float = 6.0e-7
+    fft_cache_penalty: float = 1.6
+
+    # -- FFT -------------------------------------------------------------
+
+    def fft_time(self, n: int, batch: int = 1) -> float:
+        """Seconds to run ``batch`` 1-D complex FFTs of length ``n``.
+
+        Uses the classic ``5 n log2 n`` FLOP count with a penalty when a
+        single row (input + output + twiddles ~ 3x) exceeds the cache.
+        """
+        if n <= 1:
+            return 0.0
+        flop = 5.0 * n * math.log2(n) * batch
+        t = flop / self.flops
+        if 3 * n * 16 > self.cache.private_bytes:
+            t *= self.fft_cache_penalty
+        return t
+
+    # -- data movement -----------------------------------------------------
+
+    def copy_time(self, nbytes: int, resident: bool) -> float:
+        """Seconds to copy ``nbytes`` (counted once; the model's
+        bandwidths are effective copy bandwidths including the write
+        stream).  ``resident`` selects cache vs. memory bandwidth."""
+        bw = self.cache_bw if resident else self.mem_bw
+        return nbytes / bw
+
+    def pack_subtile_time(self, ws_bytes: int) -> float:
+        """Cost of packing/unpacking one sub-tile whose working set is
+        ``ws_bytes``: a copy at residency-dependent bandwidth plus the
+        fixed per-iteration overhead (Section 3.4's trade-off)."""
+        resident = self.cache.fits_private(ws_bytes)
+        return self.copy_time(ws_bytes, resident) + self.loop_overhead
+
+    #: Effective-bandwidth divisors for the transpose variants: the
+    #: general x-y-z -> z-x-y rearrangement strides badly; the Nx==Ny
+    #: x-z-y path (Section 3.5) only swaps the inner axes; "naive" models
+    #: an untiled transpose (used by the TH baseline, cf. Figure 8).
+    TRANSPOSE_FACTORS = {"zxy": 2.6, "xzy": 1.35, "naive": 5.0}
+
+    def transpose_time(self, nbytes: int, kind: str = "zxy") -> float:
+        """Seconds to rearrange ``nbytes`` of array data in memory."""
+        try:
+            factor = self.TRANSPOSE_FACTORS[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown transpose kind {kind!r}; choose from "
+                f"{sorted(self.TRANSPOSE_FACTORS)}"
+            ) from None
+        return nbytes * factor / self.mem_bw

@@ -1,0 +1,114 @@
+"""Network parameter model.
+
+A :class:`NetworkModel` describes the interconnect as seen by one rank:
+LogGP-style latency/bandwidth, NIC injection rate shared by the ranks on
+a node, an eager/rendezvous protocol threshold, and a *contention* law
+that degrades effective all-to-all bandwidth as the job grows.  The
+contention law is the load-bearing part of the reproduction: the paper's
+platform differences (Section 5.2) come from Myrinet 2000 saturating much
+earlier than the Gemini torus, which changes the computation/
+communication balance and therefore how much overlap can buy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Interconnect parameters for the simulated cluster.
+
+    Parameters
+    ----------
+    latency:
+        One-way small-message latency ``alpha`` (s).
+    node_bw:
+        Injection bandwidth of one node's NIC (bytes/s), shared evenly by
+        the ranks placed on the node.
+    ranks_per_node:
+        Job placement: how many simulated ranks share one NIC.
+    eager_threshold:
+        Messages at most this many bytes are sent eagerly; larger ones
+        pay a rendezvous handshake that needs the *receiver* to enter the
+        MPI library (this is why MPI_Test frequency matters, §3.3).
+    max_inflight:
+        Sends one MPI_Test call can push onto the NIC (library pacing).
+    contention_coeff:
+        Strength of the fabric-contention law (see :meth:`contention`).
+    contention_base:
+        Job size at which contention starts to bite.
+    contention_model:
+        ``"log"`` — switch-fabric congestion growing with each doubling
+        (Myrinet-like); ``"pow"`` — torus bisection sharing, divisor
+        ``max(1, coeff * (p/base)**contention_expo)`` (Gemini-like).
+    contention_expo:
+        Exponent of the ``"pow"`` law (≈1/3 for a 3-D torus bisection).
+    post_overhead:
+        CPU cost (s) of posting an (i)alltoall: building the schedule,
+        setting up p message descriptors.
+    per_peer_post:
+        Additional post cost per peer (s).
+    """
+
+    latency: float
+    node_bw: float
+    ranks_per_node: int = 1
+    eager_threshold: int = 16 * 1024
+    max_inflight: int = 4
+    contention_coeff: float = 0.4
+    contention_base: int = 2
+    contention_model: str = "log"
+    contention_expo: float = 1.0 / 3.0
+    post_overhead: float = 4.0e-6
+    per_peer_post: float = 1.5e-7
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.node_bw <= 0:
+            raise ValueError("latency must be >= 0 and node_bw > 0")
+        if self.ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.contention_model not in ("log", "pow"):
+            raise ValueError(
+                f"contention_model must be 'log' or 'pow', got {self.contention_model!r}"
+            )
+
+    def contention(self, p: int) -> float:
+        """Effective-bandwidth divisor for an all-to-all among ``p`` ranks.
+
+        ``"log"``: ``1 + c * log2(p / base)`` — each doubling of the job
+        adds a fixed increment of switch congestion (Myrinet-like).
+        ``"pow"``: ``max(1, c * (p / base)**expo)`` — torus bisection
+        sharing (Gemini-like).  The paper observes exactly this "high
+        complexity of the all-to-all operation at high p" (§5.2.1).
+        """
+        if p <= self.contention_base:
+            return 1.0
+        if self.contention_model == "log":
+            return 1.0 + self.contention_coeff * math.log2(p / self.contention_base)
+        return max(
+            1.0,
+            self.contention_coeff * (p / self.contention_base) ** self.contention_expo,
+        )
+
+    def rank_rate(self, p: int) -> float:
+        """Sustained all-to-all injection rate (bytes/s) of one rank in a
+        ``p``-rank job: the NIC share divided by fabric contention."""
+        share = self.node_bw / self.ranks_per_node
+        return share / self.contention(p)
+
+    def is_eager(self, nbytes: int) -> bool:
+        """True when a message of ``nbytes`` uses the eager protocol."""
+        return nbytes <= self.eager_threshold
+
+    def post_cost(self, p: int) -> float:
+        """CPU seconds consumed by posting an (i)alltoall among p ranks."""
+        return self.post_overhead + self.per_peer_post * p
+
+    def message_time(self, nbytes: int, p: int) -> float:
+        """Latency + serialization for one message in a p-rank exchange
+        (used by analytic collectives such as the blocking alltoall)."""
+        return self.latency + nbytes / self.rank_rate(p)

@@ -1,0 +1,118 @@
+"""Platform presets modeling the paper's two evaluation machines.
+
+The constants are calibrated (``repro/bench/calibrate.py``) so the
+simulated FFTW-style baseline lands in the neighborhood of the paper's
+Table 2 absolute times; the reproduction target is the *shape* of the
+results (speedups, crossovers, breakdowns), not the exact seconds.
+
+``UMD_CLUSTER``
+    64-node Linux cluster: one Intel Xeon 2.66 GHz (SSE) core per node,
+    512 KB L2, Myrinet 2000 (~250 MB/s per link, switch fabric whose
+    effective all-to-all bandwidth degrades quickly with job size).
+
+``HOPPER``
+    Cray XE6: AMD Magny-Cours 2.1 GHz, 64 KB L1 / 512 KB L2 per core,
+    8 ranks per node sharing a Gemini NIC on a 3-D torus (fast links,
+    milder contention growth — the reason the paper sees smaller overlap
+    headroom on Hopper at small scale, §5.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .cache import CacheModel
+from .cpu import CpuModel
+from .network import NetworkModel
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A named machine: one CPU model plus one network model."""
+
+    name: str
+    cpu: CpuModel
+    net: NetworkModel
+
+    def with_(self, **net_or_cpu_overrides) -> "Platform":
+        """Return a copy with selected cpu/net fields replaced.
+
+        Keys prefixed ``cpu_`` update the CPU model, ``net_`` the network
+        model; used by calibration sweeps and ablation benchmarks.
+        """
+        cpu_kw = {
+            k[4:]: v for k, v in net_or_cpu_overrides.items() if k.startswith("cpu_")
+        }
+        net_kw = {
+            k[4:]: v for k, v in net_or_cpu_overrides.items() if k.startswith("net_")
+        }
+        unknown = set(net_or_cpu_overrides) - {
+            k for k in net_or_cpu_overrides if k.startswith(("cpu_", "net_"))
+        }
+        if unknown:
+            raise ValueError(f"unknown override keys: {sorted(unknown)}")
+        return Platform(
+            name=self.name,
+            cpu=replace(self.cpu, **cpu_kw) if cpu_kw else self.cpu,
+            net=replace(self.net, **net_kw) if net_kw else self.net,
+        )
+
+
+UMD_CLUSTER = Platform(
+    name="UMD-Cluster",
+    cpu=CpuModel(
+        flops=1.03e9,
+        mem_bw=1.35e9,
+        cache_bw=5.0e9,
+        cache=CacheModel(l1_bytes=32 * 1024, l2_bytes=512 * 1024),
+        loop_overhead=2.5e-7,
+        test_overhead=8.0e-7,
+    ),
+    net=NetworkModel(
+        latency=7.0e-6,
+        node_bw=245e6,
+        ranks_per_node=1,
+        eager_threshold=32 * 1024,
+        max_inflight=4,
+        contention_model="log",
+        contention_coeff=0.55,
+        contention_base=2,
+    ),
+)
+
+HOPPER = Platform(
+    name="Hopper",
+    cpu=CpuModel(
+        flops=2.05e9,
+        mem_bw=3.2e9,
+        cache_bw=8.0e9,
+        cache=CacheModel(l1_bytes=64 * 1024, l2_bytes=512 * 1024),
+        loop_overhead=1.5e-7,
+        test_overhead=5.0e-7,
+    ),
+    net=NetworkModel(
+        latency=1.6e-6,
+        node_bw=8.0e9,
+        ranks_per_node=8,
+        eager_threshold=8 * 1024,
+        max_inflight=8,
+        contention_model="pow",
+        contention_coeff=0.79,
+        contention_expo=0.565,
+        contention_base=8,
+    ),
+)
+
+#: Registry for CLI/bench lookup by name.
+PLATFORMS: dict[str, Platform] = {
+    UMD_CLUSTER.name: UMD_CLUSTER,
+    HOPPER.name: HOPPER,
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look a preset up by name (case-insensitive)."""
+    for key, plat in PLATFORMS.items():
+        if key.lower() == name.lower():
+            return plat
+    raise KeyError(f"unknown platform {name!r}; known: {sorted(PLATFORMS)}")

@@ -1,0 +1,19 @@
+"""Text rendering of reproduced tables and figures."""
+
+from .ascii import format_bars, format_stacked_breakdown, format_table
+from .cdf import format_cdf, summarize_cdf
+from .gantt import occupancy, render_strip, render_traces
+from .markdown import md_section, md_table
+
+__all__ = [
+    "format_bars",
+    "format_cdf",
+    "format_stacked_breakdown",
+    "format_table",
+    "md_section",
+    "occupancy",
+    "render_strip",
+    "render_traces",
+    "md_table",
+    "summarize_cdf",
+]

@@ -1,0 +1,68 @@
+"""Plain-text tables and bar charts for benchmark output.
+
+The benchmark harness prints every reproduced table/figure in a form
+directly comparable with the paper; these helpers keep that formatting
+in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule; floats get 3 decimals."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    srows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(
+    items: Sequence[tuple[str, float]],
+    width: int = 48,
+    unit: str = "s",
+) -> str:
+    """Horizontal ASCII bar chart (used for the Figure 8 breakdowns)."""
+    if not items:
+        return "(empty)"
+    peak = max(v for _, v in items) or 1.0
+    label_w = max(len(k) for k, _ in items)
+    lines = []
+    for k, v in items:
+        n = int(round(width * v / peak))
+        lines.append(f"{k.rjust(label_w)} | {'#' * n}{' ' * (width - n)} {v:.4f}{unit}")
+    return "\n".join(lines)
+
+
+def format_stacked_breakdown(
+    columns: Sequence[tuple[str, dict[str, float]]],
+    labels: Sequence[str],
+) -> str:
+    """Per-variant step breakdown as a label x variant matrix plus
+    totals — the textual equivalent of Figure 8's stacked bars."""
+    headers = ["step"] + [name for name, _ in columns]
+    rows = []
+    for label in labels:
+        rows.append([label] + [bd.get(label, 0.0) for _, bd in columns])
+    rows.append(["TOTAL"] + [sum(bd.values()) for _, bd in columns])
+    return format_table(headers, rows)

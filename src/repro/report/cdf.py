@@ -1,0 +1,51 @@
+"""ASCII cumulative-distribution plot (Figure 5's form)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_cdf(
+    samples: np.ndarray,
+    width: int = 60,
+    height: int = 16,
+    xlabel: str = "time (seconds)",
+) -> str:
+    """Render the empirical CDF of ``samples`` as an ASCII plot.
+
+    X axis spans [min, max] of the samples; Y axis is the cumulative
+    fraction 0..1, like the paper's Figure 5.
+    """
+    xs = np.sort(np.asarray(samples, dtype=float))
+    n = len(xs)
+    if n == 0:
+        return "(no samples)"
+    lo, hi = float(xs[0]), float(xs[-1])
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for i, x in enumerate(xs):
+        frac = (i + 1) / n
+        col = min(width - 1, int((x - lo) / span * (width - 1)))
+        row = min(height - 1, int((1.0 - frac) * (height - 1)))
+        grid[row][col] = "*"
+    lines = []
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<12.4f}{'':^{max(0, width - 24)}}{hi:>12.4f}")
+    lines.append(f"      {xlabel}")
+    return "\n".join(lines)
+
+
+def summarize_cdf(samples: np.ndarray) -> dict[str, float]:
+    """Headline numbers the paper quotes about Figure 5."""
+    xs = np.asarray(samples, dtype=float)
+    return {
+        "min": float(xs.min()),
+        "p1": float(np.percentile(xs, 1)),
+        "median": float(np.percentile(xs, 50)),
+        "p99": float(np.percentile(xs, 99)),
+        "max": float(xs.max()),
+        "spread": float(xs.max() / xs.min()),
+    }

@@ -1,0 +1,87 @@
+"""ASCII Gantt rendering of simulated rank timelines.
+
+Formalizes what ``examples/overlap_timeline.py`` demonstrates: turn a
+rank's recorded ``(t0, t1, label)`` events into a one-line strip (or a
+multi-rank stack), making the computation-communication overlap of the
+paper's Figure 3 directly visible in a terminal.
+"""
+
+from __future__ import annotations
+
+from ..simmpi.engine import RankTrace
+
+#: Default glyphs for the pipeline's step labels.
+DEFAULT_GLYPHS = {
+    "FFTz": "z", "Transpose": "t", "FFTy": "y", "Pack": "p",
+    "Unpack": "u", "FFTx": "x", "Ialltoall": "i", "Wait": "W", "Test": ".",
+}
+
+
+def render_strip(
+    events: list[tuple[float, float, str]],
+    total: float,
+    width: int = 100,
+    glyphs: dict[str, str] | None = None,
+) -> str:
+    """One rank's timeline as a ``width``-character strip.
+
+    Each event paints its proportional span with its glyph, rounded up
+    to at least one cell; when events share a cell, the later-drawn one
+    wins (so sub-character events are visible unless immediately
+    overpainted).
+    """
+    if total <= 0:
+        raise ValueError(f"total must be positive, got {total}")
+    table = glyphs if glyphs is not None else DEFAULT_GLYPHS
+    strip = [" "] * width
+    for t0, t1, label in events:
+        g = table.get(label, "?")
+        c0 = int(t0 / total * (width - 1))
+        c1 = max(c0 + 1, int(t1 / total * (width - 1)) + 1)
+        for c in range(c0, min(c1, width)):
+            strip[c] = g
+    return "".join(strip)
+
+
+def render_traces(
+    traces: list[RankTrace],
+    total: float,
+    width: int = 100,
+    max_ranks: int = 8,
+    glyphs: dict[str, str] | None = None,
+) -> str:
+    """Stack the first ``max_ranks`` ranks' strips with a legend.
+
+    Requires the run to have been made with ``record_events=True``.
+    """
+    table = glyphs if glyphs is not None else DEFAULT_GLYPHS
+    lines = ["legend: " + "  ".join(f"{g}={k}" for k, g in table.items())]
+    for idx, trace in enumerate(traces[:max_ranks]):
+        if trace.events is None:
+            raise ValueError(
+                "traces have no event timelines; run with record_events=True"
+            )
+        lines.append(
+            f"rank {idx:>3} |{render_strip(trace.events, total, width, glyphs)}|"
+        )
+    if len(traces) > max_ranks:
+        lines.append(f"... ({len(traces) - max_ranks} more ranks)")
+    return "\n".join(lines)
+
+
+def occupancy(
+    events: list[tuple[float, float, str]], labels: set[str] | None = None
+) -> float:
+    """Fraction of the rank's span covered by the given labels (all
+    labels when ``None``) — a scalar 'how busy' metric."""
+    if not events:
+        return 0.0
+    span = max(t1 for _t0, t1, _l in events) - min(t0 for t0, _t1, _l in events)
+    if span <= 0:
+        return 0.0
+    covered = sum(
+        t1 - t0
+        for t0, t1, label in events
+        if labels is None or label in labels
+    )
+    return covered / span

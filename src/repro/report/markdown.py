@@ -1,0 +1,27 @@
+"""Markdown rendering for EXPERIMENTS.md-style reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def md_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """GitHub-flavored markdown table; floats get 3 decimals."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def md_section(title: str, body: str, level: int = 2) -> str:
+    """A heading plus body with blank-line separation."""
+    return f"{'#' * level} {title}\n\n{body}\n"

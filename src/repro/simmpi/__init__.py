@@ -1,0 +1,27 @@
+"""Simulated MPI: a deterministic discrete-event cluster.
+
+SPMD programs written against :class:`Communicator` run on virtual ranks
+whose clocks advance through an analytic machine model; non-blocking
+all-to-all follows the paper's *manual progression* semantics (MPI_Test
+drives injection).  See DESIGN.md section 5 for the model.
+"""
+
+from .comm import Communicator, SimContext
+from .engine import Engine, RankTrace
+from .fabric import Fabric
+from .request import AlltoallRequest, P2PRequest, RecvRequest, Request
+from .spmd import SimResult, run_spmd
+
+__all__ = [
+    "AlltoallRequest",
+    "Communicator",
+    "Engine",
+    "Fabric",
+    "P2PRequest",
+    "RankTrace",
+    "RecvRequest",
+    "Request",
+    "SimContext",
+    "SimResult",
+    "run_spmd",
+]

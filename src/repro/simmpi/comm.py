@@ -1,0 +1,428 @@
+"""MPI-like communicator API over the discrete-event engine.
+
+:class:`SimContext` is the per-rank handle an SPMD function receives; its
+``comm`` attribute is the world :class:`Communicator`.  The API mirrors
+the MPI operations the paper's code and common substrates need:
+
+* point-to-point: ``send/recv/isend/irecv/sendrecv``
+* blocking collectives: ``barrier, bcast, reduce, allreduce, gather,
+  allgather, scatter, alltoall, alltoallv``
+* non-blocking: ``ialltoall / ialltoallv`` returning
+  :class:`~repro.simmpi.request.AlltoallRequest`, progressed manually via
+  ``test`` / ``progress_segment`` and finished with ``wait``
+* ``split`` for sub-communicators (used by the 2-D decomposition
+  extension).
+
+Payloads are optional everywhere: in virtual mode callers pass byte
+counts only, in real mode actual numpy arrays travel with the messages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import MPIUsageError
+from .engine import Engine
+from .fabric import P2PMessage
+from .request import AlltoallRequest, P2PRequest, RecvRequest, Request
+
+
+class SimContext:
+    """Per-rank handle: clock control, tracing, and the world comm."""
+
+    def __init__(self, engine: Engine, rank: int) -> None:
+        self.engine = engine
+        self.rank = rank
+        self.size = engine.nprocs
+        self.platform = engine.platform
+        self.cpu = engine.platform.cpu
+        self.comm: "Communicator" = None  # set by Engine.run
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of this rank."""
+        return self.engine.now(self.rank)
+
+    def compute(self, seconds: float, label: str = "compute") -> None:
+        """Advance virtual time by ``seconds`` of local computation."""
+        self.engine.advance(self.rank, seconds, label)
+
+    def compute_with_progress(
+        self,
+        seconds: float,
+        tests: Sequence[tuple[AlltoallRequest, int]],
+        label: str = "compute",
+    ) -> None:
+        """Compute for ``seconds`` while manually progressing requests.
+
+        ``tests`` is a sequence of ``(request, n_tests)``: during the
+        segment the rank calls MPI_Test ``n_tests`` times on each given
+        request (the paper's Algorithms 2-3, where ``Fy/Fp/Fu/Fx`` tests
+        are spread over each computation phase).  Test-call overhead is
+        charged on top of ``seconds`` and traced under ``"Test"``.
+        """
+        t0 = self.now
+        total_tests = 0
+        for req, ntests in tests:
+            if ntests < 0:
+                raise MPIUsageError(f"negative test count {ntests}")
+            if req is not None and ntests > 0:
+                req.progress_segment(t0, seconds, ntests)
+                total_tests += ntests
+        self.engine.advance(self.rank, seconds, label)
+        if total_tests:
+            self.engine.advance(
+                self.rank, total_tests * self.cpu.test_overhead, "Test"
+            )
+
+
+class Communicator:
+    """A group of simulated ranks with MPI-style operations."""
+
+    def __init__(self, ctx: SimContext, group: list[int], comm_id: int) -> None:
+        self.ctx = ctx
+        self.engine = ctx.engine
+        self.fabric = ctx.engine.fabric
+        self.group = group
+        self.comm_id = comm_id
+        if ctx.rank not in group:
+            raise MPIUsageError(f"rank {ctx.rank} not in group {group}")
+        self.rank = group.index(ctx.rank)
+        self.size = len(group)
+
+    # ------------------------------------------------------------------ utils
+
+    def _coll_key(self) -> tuple[int, int]:
+        seqs = self.engine.ranks[self.ctx.rank].coll_seq
+        seq = seqs.get(self.comm_id, 0)
+        seqs[self.comm_id] = seq + 1
+        return (self.comm_id, seq)
+
+    def _charge(self, seconds: float, label: str) -> None:
+        self.engine.advance(self.ctx.rank, seconds, label)
+
+    def _block(self, probe: Callable[[], float | None], label: str) -> float:
+        return self.engine.block(self.ctx.rank, probe, label)
+
+    @property
+    def net(self):
+        """The platform's network model (shortcut)."""
+        return self.fabric.net
+
+    # ------------------------------------------------------------------ p2p
+
+    def send(self, dest: int, nbytes: int, payload: Any = None, tag: int = 0) -> None:
+        """Blocking standard-mode send (completes locally at injection)."""
+        req = self.isend(dest, nbytes, payload, tag)
+        self.wait(req, label="Send")
+
+    def isend(self, dest: int, nbytes: int, payload: Any = None, tag: int = 0) -> P2PRequest:
+        """Non-blocking send; completes locally at injection finish."""
+        if not 0 <= dest < self.size:
+            raise MPIUsageError(f"bad destination {dest} for size {self.size}")
+        t = self.ctx.now
+        world_src = self.group[self.rank]
+        world_dst = self.group[dest]
+        arrivals = self.fabric.inject(
+            world_src, t, np.array([nbytes], dtype=np.int64), np.array([t]), 0.0
+        )
+        self.fabric.post_p2p(
+            P2PMessage(
+                src=world_src,
+                dst=world_dst,
+                tag=tag,
+                nbytes=int(nbytes),
+                arrival=float(arrivals[0]),
+                payload=payload,
+            )
+        )
+        # Local completion: NIC done with this message.
+        return P2PRequest(float(arrivals[0]) - self.net.latency)
+
+    def irecv(self, source: int | None = None, tag: int | None = None) -> RecvRequest:
+        """Non-blocking receive (``None`` source/tag = ANY)."""
+        world_src = None if source is None else self.group[source]
+        return RecvRequest(self.fabric, self.group[self.rank], world_src, tag)
+
+    def recv(self, source: int | None = None, tag: int | None = None):
+        """Blocking receive; returns ``(payload, src, tag, nbytes)`` with
+        ``src`` translated back to this communicator's ranks."""
+        req = self.irecv(source, tag)
+        payload, world_src, mtag, nbytes = self.wait(req, label="Recv")
+        return payload, self.group.index(world_src), mtag, nbytes
+
+    def sendrecv(
+        self, dest: int, nbytes: int, payload: Any = None,
+        source: int | None = None, tag: int = 0,
+    ):
+        """Combined send+recv without deadlock (both posted, then both waited)."""
+        rreq = self.irecv(source, tag)
+        sreq = self.isend(dest, nbytes, payload, tag)
+        self.wait(sreq, label="Send")
+        payload_in, world_src, mtag, nb = self.wait(rreq, label="Recv")
+        return payload_in, self.group.index(world_src), mtag, nb
+
+    # ------------------------------------------------------------ wait/test
+
+    def wait(self, req: Request, label: str = "Wait"):
+        """Block until ``req`` completes; returns the op's result value."""
+        if req.consumed:
+            raise MPIUsageError("request already waited on")
+        t = self.ctx.now
+        if isinstance(req, AlltoallRequest):
+            req.enter_wait(t)
+            if req.completion_probe() is None:
+                # Event-driven wakeup: the peer whose round completes our
+                # arrival row notifies the engine (no polling sweeps).
+                req.op.waiters[req.rank] = self.group[self.rank]
+        done = self._block(req.completion_probe, label)
+        req.consumed = True
+        return req.on_complete(done)
+
+    def waitall(self, reqs: Sequence[Request], label: str = "Wait") -> list[Any]:
+        """Wait on every request; returns their results in order."""
+        return [self.wait(r, label) for r in reqs]
+
+    def test(self, req: Request) -> tuple[bool, Any]:
+        """Non-blocking completion check (one MPI_Test): progresses the
+        request, charges the call overhead, returns ``(flag, result)``."""
+        if req.consumed:
+            raise MPIUsageError("request already waited on")
+        t = self.ctx.now
+        if isinstance(req, AlltoallRequest):
+            flag = req.test(t)
+        else:
+            done = req.completion_probe()
+            flag = done is not None and done <= t
+        self._charge(self.ctx.cpu.test_overhead, "Test")
+        if flag:
+            req.consumed = True
+            return True, req.on_complete(self.ctx.now)
+        # Unsuccessful poll: hand the token back so peers (usually behind
+        # in virtual time) can post the events this rank is waiting for.
+        self.engine.reschedule(self.ctx.rank)
+        return False, None
+
+    # -------------------------------------------------------------- alltoall
+
+    def _alltoall_counts(self, counts) -> np.ndarray:
+        arr = np.asarray(counts, dtype=np.int64)
+        if arr.ndim == 0:
+            arr = np.full(self.size, int(arr), dtype=np.int64)
+        if arr.shape != (self.size,):
+            raise MPIUsageError(
+                f"alltoall counts must be scalar or length {self.size}, got {arr.shape}"
+            )
+        if (arr < 0).any():
+            raise MPIUsageError("negative byte count in alltoall")
+        return arr
+
+    def ialltoall(
+        self,
+        sendcounts,
+        recvcounts=None,
+        payload: list[Any] | None = None,
+    ) -> AlltoallRequest:
+        """Post a non-blocking all-to-all(v).
+
+        ``sendcounts``/``recvcounts`` are bytes per peer (scalar = uniform
+        — plain ``MPI_Ialltoall``; vector = ``MPI_Ialltoallv``).
+        ``payload`` optionally carries one object per destination (real
+        mode).  The returned request is progressed by ``test`` /
+        ``SimContext.compute_with_progress`` and finished by ``wait``.
+        """
+        send = self._alltoall_counts(sendcounts)
+        recv = self._alltoall_counts(
+            recvcounts if recvcounts is not None else sendcounts
+        )
+        if payload is not None and len(payload) != self.size:
+            raise MPIUsageError(
+                f"payload must have one entry per rank ({self.size}), got {len(payload)}"
+            )
+        key = self._coll_key()
+        op = self.fabric.get_coll(key, "alltoall", self.size)
+        req = AlltoallRequest(
+            self.fabric, op, self.rank, self.group, send, recv, payload
+        )
+        self._charge(self.net.post_cost(self.size), "Ialltoall")
+        req.post(self.ctx.now)
+        return req
+
+    # Alias for the explicit-v spelling.
+    ialltoallv = ialltoall
+
+    def alltoall(self, sendcounts, recvcounts=None, payload: list[Any] | None = None):
+        """Blocking all-to-all(v): post then wait (library-resident, so it
+        progresses at full NIC rate — the FFTW-baseline communication)."""
+        req = self.ialltoall(sendcounts, recvcounts, payload)
+        return self.wait(req, label="A2A")
+
+    alltoallv = alltoall
+
+    # ---------------------------------------------------------- collectives
+
+    def _tree_depth(self) -> int:
+        return max(1, math.ceil(math.log2(max(self.size, 2))))
+
+    def _sync_collective(
+        self, kind: str, extra_time: float, label: str,
+        payload: Any = None, root: int | None = None,
+        combine: Callable[[list[Any]], Any] | None = None,
+    ):
+        """Shared implementation of synchronizing collectives.
+
+        Every participant records its entry time in the op; completion is
+        ``max(entries) + extra_time`` for all ranks (a symmetric model of
+        a tree algorithm).  ``payload``/``combine`` implement the data
+        semantics in real mode.
+        """
+        key = self._coll_key()
+        op = self.fabric.get_coll(key, kind, self.size)
+        t = self.ctx.now
+        op.entered[self.rank] = t
+        if payload is not None or combine is not None:
+            op.payload[self.rank] = payload
+        op.meta.setdefault("root", root)
+        if root is not None and op.meta["root"] != root:
+            raise MPIUsageError(f"{kind} called with different roots")
+
+        def probe() -> float | None:
+            if not np.isfinite(op.entered).all():
+                return None
+            return float(op.entered.max()) + extra_time
+
+        self._block(probe, label)
+        result = None
+        if combine is not None:
+            payloads = [op.payload.get(i) for i in range(self.size)]
+            result = combine(payloads)
+        op.meta["done_count"] = op.meta.get("done_count", 0) + 1
+        if op.meta["done_count"] == self.size:
+            self.fabric.release_coll(key)
+        return result
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (dissemination-barrier time model)."""
+        self._sync_collective(
+            "barrier", self._tree_depth() * self.net.latency, "Barrier"
+        )
+
+    def bcast(self, payload: Any = None, nbytes: int = 0, root: int = 0):
+        """Broadcast ``root``'s payload to everyone (binomial-tree model)."""
+        depth = self._tree_depth()
+        t_extra = depth * (self.net.latency + nbytes / self.fabric.rank_rate)
+        me = self.rank
+
+        def combine(payloads: list[Any]):
+            return payloads[root]
+
+        marker = payload if me == root else None
+        return self._sync_collective(
+            "bcast", t_extra, "Bcast", payload=marker, root=root, combine=combine
+        )
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+               nbytes: int = 0, root: int = 0):
+        """Reduce values to ``root`` (returns the reduction on root, the
+        local value elsewhere).  ``op`` defaults to elementwise add."""
+        depth = self._tree_depth()
+        t_extra = depth * (self.net.latency + nbytes / self.fabric.rank_rate)
+        combiner = op if op is not None else (lambda a, b: a + b)
+        me = self.rank
+
+        def combine(payloads: list[Any]):
+            if me != root:
+                return value
+            acc = payloads[0]
+            for item in payloads[1:]:
+                acc = combiner(acc, item)
+            return acc
+
+        return self._sync_collective(
+            "reduce", t_extra, "Reduce", payload=value, root=root, combine=combine
+        )
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+                  nbytes: int = 0):
+        """Reduce-to-all (recursive-doubling time model)."""
+        depth = self._tree_depth()
+        t_extra = depth * (self.net.latency + nbytes / self.fabric.rank_rate)
+        combiner = op if op is not None else (lambda a, b: a + b)
+
+        def combine(payloads: list[Any]):
+            acc = payloads[0]
+            for item in payloads[1:]:
+                acc = combiner(acc, item)
+            return acc
+
+        return self._sync_collective(
+            "allreduce", t_extra, "Allreduce", payload=value, combine=combine
+        )
+
+    def gather(self, value: Any, nbytes: int = 0, root: int = 0):
+        """Gather values to ``root`` (list in rank order on root, else None)."""
+        t_extra = self._tree_depth() * self.net.latency + (
+            (self.size - 1) * nbytes / self.fabric.rank_rate
+        )
+        me = self.rank
+
+        def combine(payloads: list[Any]):
+            return list(payloads) if me == root else None
+
+        return self._sync_collective(
+            "gather", t_extra, "Gather", payload=value, root=root, combine=combine
+        )
+
+    def allgather(self, value: Any, nbytes: int = 0):
+        """Gather values to all ranks (list in rank order)."""
+        t_extra = self._tree_depth() * self.net.latency + (
+            (self.size - 1) * nbytes / self.fabric.rank_rate
+        )
+        return self._sync_collective(
+            "allgather", t_extra, "Allgather", payload=value, combine=list
+        )
+
+    def scatter(self, values: Sequence[Any] | None = None, nbytes: int = 0,
+                root: int = 0):
+        """Scatter ``root``'s list of per-rank values."""
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise MPIUsageError(
+                    f"scatter root must pass {self.size} values"
+                )
+        t_extra = self._tree_depth() * self.net.latency + (
+            (self.size - 1) * nbytes / self.fabric.rank_rate
+        )
+        me = self.rank
+
+        def combine(payloads: list[Any]):
+            return payloads[root][me] if payloads[root] is not None else None
+
+        marker = list(values) if self.rank == root else None
+        return self._sync_collective(
+            "scatter", t_extra, "Scatter", payload=marker, root=root, combine=combine
+        )
+
+    # -------------------------------------------------------------------- split
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition the communicator by ``color`` (MPI_Comm_split).
+
+        Ranks with equal color form a new communicator ordered by
+        ``key`` (default: current rank).  Collective — all members must
+        call it.
+        """
+        me_key = self.rank if key is None else key
+        triples = self.allgather((color, me_key, self.group[self.rank]))
+        mine = sorted(
+            (k, wr) for (c, k, wr) in triples if c == color
+        )
+        new_group = [wr for (_k, wr) in mine]
+        # Communicator ids must be shared by the members and distinct
+        # across colors: agree on the minimum of the per-rank draws over
+        # the *parent*, then qualify it with the color.
+        agreed = self.allreduce(self.engine.new_comm_id(), op=min)
+        return Communicator(self.ctx, new_group, (agreed, color))

@@ -1,0 +1,307 @@
+"""Deterministic discrete-event engine for the simulated cluster.
+
+Each simulated rank runs as a real Python thread executing ordinary
+Python code (the SPMD function), but exactly one rank thread is awake at
+any moment: the scheduler always resumes the rank with the smallest
+*virtual* clock.  This single-token, min-time policy gives conservative
+parallel-discrete-event correctness — when a rank at virtual time ``t``
+runs, every peer's clock is already ``>= t``, so every message that could
+influence it by time ``t`` has been posted — and bit-for-bit determinism
+(ties break by rank id).
+
+Virtual time advances only through :meth:`SimContext.compute` /
+communication calls; real numpy work done by the rank costs *zero*
+virtual time.  Blocking operations hand the scheduler a *probe*: a
+callable returning the operation's completion time once that time is
+determined by already-posted events, or ``None`` while it is not.
+
+Two scheduling liberties keep the simulation fast without breaking the
+model: (1) a running rank keeps the token through local compute and
+non-blocking communication — every cross-rank interaction is a
+*timestamped final value* (NIC schedules, message arrival times), so
+running ahead of a peer's virtual clock cannot change any outcome that a
+blocking operation observes; (2) blocked ranks are woken event-driven —
+the peer whose send completes an all-to-all arrival row pushes the
+waiter onto a completion-time heap instead of the scheduler polling.
+The one visible consequence: a non-blocking ``test()`` may
+conservatively report "not done" for an exchange whose peers have not
+been simulated far enough yet; completion *times* (via ``wait``) are
+exact either way.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import DeadlockError, SimulationError
+from ..machine.platforms import Platform
+from .fabric import Fabric
+
+_STACK_SIZE = 512 * 1024  # rank threads are shallow; keep 256-rank jobs light
+
+
+@dataclass
+class RankTrace:
+    """Per-rank accounting of virtual time by step label."""
+
+    by_label: dict[str, float] = field(default_factory=dict)
+    events: list[tuple[float, float, str]] | None = None
+
+    def add(self, t0: float, t1: float, label: str) -> None:
+        """Record one event and accumulate its span under ``label``."""
+        if t1 < t0:
+            raise SimulationError(f"negative-duration event {label}: {t0}..{t1}")
+        self.by_label[label] = self.by_label.get(label, 0.0) + (t1 - t0)
+        if self.events is not None:
+            self.events.append((t0, t1, label))
+
+
+class _Rank:
+    """Scheduler-side bookkeeping for one rank thread."""
+
+    __slots__ = (
+        "idx", "clock", "state", "event", "probe", "probe_label",
+        "thread", "result", "exc", "trace", "coll_seq",
+    )
+
+    def __init__(self, idx: int, record_events: bool) -> None:
+        self.idx = idx
+        self.clock = 0.0
+        self.state = "ready"  # ready | running | blocked | done
+        self.event = threading.Event()
+        self.probe: Callable[[], float | None] | None = None
+        self.probe_label = ""
+        self.thread: threading.Thread | None = None
+        self.result: Any = None
+        self.exc: BaseException | None = None
+        self.trace = RankTrace(events=[] if record_events else None)
+        self.coll_seq: dict[int, int] = {}  # per-communicator collective counter
+
+
+class Engine:
+    """Runs an SPMD function over ``nprocs`` simulated ranks."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        platform: Platform,
+        record_events: bool = False,
+    ) -> None:
+        self.nprocs = nprocs
+        self.platform = platform
+        self.fabric = Fabric(platform, nprocs)
+        self.ranks = [_Rank(i, record_events) for i in range(nprocs)]
+        self._sched_event = threading.Event()
+        self._comm_counter = 0
+        self._blocked: set[int] = set()
+        #: (completion time, idx) heap of blocked ranks whose completion
+        #: is already determinable (fed by Fabric.notify_rank / block())
+        self._ready_heap: list[tuple[float, int]] = []
+        self.fabric.notify_rank = self._notify
+
+    def _notify(self, world_rank: int) -> None:
+        """A blocked rank's pending operation became determinable."""
+        if world_rank in self._blocked:
+            self._blocked.discard(world_rank)
+            r = self.ranks[world_rank]
+            t = r.probe()
+            if t is None:  # pragma: no cover - defensive
+                self._blocked.add(world_rank)
+                return
+            heapq.heappush(self._ready_heap, (max(t, r.clock), world_rank))
+
+    # -- identifiers ---------------------------------------------------------
+
+    def new_comm_id(self) -> int:
+        """Fresh communicator id (engine-unique)."""
+        self._comm_counter += 1
+        return self._comm_counter
+
+    # -- rank-side primitives (called while holding the token) ---------------
+
+    def now(self, rank: int) -> float:
+        """Virtual clock of ``rank``."""
+        return self.ranks[rank].clock
+
+    def advance(self, rank: int, dt: float, label: str) -> None:
+        """Advance ``rank``'s clock by ``dt`` seconds (keeps the token:
+        local work cannot affect peers except through timestamped posts,
+        so no reschedule is needed until the rank blocks)."""
+        if dt < 0:
+            raise SimulationError(f"negative time advance {dt} ({label})")
+        r = self.ranks[rank]
+        r.trace.add(r.clock, r.clock + dt, label)
+        r.clock += dt
+
+    def reschedule(self, rank: int) -> None:
+        """Yield the token without blocking (stay ready).
+
+        Used by polling patterns (``while not test(): ...``): the polling
+        rank has usually run ahead of its peers' virtual clocks, so
+        giving the token back lets them post the events the poll is
+        looking for.
+        """
+        self._yield(self.ranks[rank])
+
+    def block(
+        self,
+        rank: int,
+        probe: Callable[[], float | None],
+        label: str,
+    ) -> float:
+        """Suspend ``rank`` until ``probe`` yields a completion time.
+
+        Returns the completion time; the rank's clock is advanced to it
+        and the blocked interval is traced under ``label``.
+        """
+        r = self.ranks[rank]
+        t0 = r.clock
+        r.state = "blocked"
+        r.probe = probe
+        r.probe_label = label
+        t_ready = probe()
+        if t_ready is not None:
+            heapq.heappush(self._ready_heap, (max(t_ready, r.clock), rank))
+        else:
+            self._blocked.add(rank)
+        self._yield(r, keep_state=True)
+        # Scheduler set clock to the completion time before resuming us.
+        r.trace.add(t0, r.clock, label)
+        return r.clock
+
+    def _yield(self, r: _Rank, keep_state: bool = False) -> None:
+        if not keep_state:
+            r.state = "ready"
+        self._sched_event.set()
+        r.event.wait()
+        r.event.clear()
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Execute ``fn(ctx, *args, **kwargs)`` on every rank; returns the
+        per-rank return values.  Any rank exception is re-raised."""
+        from .comm import Communicator, SimContext  # cycle-free at runtime
+
+        world = list(range(self.nprocs))
+
+        def main(rank_idx: int) -> None:
+            r = self.ranks[rank_idx]
+            r.event.wait()  # wait to be scheduled the first time
+            r.event.clear()
+            ctx = SimContext(self, rank_idx)
+            ctx.comm = Communicator(ctx, group=world, comm_id=0)
+            try:
+                r.result = fn(ctx, *args, **kwargs)
+            except BaseException as exc:  # surfaced by the scheduler
+                r.exc = exc
+            finally:
+                r.state = "done"
+                self._sched_event.set()
+
+        old_stack = threading.stack_size(_STACK_SIZE)
+        try:
+            for r in self.ranks:
+                r.thread = threading.Thread(
+                    target=main, args=(r.idx,), name=f"simrank-{r.idx}", daemon=True
+                )
+                r.thread.start()
+        finally:
+            threading.stack_size(old_stack)
+
+        try:
+            self._schedule()
+        finally:
+            for r in self.ranks:
+                if r.thread is not None and r.thread.is_alive() and r.state != "done":
+                    # A failed run leaves threads parked; they are daemons
+                    # and die with the process, but unblock what we can.
+                    r.state = "done"
+        for r in self.ranks:
+            if r.exc is not None:
+                raise SimulationError(f"rank {r.idx} failed") from r.exc
+        return [r.result for r in self.ranks]
+
+    def _schedule(self) -> None:
+        ranks = self.ranks
+        # Lazy min-heap of (clock, idx) for ready ranks; stale entries
+        # (rank no longer ready, or re-queued with a newer clock) are
+        # discarded on pop.  Blocked ranks are probed only when the heap
+        # runs dry, which is when their completion can matter.
+        heap: list[tuple[float, int]] = [(r.clock, r.idx) for r in ranks]
+        heapq.heapify(heap)
+        while True:
+            best: _Rank | None = None
+            while heap:
+                clock, idx = heapq.heappop(heap)
+                cand = ranks[idx]
+                if cand.state == "ready" and cand.clock == clock:
+                    best = cand
+                    break
+            if best is None:
+                best, best_t = self._pick_blocked()
+                if best is None:
+                    if all(r.state == "done" for r in ranks):
+                        return
+                    self._raise_deadlock()
+                best.clock = best_t
+                best.probe = None
+                self._blocked.discard(best.idx)
+            best.state = "running"
+            self._sched_event.clear()
+            best.event.set()
+            self._sched_event.wait()
+            if best.exc is not None:
+                # Fail fast: other ranks are parked; run() reports.
+                return
+            if best.state == "ready":
+                heapq.heappush(heap, (best.clock, best.idx))
+
+    def _pick_blocked(self) -> tuple["_Rank | None", float | None]:
+        """Earliest-completing blocked rank, or (None, None).
+
+        The event-fed completion heap serves the hot path (all-to-all
+        waits); the full ``_blocked`` sweep only runs when the heap is
+        empty (operations without a notification hook: p2p receives,
+        synchronizing collectives)."""
+        ranks = self.ranks
+        while self._ready_heap:
+            t, idx = heapq.heappop(self._ready_heap)
+            r = ranks[idx]
+            if r.state == "blocked":
+                return r, t
+        best: _Rank | None = None
+        best_t: float | None = None
+        for idx in self._blocked:
+            r = ranks[idx]
+            t = r.probe()
+            if t is None:
+                continue
+            t = max(t, r.clock)
+            if best_t is None or t < best_t:
+                best, best_t = r, t
+        return best, best_t
+
+    def _raise_deadlock(self) -> None:
+        blocked = [
+            f"rank {r.idx} @t={r.clock:.6f} blocked on {r.probe_label!r}"
+            for r in self.ranks
+            if r.state == "blocked"
+        ]
+        raise DeadlockError(
+            "simulation deadlock: no rank can make progress\n  " + "\n  ".join(blocked)
+        )
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def final_time(self) -> float:
+        """Virtual completion time of the slowest rank."""
+        return max(r.clock for r in self.ranks)
+
+    def traces(self) -> list[RankTrace]:
+        """Per-rank time accounting, indexed by rank."""
+        return [r.trace for r in self.ranks]

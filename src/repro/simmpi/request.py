@@ -1,0 +1,369 @@
+"""Request objects for non-blocking simulated-MPI operations.
+
+The central class is :class:`AlltoallRequest`, which models the paper's
+``MPI_Ialltoall`` with *manual progression* semantics: like LibNBC's
+schedule, the collective advances in **rounds** of up to ``max_inflight``
+point-to-point sends, and a new round can start only at a *library
+entry* that happens after the previous round completed.  Between library
+entries nothing is posted — this is why too low an ``MPI_Test``
+frequency stalls the exchange (Section 3.3), and why a variant that
+never tests during Unpack/FFTx (TH) leaves rounds exposed at Wait.
+
+Library entries come in three forms:
+
+* ``post`` — the initial ``MPI_Ialltoall`` call starts round one;
+* ``progress_segment(t0, D, F)`` — the owner computes for ``D`` seconds
+  while calling ``MPI_Test`` ``F`` times at evenly spaced epochs; each
+  epoch that finds the previous round finished posts the next round
+  (the knob the paper's ``Fy/Fp/Fu/Fx`` parameters turn);
+* ``enter_wait`` — ``MPI_Wait`` parks the owner in the library, so the
+  remaining rounds run back-to-back at full NIC rate.
+
+Completion requires (a) all own rounds finished and (b) all incoming
+messages delivered, which is what :meth:`completion_probe` computes for
+the engine scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import MPIUsageError
+from .fabric import CollOp, Fabric
+
+#: rotation orders are identical for every exchange of the same shape;
+#: cache them per (rank, group size)
+_ORDER_CACHE: dict[tuple[int, int], list[int]] = {}
+
+
+def _rotation_order(rank: int, p: int) -> list[int]:
+    order = _ORDER_CACHE.get((rank, p))
+    if order is None:
+        order = [(rank + k) % p for k in range(1, p)]
+        _ORDER_CACHE[(rank, p)] = order
+    return order
+
+
+class Request:
+    """Base class for non-blocking operation handles."""
+
+    #: set True once wait() returned; reuse raises.
+    consumed: bool = False
+
+    def completion_probe(self) -> float | None:
+        """Earliest virtual time at which the operation is complete, or
+        ``None`` if not yet determinable from posted events."""
+        raise NotImplementedError
+
+    def on_complete(self, t: float) -> Any:
+        """Hook run when the owner observes completion (payload handoff)."""
+        return None
+
+
+class AlltoallRequest(Request):
+    """Non-blocking all-to-all(v) with manual progression.
+
+    Parameters
+    ----------
+    fabric, op:
+        Shared network state and the collective instance record.
+    rank:
+        Owner's index within the participating group.
+    group:
+        World ranks of the participants (``group[rank]`` is the owner).
+    sendcounts:
+        Bytes destined to each group member (vector form supports
+        alltoallv; the owner's own slot is copied locally for free).
+    recvcounts:
+        Bytes expected from each member (used for assembly bookkeeping).
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        op: CollOp,
+        rank: int,
+        group: list[int],
+        sendcounts: np.ndarray,
+        recvcounts: np.ndarray,
+        payload: list[Any] | None = None,
+    ) -> None:
+        p = len(group)
+        if len(sendcounts) != p or len(recvcounts) != p:
+            raise MPIUsageError(
+                f"alltoall counts must have length {p}, got "
+                f"{len(sendcounts)}/{len(recvcounts)}"
+            )
+        self.fabric = fabric
+        self.op = op
+        self.rank = rank
+        self.group = group
+        self.sendcounts = np.asarray(sendcounts, dtype=np.int64)
+        self.recvcounts = np.asarray(recvcounts, dtype=np.int64)
+        # Injection order: rank+1, rank+2, ... (pairwise-style rotation).
+        self._pending = _rotation_order(rank, p)
+        self._sendcounts_list = self.sendcounts.tolist()
+        self._next = 0
+        self._own_finish = 0.0
+        self._round_ready = 0.0
+        self._entered_wait = False
+        if payload is not None:
+            op.payload[rank] = payload
+        #: diagnostics: number of library entries that progressed this op
+        self.progress_entries = 0
+        #: completion time once determined (arrivals are final when
+        #: posted, so the value never changes afterwards)
+        self._cached_completion: float | None = None
+
+    # -- progression --------------------------------------------------------
+
+    def remaining_sends(self) -> int:
+        """Messages not yet handed to the NIC."""
+        return len(self._pending) - self._next
+
+    def _post_round(self, t_post: float, epoch_gap: float) -> None:
+        """Post the next round: up to ``max_inflight`` pending sends."""
+        count = min(self.fabric.net.max_inflight, self.remaining_sends())
+        if count == 0:
+            return
+        dests = self._pending[self._next : self._next + count]
+        sc = self._sendcounts_list
+        sizes = [sc[d] for d in dests]
+        arrivals = self.fabric.inject_round(
+            self.group[self.rank], t_post, sizes, epoch_gap
+        )
+        row = self.op.arrivals[self.rank]
+        counts = self.op.posted_count
+        p = self.op.p
+        waiters = self.op.waiters
+        notify = self.fabric.notify_rank
+        for d, a in zip(dests, arrivals):
+            row[d] = a
+            counts[d] += 1
+            if counts[d] >= p and waiters:
+                w = waiters.pop(d, None)
+                if w is not None and notify is not None:
+                    notify(w)
+        if arrivals[-1] > self._own_finish:
+            self._own_finish = arrivals[-1]
+        #: a new round may be posted at the first library entry at or
+        #: after this time (the LibNBC round barrier)
+        self._round_ready = self._own_finish
+        self._next += count
+
+    def post(self, t: float) -> None:
+        """Initial library entry (the Ialltoall call itself)."""
+        self.op.arrivals[self.rank, self.rank] = t  # self-delivery is free
+        self.op.posted_count[self.rank] += 1
+        self.op.entered[self.rank] = t
+        self._round_ready = t
+        self._post_round(t, 0.0)
+        self.progress_entries += 1
+
+    def progress_segment(self, t0: float, duration: float, ntests: int) -> None:
+        """Model ``ntests`` MPI_Test calls spread over ``[t0, t0+duration]``.
+
+        Test ``j`` (1-based) happens at ``t0 + j*gap`` with
+        ``gap = duration/(ntests+1)``; an epoch that finds the previous
+        round complete posts the next one.  Processing is O(rounds), so
+        huge ``F`` values cost the *simulated* program time (test-call
+        overhead, charged by the caller) but not simulator time.
+        """
+        if ntests <= 0:
+            return
+        self.progress_entries += 1
+        if self.remaining_sends() == 0 or duration <= 0:
+            return
+        gap = duration / (ntests + 1)
+        # Tight scalar loop: one iteration per posted round, with the
+        # NIC/arrival math inlined (this path runs O(p/max_inflight)
+        # times per tile per rank and dominates simulator cost at scale).
+        fabric = self.fabric
+        net = fabric.net
+        rank_w = self.group[self.rank]
+        rate = fabric.rank_rate
+        lat = net.latency
+        thr = net.eager_threshold
+        infl = net.max_inflight
+        rdv = 2.0 * lat + 0.5 * gap
+        sc = self._sendcounts_list
+        pending = self._pending
+        row = self.op.arrivals[self.rank]
+        counts = self.op.posted_count
+        p = self.op.p
+        waiters = self.op.waiters
+        notify = fabric.notify_rank
+        nic = float(fabric.nic_free[rank_w])
+        total_bytes = 0
+        k = 0  # index of the last used epoch (1-based over 1..ntests)
+        n = len(pending)
+        ready = self._round_ready
+        own = self._own_finish
+        while self._next < n:
+            # First epoch at or after the previous round's completion.
+            k_needed = (ready - t0) / gap
+            k_needed = int(k_needed) + (k_needed > int(k_needed))
+            if k_needed <= k:
+                k_needed = k + 1
+            if k_needed > ntests:
+                break  # no more library entries in this segment
+            k = k_needed
+            t_post = t0 + k * gap
+            if t_post > nic:
+                nic = t_post
+            stop = min(self._next + infl, n)
+            last_arrival = 0.0
+            for j in range(self._next, stop):
+                d = pending[j]
+                sz = sc[d]
+                nic += sz / rate
+                a = nic + lat + (rdv if sz > thr else 0.0)
+                row[d] = a
+                counts[d] += 1
+                if counts[d] >= p and waiters:
+                    w = waiters.pop(d, None)
+                    if w is not None and notify is not None:
+                        notify(w)
+                total_bytes += sz
+                last_arrival = a
+            self._next = stop
+            if last_arrival > own:
+                own = last_arrival
+            ready = own
+        fabric.nic_free[rank_w] = nic
+        fabric.bytes_injected[rank_w] += total_bytes
+        self._own_finish = own
+        self._round_ready = ready
+
+    def test(self, t: float) -> bool:
+        """One explicit MPI_Test at time ``t``: progress, then poll."""
+        if self.remaining_sends() and t >= self._round_ready:
+            self._post_round(t, 0.0)
+        self.progress_entries += 1
+        done_time = self.completion_probe()
+        return done_time is not None and done_time <= t
+
+    def enter_wait(self, t: float) -> None:
+        """MPI_Wait entry: run the remaining rounds back-to-back."""
+        if self.remaining_sends():
+            self._flush_rounds(max(t, self._round_ready))
+        self._entered_wait = True
+        self._wait_entry = t
+        self.progress_entries += 1
+
+    def _flush_rounds(self, t0: float) -> None:
+        """Post every remaining round, library-resident (gap = 0).
+
+        Uniform message sizes (plain alltoall) take a closed-form path:
+        within a round messages serialize on the NIC; each round barrier
+        costs the previous round's delivery (latency, plus the
+        rendezvous handshake for large messages).  Mixed sizes
+        (alltoallv) fall back to the per-round loop.
+        """
+        sc = self._sendcounts_list
+        dests = self._pending[self._next :]
+        sizes = [sc[d] for d in dests]
+        if len(set(sizes)) != 1:
+            while self.remaining_sends():
+                self._post_round(max(t0, self._round_ready), 0.0)
+            return
+        m = sizes[0]
+        fabric = self.fabric
+        net = fabric.net
+        infl = net.max_inflight
+        n = len(dests)
+        rank = self.group[self.rank]
+        dur = m / fabric.rank_rate
+        rdv = 2.0 * net.latency if m > net.eager_threshold else 0.0
+        barrier = net.latency + rdv  # delivery gap between rounds
+        start0 = max(t0, float(fabric.nic_free[rank]))
+        j = np.arange(n)
+        ridx = j // infl
+        finish = start0 + (j + 1) * dur + ridx * barrier
+        arrivals = finish + net.latency + rdv
+        row = self.op.arrivals[self.rank]
+        counts = self.op.posted_count
+        p = self.op.p
+        dests_arr = np.asarray(dests)
+        row[dests_arr] = arrivals
+        counts[dests_arr] += 1  # destinations are unique within a request
+        waiters = self.op.waiters
+        if waiters:
+            notify = fabric.notify_rank
+            for d in dests_arr[counts[dests_arr] >= p]:
+                w = waiters.pop(int(d), None)
+                if w is not None and notify is not None:
+                    notify(w)
+        fabric.nic_free[rank] = float(finish[-1])
+        fabric.bytes_injected[rank] += m * n
+        self._own_finish = max(self._own_finish, float(arrivals[-1]))
+        self._round_ready = self._own_finish
+        self._next += n
+
+    # -- completion -----------------------------------------------------------
+
+    def completion_probe(self) -> float | None:
+        if self._cached_completion is None:
+            if self.remaining_sends():
+                return None
+            if not self.op.row_complete(self.rank):
+                return None
+            self._cached_completion = max(
+                self._own_finish, self.op.incoming_max(self.rank)
+            )
+        t = self._cached_completion
+        if self._entered_wait:
+            t = max(t, self._wait_entry)
+        return t
+
+    def on_complete(self, t: float) -> list[Any] | None:
+        """Assemble received chunks (real-payload mode) in group order,
+        and free the shared op record once every participant finished."""
+        payloads = self.op.payload
+        out: list[Any] | None = None
+        if payloads:
+            out = []
+            for src in range(len(self.group)):
+                chunks = payloads.get(src)
+                out.append(None if chunks is None else chunks[self.rank])
+        done = self.op.meta.get("done_count", 0) + 1
+        self.op.meta["done_count"] = done
+        if done == len(self.group):
+            self.fabric.release_coll(self.op.key)
+        return out
+
+
+class P2PRequest(Request):
+    """Handle for isend (completion = injection done) — trivially timed."""
+
+    def __init__(self, finish_time: float) -> None:
+        self.finish_time = finish_time
+
+    def completion_probe(self) -> float | None:
+        return self.finish_time
+
+
+class RecvRequest(Request):
+    """Handle for irecv: completes when a matching message is delivered."""
+
+    def __init__(self, fabric: Fabric, dst: int, src: int | None, tag: int | None) -> None:
+        self.fabric = fabric
+        self.dst = dst
+        self.src = src
+        self.tag = tag
+        self._matched = None
+
+    def completion_probe(self) -> float | None:
+        if self._matched is None:
+            msg = self.fabric.match_p2p(self.dst, self.src, self.tag)
+            if msg is None:
+                return None
+            self.fabric.take_p2p(msg)
+            self._matched = msg
+        return self._matched.arrival
+
+    def on_complete(self, t: float):
+        msg = self._matched
+        return (msg.payload, msg.src, msg.tag, msg.nbytes)

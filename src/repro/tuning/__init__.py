@@ -1,0 +1,40 @@
+"""Auto-tuning: Active-Harmony-style Nelder-Mead search with the paper's
+penalty / history / skip / log-reduction / initial-simplex techniques."""
+
+from .coordinate import CoordinateDescent
+from .gridsearch import exhaustive_search, sweep_parameter
+from .harmony import (
+    Evaluation,
+    HarmonyClient,
+    HarmonyServer,
+    TuningSession,
+    run_tuning_loop,
+)
+from .initial import initial_simplex
+from .neldermead import NelderMead
+from .random_search import RandomSearchResult, random_search, sample_params
+from .space import Dimension, SearchSpace
+from .store import TuningStore
+from .tuner import TuningResult, autotune, fftw_tuning_time
+
+__all__ = [
+    "CoordinateDescent",
+    "Dimension",
+    "Evaluation",
+    "HarmonyClient",
+    "HarmonyServer",
+    "NelderMead",
+    "RandomSearchResult",
+    "SearchSpace",
+    "TuningResult",
+    "TuningSession",
+    "TuningStore",
+    "autotune",
+    "exhaustive_search",
+    "fftw_tuning_time",
+    "initial_simplex",
+    "random_search",
+    "run_tuning_loop",
+    "sample_params",
+    "sweep_parameter",
+]

@@ -1,0 +1,116 @@
+"""Cyclic coordinate descent — an alternative search strategy.
+
+Section 7: "we plan to try optimization strategies other than
+Nelder-Mead."  Coordinate descent is the natural first candidate for a
+log-reduced integer grid: sweep one parameter at a time around the
+current best, accept improvements, and cycle until a full pass changes
+nothing.  It exposes the same ask/tell interface as
+:class:`~repro.tuning.neldermead.NelderMead`, so it plugs into the same
+Harmony server/client loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TuningError
+
+
+class CoordinateDescent:
+    """Ask/tell cyclic coordinate descent over index space.
+
+    Parameters
+    ----------
+    start:
+        Initial index-space point (d integers as floats).
+    dim_sizes:
+        Candidate-list length per dimension (bounds the probes).
+    span:
+        Offsets probed around the incumbent in each sweep (default
+        ``(-2, -1, +1, +2)``).
+    """
+
+    def __init__(
+        self,
+        start: np.ndarray,
+        dim_sizes: list[int],
+        span: tuple[int, ...] = (-2, -1, 1, 2),
+    ) -> None:
+        self.x = np.asarray(start, dtype=np.float64).copy()
+        if self.x.ndim != 1:
+            raise TuningError(f"start must be 1-D, got shape {self.x.shape}")
+        if len(dim_sizes) != len(self.x):
+            raise TuningError("dim_sizes must match the point's arity")
+        self.dim_sizes = list(dim_sizes)
+        self.span = tuple(span)
+        self.ndim = len(self.x)
+        self.best_value = np.inf
+        self._evaluated_start = False
+        self._dim = 0
+        self._probe_idx = 0
+        self._pending: np.ndarray | None = None
+        self._improved_this_cycle = False
+        self._done = False
+
+    # -- protocol -----------------------------------------------------------
+
+    @property
+    def converged(self) -> bool:
+        """True once a full sweep produced no improvement."""
+        return self._done
+
+    def best(self) -> tuple[np.ndarray, float]:
+        """Incumbent point and its objective value."""
+        return self.x.copy(), float(self.best_value)
+
+    def _next_probe(self) -> np.ndarray | None:
+        """Next in-bounds probe point, advancing the sweep state."""
+        while True:
+            if self._probe_idx >= len(self.span):
+                self._probe_idx = 0
+                self._dim += 1
+                if self._dim >= self.ndim:
+                    if not self._improved_this_cycle:
+                        self._done = True
+                        return None
+                    self._dim = 0
+                    self._improved_this_cycle = False
+            offset = self.span[self._probe_idx]
+            self._probe_idx += 1
+            cand = self.x.copy()
+            cand[self._dim] += offset
+            if 0 <= cand[self._dim] < self.dim_sizes[self._dim]:
+                return cand
+
+    def ask(self) -> np.ndarray:
+        """Next point to evaluate."""
+        if self._done:
+            raise TuningError("search already converged")
+        if self._pending is not None:
+            return self._pending.copy()
+        if not self._evaluated_start:
+            self._pending = self.x.copy()
+            return self._pending.copy()
+        nxt = self._next_probe()
+        if nxt is None:  # converged during advance
+            # Return the incumbent; tell() will be a no-op record.
+            self._pending = self.x.copy()
+        else:
+            self._pending = nxt
+        return self._pending.copy()
+
+    def tell(self, x: np.ndarray, value: float) -> None:
+        """Report the objective for the point last returned by ask()."""
+        if self._pending is None or not np.allclose(x, self._pending):
+            raise TuningError("tell() must answer the last ask()")
+        self._pending = None
+        if not self._evaluated_start:
+            self._evaluated_start = True
+            self.best_value = value
+            return
+        if value < self.best_value:
+            self.best_value = value
+            self.x = np.asarray(x, dtype=np.float64).copy()
+            self._improved_this_cycle = True
+            # Restart the sweep of this dimension around the new point.
+            self._probe_idx = 0

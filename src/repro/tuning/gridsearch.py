@@ -1,0 +1,91 @@
+"""Exhaustive / coordinate sweeps over the reduced space.
+
+Not part of the paper's method (the whole point of Section 4 is that the
+full space is too big), but essential tooling: the ablation benchmarks
+sweep one parameter at a time to show each knob's effect, and tiny
+problems can be searched exhaustively to bound how far Nelder-Mead lands
+from the true grid optimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from ..core.params import ProblemShape, TuningParams
+from ..core.variants import VariantSpec, baseline_params, get_variant
+from ..machine.platforms import Platform
+from .space import SearchSpace
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated configuration in a sweep."""
+
+    params: TuningParams
+    value: int          # the swept parameter's value (for 1-D sweeps)
+    objective: float
+
+
+def sweep_parameter(
+    variant: str | VariantSpec,
+    platform: Platform,
+    shape: ProblemShape,
+    name: str,
+    base: TuningParams | None = None,
+    include_fixed_steps: bool = True,
+) -> list[SweepPoint]:
+    """Vary one parameter over its candidate list, others fixed at
+    ``base``; skips infeasible combinations."""
+    from ..core.api import run_case
+
+    spec = get_variant(variant) if isinstance(variant, str) else variant
+    if base is None:
+        base = baseline_params(spec, shape)
+    space = SearchSpace(shape, (name,))
+    out: list[SweepPoint] = []
+    for value in space.dims[0].values:
+        params = base.replace(**{name: value})
+        if not params.is_feasible(shape):
+            continue
+        res, _ = run_case(
+            spec, platform, shape, params, include_fixed_steps=include_fixed_steps
+        )
+        out.append(SweepPoint(params=params, value=value, objective=res.elapsed))
+    return out
+
+
+def exhaustive_search(
+    variant: str | VariantSpec,
+    platform: Platform,
+    shape: ProblemShape,
+    max_points: int = 20000,
+    include_fixed_steps: bool = False,
+) -> tuple[TuningParams, float, int]:
+    """Evaluate every feasible grid point (small spaces only).
+
+    Returns ``(best_params, best_objective, n_evaluated)``; raises
+    :class:`ValueError` if the grid exceeds ``max_points``.
+    """
+    from ..core.api import run_case
+
+    spec = get_variant(variant) if isinstance(variant, str) else variant
+    base = baseline_params(spec, shape)
+    space = SearchSpace(shape, spec.tunable)
+    if space.size() > max_points:
+        raise ValueError(
+            f"grid has {space.size()} points, over the {max_points} limit"
+        )
+    best_params, best_val, n = None, math.inf, 0
+    for idx in itertools.product(*(range(len(d)) for d in space.dims)):
+        params = space.params_at(idx, base)
+        if not params.is_feasible(shape):
+            continue
+        res, _ = run_case(
+            spec, platform, shape, params, include_fixed_steps=include_fixed_steps
+        )
+        n += 1
+        if res.elapsed < best_val:
+            best_params, best_val = params, res.elapsed
+    return best_params, best_val, n

@@ -1,0 +1,41 @@
+"""Initial-simplex construction (Section 4.4, technique 5).
+
+"We construct an initial simplex by first defining a default point and
+determining the other ten points around the default point."  The default
+point is :func:`repro.core.params.default_params` (T = Nz/16, W = 2,
+cache-sized sub-tiles, F* = p/2); the remaining d points perturb one
+index coordinate each, stepping toward whichever side has room.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.params import ProblemShape, TuningParams, default_params
+from .space import SearchSpace
+
+
+def initial_simplex(
+    space: SearchSpace,
+    shape: ProblemShape,
+    base: TuningParams | None = None,
+    step: int = 2,
+) -> np.ndarray:
+    """Build the (d+1) x d index-space starting simplex.
+
+    Vertex 0 is the default point; vertex i+1 moves coordinate ``i`` by
+    ``step`` grid indices (downward when the upper end has no room), so
+    the simplex is non-degenerate and stays mostly in bounds.
+    """
+    if base is None:
+        base = default_params(shape)
+    center = np.array(space.index_of(base), dtype=np.float64)
+    d = space.ndim
+    simplex = np.tile(center, (d + 1, 1))
+    for i, dim in enumerate(space.dims):
+        hi = len(dim) - 1
+        delta = step if center[i] + step <= hi else -step
+        if center[i] + delta < 0:
+            delta = max(1, hi - int(center[i]))  # tiny dimension: go up
+        simplex[i + 1, i] = center[i] + delta
+    return simplex

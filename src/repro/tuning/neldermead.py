@@ -1,0 +1,204 @@
+"""Nelder-Mead simplex search (Nelder & Mead 1965), from scratch.
+
+This is the search strategy Active Harmony runs for the paper (Section
+4.3).  The implementation is the standard reflect / expand / contract /
+shrink scheme over a (d+1)-point simplex in continuous space, exposed as
+an *ask/tell* generator so the Harmony server can own the control loop:
+
+    nm = NelderMead(initial_simplex)
+    while not nm.converged:
+        x = nm.ask()
+        nm.tell(x, objective(x))
+
+``tell`` accepts ``inf`` objectives, which is how infeasible penalized
+configurations steer the simplex back into the feasible region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TuningError
+
+
+class NelderMead:
+    """Ask/tell Nelder-Mead minimizer.
+
+    Parameters
+    ----------
+    initial_simplex:
+        ``(d+1) x d`` array of starting points.
+    alpha, gamma, rho, sigma:
+        Reflection, expansion, contraction, and shrink coefficients
+        (standard values by default).
+    xtol:
+        Convergence: simplex edge lengths all below this (index space
+        uses 0.75 so all vertices round to one grid point).
+    ftol:
+        Relative improvement threshold feeding the stall counter.
+    stall_limit:
+        Convergence: this many consecutive tell() calls without improving
+        the best value by ``ftol`` relative.  This is what terminates the
+        search on plateaus — a discretized objective is piecewise
+        constant, and a simplex sitting on one flat piece can cycle
+        forever on the xtol criterion alone.
+    """
+
+    def __init__(
+        self,
+        initial_simplex: np.ndarray,
+        alpha: float = 1.0,
+        gamma: float = 2.0,
+        rho: float = 0.5,
+        sigma: float = 0.5,
+        xtol: float = 0.75,
+        ftol: float = 1e-3,
+        stall_limit: int | None = None,
+    ) -> None:
+        simplex = np.asarray(initial_simplex, dtype=np.float64)
+        if simplex.ndim != 2 or simplex.shape[0] != simplex.shape[1] + 1:
+            raise TuningError(
+                f"initial simplex must be (d+1) x d, got {simplex.shape}"
+            )
+        self.simplex = simplex.copy()
+        self.ndim = simplex.shape[1]
+        self.values = np.full(self.ndim + 1, np.nan)
+        self.alpha, self.gamma, self.rho, self.sigma = alpha, gamma, rho, sigma
+        self.xtol = xtol
+        self.ftol = ftol
+        self.stall_limit = (
+            stall_limit if stall_limit is not None else 6 * (self.ndim + 1)
+        )
+        self._best_seen = np.inf
+        self._stall = 0
+        # phase machine: first evaluate every vertex, then iterate.
+        self._phase = "init"
+        self._init_idx = 0
+        self._pending: np.ndarray | None = None
+        self._reflected: tuple[np.ndarray, float] | None = None
+        self._shrink_idx = 0
+        self.n_iterations = 0
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def converged(self) -> bool:
+        """Convergence: simplex collapse (xtol) or stall limit."""
+        if self._phase == "init":
+            return False
+        spread = np.max(np.abs(self.simplex - self.simplex[0]), axis=0)
+        if bool(np.all(spread <= self.xtol)):
+            return True
+        # Plateaus (value ties are routine on a discretized objective)
+        # terminate via the stall counter, not a value-spread test: equal
+        # values at distant vertices do not mean the search is done.
+        return self._stall >= self.stall_limit
+
+    def best(self) -> tuple[np.ndarray, float]:
+        """Best vertex and its value seen so far."""
+        i = int(np.nanargmin(self.values))
+        return self.simplex[i].copy(), float(self.values[i])
+
+    def ask(self) -> np.ndarray:
+        """Next point to evaluate."""
+        if self._pending is not None:
+            return self._pending.copy()
+        if self._phase == "init":
+            self._pending = self.simplex[self._init_idx].copy()
+        elif self._phase == "reflect":
+            self._order()
+            centroid = self.simplex[:-1].mean(axis=0)
+            self._centroid = centroid
+            self._pending = centroid + self.alpha * (centroid - self.simplex[-1])
+        elif self._phase == "expand":
+            c = self._centroid
+            self._pending = c + self.gamma * (self._reflected[0] - c)
+        elif self._phase == "contract":
+            c = self._centroid
+            if self._reflected[1] < self.values[-1]:
+                # outside contraction (toward the reflected point)
+                self._pending = c + self.rho * (self._reflected[0] - c)
+            else:
+                # inside contraction (toward the worst point)
+                self._pending = c + self.rho * (self.simplex[-1] - c)
+        elif self._phase == "shrink":
+            i = self._shrink_idx
+            self._pending = self.simplex[0] + self.sigma * (
+                self.simplex[i] - self.simplex[0]
+            )
+        else:  # pragma: no cover - defensive
+            raise TuningError(f"bad NM phase {self._phase}")
+        return self._pending.copy()
+
+    def tell(self, x: np.ndarray, value: float) -> None:
+        """Report the objective for the point last returned by ask()."""
+        if self._pending is None or not np.allclose(x, self._pending):
+            raise TuningError("tell() must answer the last ask()")
+        self._pending = None
+        if not np.isfinite(self._best_seen):
+            improved = value < self._best_seen
+        else:
+            improved = value < self._best_seen - self.ftol * max(
+                abs(self._best_seen), 1e-30
+            )
+        if improved:
+            self._best_seen = value
+            self._stall = 0
+        else:
+            self._stall += 1
+        if self._phase == "init":
+            self.values[self._init_idx] = value
+            self._init_idx += 1
+            if self._init_idx > self.ndim:
+                self._phase = "reflect"
+            return
+
+        if self._phase == "reflect":
+            self.n_iterations += 1
+            if value < self.values[0]:
+                self._reflected = (x, value)
+                self._phase = "expand"
+            elif value < self.values[-2]:
+                self._replace_worst(x, value)
+                self._phase = "reflect"
+            else:
+                self._reflected = (x, value)
+                self._phase = "contract"
+        elif self._phase == "expand":
+            rx, rv = self._reflected
+            if value < rv:
+                self._replace_worst(x, value)
+            else:
+                self._replace_worst(rx, rv)
+            self._reflected = None
+            self._phase = "reflect"
+        elif self._phase == "contract":
+            rx, rv = self._reflected
+            threshold = min(rv, self.values[-1])
+            if value <= threshold:
+                self._replace_worst(x, value)
+                self._reflected = None
+                self._phase = "reflect"
+            else:
+                self._reflected = None
+                self._shrink_idx = 1
+                self._phase = "shrink"
+        elif self._phase == "shrink":
+            self.simplex[self._shrink_idx] = x
+            self.values[self._shrink_idx] = value
+            self._shrink_idx += 1
+            if self._shrink_idx > self.ndim:
+                self._phase = "reflect"
+        else:  # pragma: no cover - defensive
+            raise TuningError(f"bad NM phase {self._phase}")
+
+    # -- internals ----------------------------------------------------------
+
+    def _order(self) -> None:
+        order = np.argsort(self.values, kind="stable")
+        self.simplex = self.simplex[order]
+        self.values = self.values[order]
+
+    def _replace_worst(self, x: np.ndarray, value: float) -> None:
+        self.simplex[-1] = x
+        self.values[-1] = value

@@ -1,0 +1,84 @@
+"""Random search over the parameter space.
+
+Two uses from the paper:
+
+* Figure 5 — the cumulative distribution of execution time over 200
+  random configurations (p=16, 256^3), which motivates auto-tuning;
+* Section 5.3.1 — comparing how fast Nelder-Mead reaches the first
+  percentile of that distribution versus random sampling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.params import ProblemShape, TuningParams
+from ..core.variants import VariantSpec, baseline_params, get_variant
+from ..machine.platforms import Platform
+from .space import SearchSpace
+
+
+@dataclass
+class RandomSearchResult:
+    """Samples from a random-configuration sweep."""
+
+    params: list[TuningParams]
+    times: np.ndarray  # objective per sample (parameter-dependent steps)
+
+    def cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted times and cumulative fractions (Figure 5's axes)."""
+        xs = np.sort(self.times)
+        ys = np.arange(1, len(xs) + 1) / len(xs)
+        return xs, ys
+
+    def percentile(self, q: float) -> float:
+        """Time at the q-th percentile (q in [0, 100])."""
+        return float(np.percentile(self.times, q))
+
+
+def sample_params(
+    space: SearchSpace, shape: ProblemShape, base: TuningParams, rng: random.Random
+) -> TuningParams:
+    """Draw one *feasible* configuration uniformly over the reduced grid
+    (resampling constraint violations, so every draw is runnable — the
+    paper measured execution time for all 200 of its random configs)."""
+    while True:
+        idx = tuple(rng.randrange(len(d)) for d in space.dims)
+        params = space.params_at(idx, base)
+        if params.is_feasible(shape):
+            return params
+
+
+def random_search(
+    variant: str | VariantSpec,
+    platform: Platform,
+    shape: ProblemShape,
+    n_samples: int = 200,
+    seed: int = 0,
+    include_fixed_steps: bool = False,
+) -> RandomSearchResult:
+    """Measure ``n_samples`` random configurations (Figure 5).
+
+    ``include_fixed_steps=False`` matches the paper: "We exclude the FFTz
+    and Transpose steps as those steps have the fixed performance
+    regardless of parameter values."
+    """
+    from ..core.api import run_case  # local import to avoid cycles
+
+    spec = get_variant(variant) if isinstance(variant, str) else variant
+    base = baseline_params(spec, shape)
+    space = SearchSpace(shape, spec.tunable)
+    rng = random.Random(seed)
+    params_list: list[TuningParams] = []
+    times = np.empty(n_samples)
+    for i in range(n_samples):
+        params = sample_params(space, shape, base, rng)
+        res, _ = run_case(
+            spec, platform, shape, params, include_fixed_steps=include_fixed_steps
+        )
+        params_list.append(params)
+        times[i] = res.elapsed
+    return RandomSearchResult(params=params_list, times=times)

@@ -1,0 +1,135 @@
+"""The ten-dimensional search space and its log-scale reduction.
+
+Section 4.4, technique 4: "Instead of searching a whole set of all
+possible values of a parameter, we reduce a search space to a log scale
+and consider power-of-two values for testing.  The minimum and maximum
+values are additionally considered ... As an exception, the log-scale
+reduction is not applied to W because there are few possible values."
+
+A :class:`SearchSpace` maps a continuous point in *index space* (one
+coordinate per parameter, ranging over that parameter's candidate list)
+to a :class:`~repro.core.params.TuningParams`.  Index space is the
+hyperrectangle Nelder-Mead needs; dependent constraints (``Pz <= T``,
+...) surface later as infeasible evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import PARAM_NAMES, ProblemShape, TuningParams, W_MAX
+from ..errors import TuningError
+from ..util.intmath import pow2_candidates
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One tunable parameter: its name and ordered candidate values."""
+
+    name: str
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise TuningError(f"dimension {self.name} has no candidate values")
+        if list(self.values) != sorted(set(self.values)):
+            raise TuningError(f"dimension {self.name} values must be sorted unique")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def value_at(self, index: int) -> int:
+        """Candidate at ``index``; raises IndexError outside the range
+        (the tuner converts that into an infeasible report)."""
+        if not 0 <= index < len(self.values):
+            raise IndexError(f"{self.name} index {index} outside [0, {len(self.values)})")
+        return self.values[index]
+
+    def index_of(self, value: int) -> int:
+        """Index of the candidate closest to ``value``."""
+        best = min(range(len(self.values)), key=lambda i: abs(self.values[i] - value))
+        return best
+
+
+class SearchSpace:
+    """Index-space view of the tunable parameters for one problem."""
+
+    def __init__(self, shape: ProblemShape, tunable: tuple[str, ...] = PARAM_NAMES):
+        self.shape = shape
+        self.tunable = tuple(tunable)
+        dims: list[Dimension] = []
+        for name in self.tunable:
+            dims.append(Dimension(name, tuple(self._candidates(name, shape))))
+        self.dims = dims
+
+    #: Search-space floor on the tile count: below ~16 bytes-per-element
+    #: tiles the exchange is pure per-message latency and the config is
+    #: never competitive, so the grid skips the degenerate tail (same
+    #: spirit as the paper's log-scale reduction).
+    MAX_TILES = 256
+
+    @classmethod
+    def _candidates(cls, name: str, shape: ProblemShape) -> list[int]:
+        if name == "T":
+            t_min = max(1, -(-shape.nz // cls.MAX_TILES))
+            return pow2_candidates(t_min, shape.nz)
+        if name == "W":
+            # Searched linearly: few possible values (paper's exception).
+            return list(range(1, W_MAX + 1))
+        if name == "Px":
+            return pow2_candidates(1, shape.nxl_max)
+        if name == "Uy":
+            return pow2_candidates(1, shape.nyl_max)
+        if name in ("Pz", "Uz"):
+            # Bounded by T at evaluation time; the independent range goes
+            # to Nz so every feasible (T, Pz) pair is reachable.
+            return pow2_candidates(1, shape.nz)
+        if name in ("Fy", "Fp", "Fu", "Fx"):
+            return pow2_candidates(1, shape.f_max)
+        raise TuningError(f"unknown parameter {name!r}")
+
+    # -- conversions ------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Number of tuned dimensions."""
+        return len(self.dims)
+
+    def size(self) -> int:
+        """Number of grid points in the reduced space (for reporting)."""
+        n = 1
+        for d in self.dims:
+            n *= len(d)
+        return n
+
+    def round_point(self, x: list[float]) -> tuple[int, ...]:
+        """Continuous index-space point -> integer grid point.
+
+        Matches Active Harmony's handling of discrete parameters: "the AH
+        server determines the closest integer point to a simplex point in
+        a continuous domain" (Section 4.4, technique 2).  No clamping —
+        out-of-range stays out-of-range so it can be penalized.
+        """
+        if len(x) != self.ndim:
+            raise TuningError(f"point has {len(x)} coords, space has {self.ndim}")
+        return tuple(int(round(v)) for v in x)
+
+    def in_bounds(self, idx: tuple[int, ...]) -> bool:
+        """Whether a grid point lies inside every dimension's range."""
+        return all(0 <= i < len(d) for i, d in zip(idx, self.dims))
+
+    def params_at(
+        self, idx: tuple[int, ...], base: TuningParams
+    ) -> TuningParams:
+        """Materialize a configuration: tuned dimensions from ``idx``,
+        everything else from ``base``.  Raises IndexError out of bounds."""
+        updates = {
+            d.name: d.value_at(i) for d, i in zip(self.dims, idx)
+        }
+        return base.replace(**updates)
+
+    def index_of(self, params: TuningParams) -> tuple[int, ...]:
+        """Grid point nearest to ``params`` (used to seed the simplex)."""
+        return tuple(
+            d.index_of(getattr(params, d.name)) for d in self.dims
+        )

@@ -1,0 +1,124 @@
+"""Persistent store of tuned configurations ("tuning wisdom").
+
+Section 5.3.2's lesson is that tuned configurations are per-platform
+(and per-size, per-p): a production deployment tunes once per setting
+and reuses the winner thereafter.  :class:`TuningStore` is that reuse
+mechanism — the ten-parameter analogue of FFTW's wisdom files:
+
+    store = TuningStore.load("fft_wisdom.json")
+    params = store.lookup("Hopper", "NEW", shape)
+    if params is None:
+        result = autotune("NEW", HOPPER, shape)
+        store.record_result(result)
+        store.save("fft_wisdom.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..core.params import ProblemShape, TuningParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tuner import TuningResult
+
+
+def _key(platform: str, variant: str, shape: ProblemShape) -> str:
+    return f"{platform}|{variant}|{shape.nx}x{shape.ny}x{shape.nz}|p{shape.p}"
+
+
+class TuningStore:
+    """JSON-backed map from (platform, variant, shape) to the winner."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- queries ---------------------------------------------------------
+
+    def lookup(
+        self, platform: str, variant: str, shape: ProblemShape
+    ) -> TuningParams | None:
+        """Stored configuration for an exact setting, or ``None``."""
+        entry = self._entries.get(_key(platform, variant, shape))
+        if entry is None:
+            return None
+        return TuningParams(**entry["params"])
+
+    def lookup_nearest(
+        self, platform: str, variant: str, shape: ProblemShape
+    ) -> TuningParams | None:
+        """Best-effort fallback: the stored setting (same platform,
+        variant, and p) with the closest problem volume.  Useful as a
+        warm start (`autotune(..., base=...)`) — the paper's Figure 9
+        warns it is *not* a substitute for tuning the exact setting."""
+        best, best_dist = None, None
+        target = shape.nx * shape.ny * shape.nz
+        for key, entry in self._entries.items():
+            plat, var, dims, pp = key.split("|")
+            if plat != platform or var != variant or pp != f"p{shape.p}":
+                continue
+            nx, ny, nz = (int(v) for v in dims.split("x"))
+            dist = abs(nx * ny * nz - target)
+            if best_dist is None or dist < best_dist:
+                best, best_dist = TuningParams(**entry["params"]), dist
+        return best
+
+    def settings(self) -> list[str]:
+        """All stored setting keys (sorted)."""
+        return sorted(self._entries)
+
+    # -- updates ------------------------------------------------------------
+
+    def record(
+        self,
+        platform: str,
+        variant: str,
+        shape: ProblemShape,
+        params: TuningParams,
+        fft_time: float | None = None,
+    ) -> None:
+        """Store (or overwrite) the winner for a setting."""
+        self._entries[_key(platform, variant, shape)] = {
+            "params": params.as_dict(),
+            "fft_time": fft_time,
+        }
+
+    def record_result(self, result: "TuningResult") -> None:
+        """Store a :class:`~repro.tuning.tuner.TuningResult`'s winner."""
+        self.record(
+            result.platform,
+            result.variant,
+            result.shape,
+            result.best_params,
+            result.fft_time,
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the store to a JSON string."""
+        return json.dumps(self._entries, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningStore":
+        """Rebuild a store from :meth:`to_json` output."""
+        store = cls()
+        store._entries = json.loads(text)
+        return store
+
+    def save(self, path: str | Path) -> None:
+        """Write the store to ``path`` as JSON."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningStore":
+        """Load a store; a missing file yields an empty store."""
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        return cls.from_json(file.read_text())

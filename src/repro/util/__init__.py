@@ -1,0 +1,23 @@
+"""Shared helpers (integer math, formatting)."""
+
+from .intmath import (
+    ceil_div,
+    clamp,
+    divisors,
+    is_pow2,
+    iter_blocks,
+    next_pow2,
+    pow2_candidates,
+    prime_factors,
+)
+
+__all__ = [
+    "ceil_div",
+    "clamp",
+    "divisors",
+    "is_pow2",
+    "iter_blocks",
+    "next_pow2",
+    "pow2_candidates",
+    "prime_factors",
+]

@@ -1,0 +1,96 @@
+"""Small integer-math helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division ``ceil(a / b)`` for non-negative ``a``, positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires positive divisor, got {b}")
+    return -(-a // b)
+
+
+def is_pow2(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (``n`` >= 1)."""
+    if n < 1:
+        raise ValueError(f"next_pow2 requires n >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def prime_factors(n: int) -> list[int]:
+    """Prime factorization of ``n`` >= 1 in non-decreasing order."""
+    if n < 1:
+        raise ValueError(f"prime_factors requires n >= 1, got {n}")
+    out: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        out.append(n)
+    return out
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n`` in increasing order."""
+    if n < 1:
+        raise ValueError(f"divisors requires n >= 1, got {n}")
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def pow2_candidates(lo: int, hi: int, *, include_bounds: bool = True) -> list[int]:
+    """Power-of-two values in ``[lo, hi]``, optionally with the range
+    endpoints included even when they are not powers of two.
+
+    This implements the paper's search-space reduction (Section 4.4):
+    "we reduce a search space to a log scale and consider power-of-two
+    values ... The minimum and maximum values are additionally
+    considered."  E.g. ``pow2_candidates(1, 24) == [1, 2, 4, 8, 16, 24]``.
+    """
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    if lo < 1:
+        raise ValueError(f"pow2_candidates requires lo >= 1, got {lo}")
+    vals: set[int] = set()
+    v = 1
+    while v <= hi:
+        if v >= lo:
+            vals.add(v)
+        v <<= 1
+    if include_bounds:
+        vals.add(lo)
+        vals.add(hi)
+    return sorted(vals)
+
+
+def iter_blocks(total: int, block: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` covering ``range(total)`` in chunks of
+    ``block`` (the final chunk may be shorter)."""
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    for start in range(0, total, block):
+        yield start, min(start + block, total)
+
+
+def clamp(x: int, lo: int, hi: int) -> int:
+    """Clamp ``x`` into ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError(f"clamp with empty range [{lo}, {hi}]")
+    return max(lo, min(hi, x))

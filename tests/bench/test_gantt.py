@@ -1,0 +1,71 @@
+"""Gantt timeline rendering."""
+
+import pytest
+
+from repro.core import ProblemShape, run_case
+from repro.machine import UMD_CLUSTER
+from repro.report import occupancy, render_strip, render_traces
+from repro.simmpi.engine import RankTrace
+
+
+class TestRenderStrip:
+    def test_paints_proportionally(self):
+        events = [(0.0, 0.5, "FFTy"), (0.5, 1.0, "Wait")]
+        strip = render_strip(events, total=1.0, width=10)
+        # Shared boundary cell goes to the later-drawn event.
+        assert strip.count("y") == 4
+        assert strip.count("W") == 6
+        assert strip == "yyyyWWWWWW"
+
+    def test_tiny_event_still_visible(self):
+        # A sub-character event drawn last keeps its one-cell mark.
+        events = [(0.0, 1.0, "FFTx"), (0.5, 0.5 + 1e-9, "Test")]
+        strip = render_strip(events, total=1.0, width=20)
+        assert "." in strip
+
+    def test_unknown_label_glyph(self):
+        strip = render_strip([(0.0, 1.0, "Mystery")], 1.0, width=5)
+        assert strip == "?????"
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ValueError):
+            render_strip([], 0.0)
+
+    def test_custom_glyphs(self):
+        strip = render_strip([(0, 1, "A")], 1.0, width=4, glyphs={"A": "#"})
+        assert strip == "####"
+
+
+class TestRenderTraces:
+    def test_from_real_run(self):
+        res, _ = run_case(
+            "NEW", UMD_CLUSTER, ProblemShape(64, 64, 64, 4),
+            record_events=True,
+        )
+        text = render_traces(res.sim.traces, res.elapsed, width=60)
+        assert "legend:" in text
+        assert "rank   0" in text
+
+    def test_requires_events(self):
+        with pytest.raises(ValueError):
+            render_traces([RankTrace()], 1.0)
+
+    def test_max_ranks_elision(self):
+        res, _ = run_case(
+            "NEW", UMD_CLUSTER, ProblemShape(64, 64, 64, 8),
+            record_events=True,
+        )
+        text = render_traces(res.sim.traces, res.elapsed, max_ranks=2)
+        assert "6 more ranks" in text
+
+
+class TestOccupancy:
+    def test_full_coverage(self):
+        assert occupancy([(0.0, 1.0, "FFTy")]) == pytest.approx(1.0)
+
+    def test_label_filter(self):
+        events = [(0.0, 0.25, "Wait"), (0.25, 1.0, "FFTy")]
+        assert occupancy(events, {"Wait"}) == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert occupancy([]) == 0.0

@@ -1,0 +1,90 @@
+"""Report rendering: tables, bars, CDF plots, markdown."""
+
+import numpy as np
+
+from repro.report import (
+    format_bars,
+    format_cdf,
+    format_stacked_breakdown,
+    format_table,
+    md_section,
+    md_table,
+    summarize_cdf,
+)
+
+
+class TestAsciiTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in out and "4.250" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Hello")
+        assert out.splitlines()[0] == "Hello"
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["abc"], ["defghi"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+class TestBars:
+    def test_bars_scale_to_peak(self):
+        out = format_bars([("a", 1.0), ("b", 0.5)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert format_bars([]) == "(empty)"
+
+    def test_zero_values(self):
+        out = format_bars([("a", 0.0)])
+        assert "0.0000" in out
+
+
+class TestStackedBreakdown:
+    def test_matrix_and_totals(self):
+        cols = [("NEW", {"Wait": 0.1, "FFTy": 0.2}), ("TH", {"Wait": 0.4})]
+        out = format_stacked_breakdown(cols, ["FFTy", "Wait"])
+        assert "TOTAL" in out
+        lines = out.splitlines()
+        total_line = [ln for ln in lines if "TOTAL" in ln][0]
+        assert "0.300" in total_line and "0.400" in total_line
+
+
+class TestCdf:
+    def test_plot_contains_marks(self):
+        xs = np.linspace(0.1, 0.5, 50)
+        out = format_cdf(xs, width=40, height=10)
+        assert out.count("*") > 10
+        assert "0.1000" in out and "0.5000" in out
+
+    def test_single_sample(self):
+        out = format_cdf(np.array([1.0]))
+        assert "*" in out
+
+    def test_empty(self):
+        assert format_cdf(np.array([])) == "(no samples)"
+
+    def test_summary_fields(self):
+        xs = np.array([1.0, 2.0, 3.0, 4.0])
+        s = summarize_cdf(xs)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["spread"] == 4.0
+        assert s["min"] <= s["p1"] <= s["median"] <= s["p99"] <= s["max"]
+
+
+class TestMarkdown:
+    def test_md_table(self):
+        out = md_table(["a", "b"], [[1, 2.0]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.000 |"
+
+    def test_md_section(self):
+        out = md_section("Title", "body", level=3)
+        assert out.startswith("### Title\n\nbody")

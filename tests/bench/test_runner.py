@@ -1,0 +1,85 @@
+"""Benchmark runner: cell memoization, persistence, paper data sanity."""
+
+import pytest
+
+from repro.bench import (
+    LARGE_CELLS,
+    PAPER_SPEEDUP_RANGES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    SMALL_CELLS,
+    clear_cache,
+    evaluate_cell,
+    load_cache,
+    save_cache,
+)
+from repro.core import ProblemShape
+from repro.machine import UMD_CLUSTER
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestPaperData:
+    def test_every_small_cell_has_reference_rows(self):
+        for key in ("UMD-Cluster", "Hopper"):
+            assert set(PAPER_TABLE2[key]) == set(SMALL_CELLS)
+            assert set(PAPER_TABLE3[key]) == set(SMALL_CELLS)
+            assert set(PAPER_TABLE4[key]) == set(SMALL_CELLS)
+
+    def test_every_large_cell_has_reference_rows(self):
+        assert set(PAPER_TABLE2["Hopper-large"]) == set(LARGE_CELLS)
+        assert set(PAPER_TABLE3["Hopper-large"]) == set(LARGE_CELLS)
+
+    def test_paper_new_always_wins(self):
+        # Internal consistency of the transcribed numbers: NEW < FFTW.
+        for table in PAPER_TABLE2.values():
+            for (p, n), (fftw, new, _th) in table.items():
+                assert new < fftw, (p, n)
+
+    def test_paper_speedups_inside_quoted_ranges(self):
+        for key, (lo, hi) in PAPER_SPEEDUP_RANGES.items():
+            table = PAPER_TABLE2[key]
+            sps = [fftw / new for (fftw, new, _th) in table.values()]
+            assert min(sps) >= lo - 0.01, key
+            assert max(sps) <= hi + 0.01, key
+
+    def test_paper_params_feasible_in_our_space(self):
+        # Sanity that the transcription respects the declared constraints.
+        for key, table in PAPER_TABLE3.items():
+            for (p, n), params in table.items():
+                shape = ProblemShape(n, n, n, p)
+                assert params.Pz <= params.T, (key, p, n)
+                assert params.Uz <= params.T, (key, p, n)
+                assert params.T <= shape.nz
+
+
+class TestRunner:
+    def test_memoization(self):
+        a = evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=40)
+        b = evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=40)
+        assert a is b
+
+    def test_cell_contents(self):
+        cell = evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=40)
+        assert set(cell.times) == {"FFTW", "NEW", "TH"}
+        assert cell.speedup("NEW") == cell.times["FFTW"] / cell.times["NEW"]
+        assert all(t > 0 for t in cell.times.values())
+
+    def test_save_load_roundtrip(self, tmp_path):
+        cell = evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=40)
+        path = tmp_path / "cache.json"
+        save_cache(path)
+        clear_cache()
+        assert load_cache(path) == 1
+        restored = evaluate_cell(UMD_CLUSTER, 4, 64)  # served from cache
+        assert restored.times == cell.times
+        assert restored.params["NEW"] == cell.params["NEW"]
+
+    def test_load_missing_file(self, tmp_path):
+        assert load_cache(tmp_path / "nope.json") == 0

@@ -1,0 +1,71 @@
+"""Experiment-grid helpers and their environment switches."""
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.workloads import (
+    BREAKDOWN_CELLS,
+    LARGE_CELLS,
+    SMALL_CELLS,
+    bench_scale,
+    cells_for,
+    tuning_budget,
+)
+
+
+class TestGrids:
+    def test_small_grid_matches_paper(self):
+        assert SMALL_CELLS == [
+            (16, 256), (16, 384), (16, 512), (16, 640),
+            (32, 256), (32, 384), (32, 512), (32, 640),
+        ]
+
+    def test_large_grid_matches_paper(self):
+        assert LARGE_CELLS[0] == (128, 1280)
+        assert LARGE_CELLS[-1] == (256, 2048)
+        assert len(LARGE_CELLS) == 8
+
+    def test_breakdown_cells_match_figure8(self):
+        assert ("UMD-Cluster", 32, 640) in BREAKDOWN_CELLS
+        assert ("Hopper", 256, 2048) in BREAKDOWN_CELLS
+
+
+class TestScaleSwitch:
+    def test_default_full(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "full"
+        assert cells_for("small") == SMALL_CELLS
+        assert cells_for("large") == LARGE_CELLS
+
+    def test_quick_trims(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert bench_scale() == "quick"
+        assert cells_for("small") == [SMALL_CELLS[0], SMALL_CELLS[-1]]
+        assert cells_for("large") == [LARGE_CELLS[0], LARGE_CELLS[-1]]
+
+    def test_budget_scales(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert tuning_budget(16) > tuning_budget(128)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert tuning_budget(16) == tuning_budget(256) == 40
+
+
+class TestReferenceDataIntegrity:
+    def test_table4_covers_same_cells_as_table2(self):
+        for key in ("UMD-Cluster", "Hopper", "Hopper-large"):
+            assert set(workloads.PAPER_TABLE4[key]) == set(
+                workloads.PAPER_TABLE2[key]
+            )
+
+    def test_all_times_positive(self):
+        for table in workloads.PAPER_TABLE2.values():
+            for row in table.values():
+                assert all(v > 0 for v in row)
+        for table in workloads.PAPER_TABLE4.values():
+            for row in table.values():
+                assert all(v > 0 for v in row)
+
+    def test_paper_headline_speedups(self):
+        # The quoted "up to 1.76x" appears at (256, 2048^3).
+        fftw, new, _ = workloads.PAPER_TABLE2["Hopper-large"][(256, 2048)]
+        assert fftw / new == pytest.approx(1.758, abs=0.01)

@@ -1,0 +1,73 @@
+"""Small API-surface tests: RunResult, exports, package metadata."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import BREAKDOWN_LABELS, ProblemShape, RunResult, run_case
+from repro.core.api import _spmd_fft
+from repro.machine import UMD_CLUSTER
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.core as core
+        import repro.fft as fft
+        import repro.machine as machine
+        import repro.report as report
+        import repro.simmpi as simmpi
+        import repro.tuning as tuning
+
+        for mod in (core, fft, machine, simmpi, tuning, report):
+            for name in mod.__all__:
+                assert getattr(mod, name, None) is not None, (mod.__name__, name)
+
+
+class TestRunResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        res, _ = run_case("NEW", UMD_CLUSTER, ProblemShape(64, 64, 64, 4))
+        return res
+
+    def test_total_breakdown_close_to_elapsed(self, result):
+        # Steps cover the timeline; Wait overlaps nothing (it is exposed
+        # time), so the sum approximates the makespan.
+        assert result.total_breakdown == pytest.approx(result.elapsed, rel=0.15)
+
+    def test_breakdown_keys(self, result):
+        assert list(result.breakdown) == BREAKDOWN_LABELS
+
+    def test_sim_attached(self, result):
+        assert result.sim is not None
+        assert result.sim.nprocs == 4
+
+    def test_params_normalized_to_variant(self):
+        res, _ = run_case("FFTW", UMD_CLUSTER, ProblemShape(64, 64, 64, 4))
+        assert res.params.W == 0 and res.params.T == 64
+
+    def test_str_contains_setting(self, result):
+        text = str(result)
+        assert "NEW" in text and "p=4" in text
+
+
+class TestSpmdEntry:
+    def test_spmd_fft_returns_layout(self):
+        from repro.core import default_params
+        from repro.core.variants import NEW
+        from repro.simmpi import run_spmd
+
+        shape = ProblemShape(8, 8, 8, 2)
+        sim = run_spmd(
+            2, _spmd_fft, UMD_CLUSTER,
+            shape, None or default_params(shape), NEW, True, None,
+        )
+        for out, layout in sim.results:
+            assert out is None  # virtual mode
+            assert layout in ("zyx", "yzx")

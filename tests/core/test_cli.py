@@ -1,0 +1,93 @@
+"""CLI coverage: every subcommand runs and prints sane output."""
+
+import pytest
+
+from repro.cli import _parse_params, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_parse_params_roundtrip(self):
+        p = _parse_params("T=32,W=2,Px=8,Pz=2,Uy=8,Uz=2,Fy=4,Fp=4,Fu=4,Fx=4")
+        assert p.T == 32 and p.Fx == 4
+
+    def test_parse_params_none(self):
+        assert _parse_params(None) is None
+        assert _parse_params("") is None
+
+    def test_parse_params_missing_field(self):
+        with pytest.raises(TypeError):
+            _parse_params("T=32")
+
+
+class TestCommands:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "UMD-Cluster" in out and "Hopper" in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "-n", "64", "-p", "4", "-m", "hopper"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated time" in out
+        assert "FFTz" in out and "Wait" in out
+
+    def test_run_with_params(self, capsys):
+        rc = main([
+            "run", "-n", "64", "-p", "4",
+            "--params", "T=8,W=2,Px=4,Pz=2,Uy=4,Uz=2,Fy=4,Fp=4,Fu=4,Fx=4",
+        ])
+        assert rc == 0
+
+    def test_run_variant(self, capsys):
+        rc = main(["run", "-n", "64", "-p", "4", "-v", "TH"])
+        assert rc == 0
+        assert "TH" in capsys.readouterr().out
+
+    def test_tune(self, capsys):
+        rc = main(["tune", "-n", "64", "-p", "4", "--budget", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "configuration" in out and "evaluations" in out
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "W", "-n", "64", "-p", "4"])
+        assert rc == 0
+        assert "sweep of W" in capsys.readouterr().out
+
+    def test_random(self, capsys):
+        rc = main(["random", "-n", "64", "-p", "4", "--samples", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max/min" in out
+
+    def test_bad_platform_errors(self):
+        with pytest.raises(KeyError):
+            main(["run", "-m", "bluegene"])
+
+
+class TestExtensionCommands:
+    def test_run_pencil(self, capsys):
+        rc = main(["run", "-n", "32", "-p", "4", "--decomposition", "pencil"])
+        assert rc == 0
+        assert "pencil FFT" in capsys.readouterr().out
+
+    def test_run_real(self, capsys):
+        rc = main(["run", "-n", "32", "-p", "4", "--real"])
+        assert rc == 0
+        assert "r2c FFT" in capsys.readouterr().out
+
+    def test_multi(self, capsys):
+        rc = main(["multi", "-n", "32", "-p", "4", "--arrays", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for mode in ("sequential", "inter", "intra", "both"):
+            assert mode in out

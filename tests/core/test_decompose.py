@@ -1,0 +1,109 @@
+"""Slab decomposition and spectrum reassembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decompose import (
+    Decomposition,
+    gather_spectrum,
+    scatter_slabs,
+    slab_counts,
+    slab_range,
+    slab_starts,
+)
+from repro.errors import DecompositionError
+
+
+class TestSlabCounts:
+    def test_even(self):
+        assert slab_counts(8, 4) == [2, 2, 2, 2]
+
+    def test_uneven_front_loaded(self):
+        assert slab_counts(10, 4) == [3, 3, 2, 2]
+
+    def test_p_equals_n(self):
+        assert slab_counts(4, 4) == [1, 1, 1, 1]
+
+    def test_rejects_p_over_n(self):
+        with pytest.raises(DecompositionError):
+            slab_counts(3, 4)
+
+    @given(st.integers(1, 300), st.integers(1, 64))
+    @settings(max_examples=60)
+    def test_partition_properties(self, n, p):
+        if p > n:
+            with pytest.raises(DecompositionError):
+                slab_counts(n, p)
+            return
+        counts = slab_counts(n, p)
+        assert sum(counts) == n
+        assert max(counts) - min(counts) <= 1
+        starts = slab_starts(n, p)
+        for r in range(p):
+            assert slab_range(n, p, r) == (starts[r], starts[r] + counts[r])
+
+
+class TestDecomposition:
+    def test_local_extents(self):
+        d = Decomposition(nx=10, ny=9, nz=8, p=4, rank=0)
+        assert d.nxl == 3 and d.nyl == 3
+        d3 = Decomposition(nx=10, ny=9, nz=8, p=4, rank=3)
+        assert d3.nxl == 2 and d3.nyl == 2
+
+    def test_tile_ranges_cover_z(self):
+        d = Decomposition(nx=8, ny=8, nz=10, p=2, rank=0)
+        tiles = d.tile_ranges(4)
+        assert tiles == [(0, 4), (4, 8), (8, 10)]
+
+    def test_tile_ranges_reject_bad_size(self):
+        d = Decomposition(nx=8, ny=8, nz=8, p=2, rank=0)
+        with pytest.raises(DecompositionError):
+            d.tile_ranges(0)
+
+    def test_sendcounts_match_peer_recvcounts(self):
+        # What rank r sends to d must equal what d expects from r.
+        nx, ny, nz, p, tz = 10, 9, 8, 3, 4
+        decs = [Decomposition(nx, ny, nz, p, r) for r in range(p)]
+        for r in range(p):
+            send_r = decs[r].sendcounts_bytes(tz)
+            for d in range(p):
+                recv_d = decs[d].recvcounts_bytes(tz)
+                assert send_r[d] == recv_d[r]
+
+    def test_counts_total_volume(self):
+        d = Decomposition(nx=8, ny=8, nz=8, p=4, rank=1)
+        total = int(d.sendcounts_bytes(8).sum())
+        assert total == d.nxl * 8 * 8 * 16
+
+
+class TestScatterGather:
+    def test_scatter_shapes(self):
+        arr = np.arange(10 * 4 * 3).reshape(10, 4, 3)
+        blocks = scatter_slabs(arr, 4)
+        assert [b.shape[0] for b in blocks] == [3, 3, 2, 2]
+        assert np.array_equal(np.concatenate(blocks, axis=0), arr)
+
+    def test_scatter_rejects_non3d(self):
+        with pytest.raises(DecompositionError):
+            scatter_slabs(np.zeros((4, 4)), 2)
+
+    @pytest.mark.parametrize("layout", ["zyx", "yzx"])
+    def test_gather_inverts_known_permutation(self, layout):
+        nx, ny, nz, p = 4, 6, 5, 3
+        ref = np.arange(nx * ny * nz).reshape(nx, ny, nz).astype(complex)
+        outputs = []
+        for r in range(p):
+            y0, y1 = slab_range(ny, p, r)
+            slab = ref[:, y0:y1, :]  # (nx, nyl, nz)
+            if layout == "zyx":
+                outputs.append(np.ascontiguousarray(slab.transpose(2, 1, 0)))
+            else:
+                outputs.append(np.ascontiguousarray(slab.transpose(1, 2, 0)))
+        got = gather_spectrum(outputs, (nx, ny, nz), layout)
+        assert np.array_equal(got, ref)
+
+    def test_gather_unknown_layout(self):
+        with pytest.raises(DecompositionError):
+            gather_spectrum([np.zeros((1, 1, 1), dtype=complex)], (1, 1, 1), "abc")

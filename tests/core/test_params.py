@@ -1,0 +1,162 @@
+"""The ten tunable parameters: feasibility, defaults, variants."""
+
+import pytest
+
+from repro.core.params import (
+    PARAM_NAMES,
+    W_MAX,
+    ProblemShape,
+    TuningParams,
+    default_params,
+)
+from repro.core.variants import (
+    FFTW_BASELINE,
+    NEW,
+    NEW0,
+    TH,
+    TH0,
+    VARIANTS,
+    baseline_params,
+    get_variant,
+)
+from repro.errors import InfeasibleConfigError, ParameterError
+
+
+def shape16():
+    return ProblemShape(nx=256, ny=256, nz=256, p=16)
+
+
+def ok_params(**kw):
+    base = dict(T=16, W=2, Px=8, Pz=2, Uy=8, Uz=2, Fy=8, Fp=8, Fu=8, Fx=8)
+    base.update(kw)
+    return TuningParams(**base)
+
+
+class TestProblemShape:
+    def test_valid(self):
+        s = shape16()
+        assert s.nxl_max == 16 and s.nyl_max == 16
+
+    def test_uneven_rounds_up(self):
+        s = ProblemShape(10, 10, 8, 3)
+        assert s.nxl_max == 4
+
+    def test_rejects_p_over_extent(self):
+        with pytest.raises(ParameterError):
+            ProblemShape(8, 8, 8, 16)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            ProblemShape(0, 8, 8, 2)
+        with pytest.raises(ParameterError):
+            ProblemShape(8, 8, 8, 0)
+
+    def test_f_max_scales_with_p(self):
+        assert ProblemShape(2048, 2048, 2048, 256).f_max == 2048
+        assert ProblemShape(256, 256, 256, 2).f_max == 64
+
+
+class TestFeasibility:
+    def test_valid_config_passes(self):
+        ok_params().check_feasible(shape16())
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(T=0), dict(T=257),
+            dict(W=0), dict(W=W_MAX + 1),
+            dict(Px=0), dict(Px=17),
+            dict(Pz=0), dict(Pz=17),  # Pz > T=16
+            dict(Uy=17), dict(Uz=32),
+            dict(Fy=-1), dict(Fx=10**6),
+        ],
+    )
+    def test_violations_detected(self, kw):
+        with pytest.raises(InfeasibleConfigError):
+            ok_params(**kw).check_feasible(shape16())
+
+    def test_dependent_constraint_pz_le_t(self):
+        # Pz=16 is fine for T=16 but infeasible for T=8.
+        ok_params(T=16, Pz=16).check_feasible(shape16())
+        assert not ok_params(T=8, Pz=16).is_feasible(shape16())
+
+    def test_error_message_names_all_violations(self):
+        with pytest.raises(InfeasibleConfigError) as ei:
+            ok_params(T=0, W=0).check_feasible(shape16())
+        msg = str(ei.value)
+        assert "T=0" in msg and "W=0" in msg
+
+    def test_num_tiles(self):
+        assert ok_params(T=16).num_tiles(256) == 16
+        assert ok_params(T=100).num_tiles(256) == 3
+
+
+class TestDefaultPoint:
+    def test_matches_paper_formulas(self):
+        # Section 4.4: T=Nz/16, W=2, sub-tiles ~8K complex elements for a
+        # 256 KB cache, F*=p/2.
+        s = shape16()
+        d = default_params(s)
+        assert d.T == 16 and d.W == 2
+        assert d.Px == 8192 // 256 // 2 * 2 or d.Px >= 1  # clamped variant
+        assert d.Fy == d.Fp == d.Fu == d.Fx == 8
+        assert d.is_feasible(s)
+
+    def test_default_feasible_across_shapes(self):
+        for s in [
+            ProblemShape(256, 256, 256, 16),
+            ProblemShape(640, 640, 640, 32),
+            ProblemShape(2048, 2048, 2048, 256),
+            ProblemShape(16, 16, 16, 4),
+            ProblemShape(10, 12, 6, 5),
+            ProblemShape(64, 48, 20, 8),
+        ]:
+            assert default_params(s).is_feasible(s), s
+
+    def test_replace_and_dict(self):
+        d = ok_params()
+        assert d.replace(T=32).T == 32
+        assert set(d.as_dict()) == set(PARAM_NAMES)
+
+
+class TestVariants:
+    def test_registry(self):
+        assert set(VARIANTS) == {"NEW", "NEW-0", "TH", "TH-0", "FFTW"}
+        assert get_variant("new") is NEW
+        with pytest.raises(KeyError):
+            get_variant("nope")
+
+    def test_new_tunes_all_ten(self):
+        assert NEW.tunable == PARAM_NAMES
+
+    def test_th_tunes_three(self):
+        # Paper Section 5.1: TH has tile size, window size, and one
+        # MPI_Test frequency.
+        assert TH.tunable == ("T", "W", "Fy")
+
+    def test_fftw_not_tunable(self):
+        assert FFTW_BASELINE.tunable == ()
+
+    def test_nonoverlap_variants_zero_window(self):
+        s = shape16()
+        for spec in (NEW0, TH0, FFTW_BASELINE):
+            eff = spec.effective_params(ok_params(), s)
+            assert eff.W == 0
+            assert eff.Fy == eff.Fp == eff.Fu == eff.Fx == 0
+
+    def test_th_never_tests_during_unpack(self):
+        eff = TH.effective_params(ok_params(), shape16())
+        assert eff.Fu == 0 and eff.Fx == 0
+        assert eff.Fy > 0  # still overlaps FFTy/Pack
+
+    def test_fftw_single_tile(self):
+        eff = FFTW_BASELINE.effective_params(ok_params(), shape16())
+        assert eff.T == 256
+
+    def test_baseline_params_feasible_for_all_variants(self):
+        s = shape16()
+        for spec in VARIANTS.values():
+            params = baseline_params(spec, s)
+            # Overlapping variants must produce tunable-feasible configs.
+            if spec.overlap:
+                assert params.is_feasible(s), spec.name

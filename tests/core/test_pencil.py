@@ -1,0 +1,137 @@
+"""2-D (pencil) decomposition extension: correctness and scalability."""
+
+import numpy as np
+import pytest
+
+from repro.core.pencil import (
+    PencilFFT3D,
+    choose_grid,
+    gather_spectrum,
+    parallel_fft3d_pencil,
+    scatter_pencils,
+)
+from repro.errors import DecompositionError
+from repro.machine import HOPPER, UMD_CLUSTER
+from repro.simmpi import run_spmd
+
+RNG = np.random.default_rng(21)
+
+
+def csig(*shape):
+    return RNG.standard_normal(shape) + 1j * RNG.standard_normal(shape)
+
+
+class TestChooseGrid:
+    def test_square(self):
+        assert choose_grid(16) == (4, 4)
+
+    def test_rectangular(self):
+        assert choose_grid(12) == (3, 4)
+
+    def test_prime(self):
+        assert choose_grid(7) == (1, 7)
+
+    def test_one(self):
+        assert choose_grid(1) == (1, 1)
+
+    @pytest.mark.parametrize("p", [2, 6, 24, 36, 100])
+    def test_product_invariant(self, p):
+        pr, pc = choose_grid(p)
+        assert pr * pc == p and pr <= pc
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "shape,p,grid",
+        [
+            ((16, 16, 16), 4, None),
+            ((12, 18, 10), 6, (2, 3)),
+            ((8, 8, 8), 8, None),       # 2x4 grid
+            ((16, 12, 20), 4, (4, 1)),  # degenerate: pure 1-D over x
+            ((16, 12, 20), 4, (1, 4)),  # degenerate: pure 1-D over y/z
+            ((9, 10, 11), 6, (3, 2)),   # uneven everything
+        ],
+    )
+    def test_matches_numpy(self, shape, p, grid):
+        a = csig(*shape)
+        spec, _ = parallel_fft3d_pencil(a, p, HOPPER, grid)
+        assert np.allclose(spec, np.fft.fftn(a), atol=1e-8)
+
+    def test_more_ranks_than_slabs(self):
+        # p = 16 on a 8^3 array is impossible for 1-D decomposition
+        # (p > N) but fine for a 4x4 pencil grid — the scalability
+        # argument of Section 2.2.
+        a = csig(8, 8, 8)
+        spec, _ = parallel_fft3d_pencil(a, 16, HOPPER, (4, 4))
+        assert np.allclose(spec, np.fft.fftn(a), atol=1e-8)
+
+    def test_grid_mismatch_rejected(self):
+        def prog(ctx):
+            PencilFFT3D(ctx, (8, 8, 8), (3, 2))  # 6 != 4 ranks
+
+        with pytest.raises(Exception):
+            run_spmd(4, prog, HOPPER)
+
+    def test_oversized_grid_rejected(self):
+        def prog(ctx):
+            PencilFFT3D(ctx, (2, 2, 2), (4, 1))
+
+        with pytest.raises(Exception):
+            run_spmd(4, prog, HOPPER)
+
+
+class TestScatterGather:
+    def test_scatter_blocks_cover(self):
+        a = np.arange(4 * 6 * 5).reshape(4, 6, 5)
+        blocks = scatter_pencils(a, 2, 3)
+        assert len(blocks) == 6
+        assert sum(b.size for b in blocks) == a.size
+
+    def test_gather_inverse_of_known_layout(self):
+        nx, ny, nz, pr, pc = 4, 6, 8, 2, 2
+        ref = csig(nx, ny, nz)
+        outs = []
+        for r in range(pr):
+            from repro.core.decompose import slab_range
+
+            y0, y1 = slab_range(ny, pr, r)
+            for c in range(pc):
+                z0, z1 = slab_range(nz, pc, c)
+                outs.append(ref[:, y0:y1, z0:z1].copy())
+        got = gather_spectrum(outs, (nx, ny, nz), pr, pc)
+        assert np.array_equal(got, ref)
+
+
+class TestTiming:
+    def test_virtual_mode_times(self):
+        def prog(ctx):
+            plan = PencilFFT3D(ctx, (64, 64, 64))
+            plan.execute(None)
+            return ctx.now
+
+        res = run_spmd(8, prog, UMD_CLUSTER)
+        assert res.elapsed > 0
+        bd = res.breakdown()
+        # Two exchange stages mean two Pack/Unpack pairs worth of time.
+        assert bd["Pack"] > 0 and bd["Unpack"] > 0
+
+    def test_two_exchanges_cost_more_than_one_at_small_p(self):
+        # Section 2.2: "depending on the system environment, 1-D
+        # decomposition can be a better choice" — at small p on a slow
+        # network the pencil method's second all-to-all is pure overhead.
+        from repro.core import ProblemShape, run_case
+
+        shape = ProblemShape(64, 64, 64, 8)
+        slab, _ = run_case("FFTW", UMD_CLUSTER, shape)
+
+        def prog(ctx):
+            PencilFFT3D(ctx, (64, 64, 64)).execute(None)
+
+        pencil = run_spmd(8, prog, UMD_CLUSTER)
+        assert pencil.elapsed > 0.8 * slab.elapsed
+
+    def test_non3d_rejected(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            parallel_fft3d_pencil(np.zeros((4, 4)), 4, HOPPER)

@@ -1,0 +1,180 @@
+"""Correctness of the from-scratch FFT kernels against numpy.fft."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.fft.bluestein import BluesteinPlan
+from repro.fft.dftmat import BACKWARD, FORWARD, dft_matrix, direct_dft, twiddles
+from repro.fft.stockham import POLICIES, StagePlan, radix_path
+
+RNG = np.random.default_rng(42)
+
+
+def random_signal(batch, n):
+    return RNG.standard_normal((batch, n)) + 1j * RNG.standard_normal((batch, n))
+
+
+def tol(n):
+    return 1e-10 * max(n, 8)
+
+
+class TestDftMatrix:
+    def test_unitary_up_to_scale(self):
+        for n in (1, 2, 3, 8, 16):
+            w = dft_matrix(n, FORWARD)
+            winv = dft_matrix(n, BACKWARD)
+            assert np.allclose(w @ winv / n, np.eye(n), atol=1e-12)
+
+    def test_matches_numpy(self):
+        x = random_signal(3, 9)
+        assert np.allclose(direct_dft(x), np.fft.fft(x), atol=tol(9))
+
+    def test_cached_is_readonly(self):
+        w = dft_matrix(8, FORWARD)
+        with pytest.raises(ValueError):
+            w[0, 0] = 0
+
+    def test_rejects_bad_sign(self):
+        with pytest.raises(ValueError):
+            dft_matrix(4, 2)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            dft_matrix(0, FORWARD)
+
+    def test_twiddles_shape_and_values(self):
+        tw = twiddles(8, 2, FORWARD)
+        assert tw.shape == (2, 4)
+        assert np.allclose(tw[0], 1.0)
+        assert np.isclose(tw[1, 1], np.exp(-2j * np.pi / 8))
+
+    def test_twiddles_rejects_nondivisor(self):
+        with pytest.raises(ValueError):
+            twiddles(8, 3, FORWARD)
+
+
+class TestRadixPath:
+    def test_small_first(self):
+        assert radix_path(12, "small-first") == [2, 2, 3]
+
+    def test_large_first(self):
+        assert radix_path(12, "large-first") == [3, 2, 2]
+
+    def test_radix4_fuses(self):
+        assert radix_path(32, "radix4") == [4, 4, 2]
+
+    def test_radix8_fuses(self):
+        assert radix_path(128, "radix8") == [8, 8, 2]
+
+    def test_product_invariant(self):
+        for policy in POLICIES:
+            for n in (2, 12, 60, 384, 640, 720):
+                prod = 1
+                for r in radix_path(n, policy):
+                    prod *= r
+                assert prod == n, (n, policy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(PlanError):
+            radix_path(8, "bogus")
+
+
+class TestStagePlan:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 8, 9, 12, 16, 24, 30,
+                                   32, 48, 64, 100, 128, 210, 256, 384, 640])
+    @pytest.mark.parametrize("policy", list(POLICIES))
+    def test_forward_matches_numpy(self, n, policy):
+        x = random_signal(2, n)
+        got = StagePlan(n, FORWARD, policy).execute(x)
+        assert np.allclose(got, np.fft.fft(x), atol=tol(n))
+
+    @pytest.mark.parametrize("n", [4, 12, 64, 384])
+    def test_backward_is_unnormalized_inverse(self, n):
+        x = random_signal(2, n)
+        fwd = StagePlan(n, FORWARD).execute(x)
+        back = StagePlan(n, BACKWARD).execute(fwd) / n
+        assert np.allclose(back, x, atol=tol(n))
+
+    def test_multidim_batch(self):
+        x = RNG.standard_normal((3, 4, 16)) + 0j
+        got = StagePlan(16).execute(x)
+        assert got.shape == x.shape
+        assert np.allclose(got, np.fft.fft(x, axis=-1), atol=tol(16))
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(PlanError):
+            StagePlan(8).execute(np.zeros((2, 9), dtype=complex))
+
+    def test_input_not_modified(self):
+        x = random_signal(1, 32)
+        x0 = x.copy()
+        StagePlan(32).execute(x)
+        assert np.array_equal(x, x0)
+
+    def test_flop_estimate_positive_and_monotone(self):
+        f64 = StagePlan(64).flop_estimate
+        f256 = StagePlan(256).flop_estimate
+        assert 0 < f64 < f256
+
+    def test_linearity(self):
+        # FFT is linear: F(a x + b y) = a F(x) + b F(y).
+        plan = StagePlan(48)
+        x, y = random_signal(1, 48), random_signal(1, 48)
+        lhs = plan.execute(2.0 * x + 3j * y)
+        rhs = 2.0 * plan.execute(x) + 3j * plan.execute(y)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    def test_impulse_is_flat(self):
+        # FFT of a delta at 0 is all-ones.
+        x = np.zeros((1, 60), dtype=complex)
+        x[0, 0] = 1.0
+        assert np.allclose(StagePlan(60).execute(x), 1.0, atol=1e-12)
+
+    @given(st.integers(2, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_parseval(self, n):
+        # Energy conservation: sum|X|^2 = n * sum|x|^2.
+        x = random_signal(1, n)
+        X = StagePlan(n).execute(x)
+        assert np.isclose(
+            np.sum(np.abs(X) ** 2), n * np.sum(np.abs(x) ** 2), rtol=1e-8
+        )
+
+
+class TestBluestein:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 11, 13, 17, 97, 101, 251])
+    def test_prime_sizes(self, n):
+        x = random_signal(2, n)
+        got = BluesteinPlan(n).execute(x)
+        assert np.allclose(got, np.fft.fft(x), atol=tol(n))
+
+    @pytest.mark.parametrize("n", [12, 100, 384])
+    def test_composite_sizes_also_work(self, n):
+        x = random_signal(1, n)
+        assert np.allclose(BluesteinPlan(n).execute(x), np.fft.fft(x), atol=tol(n))
+
+    def test_backward(self):
+        x = random_signal(1, 23)
+        fwd = BluesteinPlan(23, FORWARD).execute(x)
+        back = BluesteinPlan(23, BACKWARD).execute(fwd) / 23
+        assert np.allclose(back, x, atol=tol(23))
+
+    def test_large_prime_precision(self):
+        # j^2 mod 2n chirp indexing keeps precision for large n.
+        n = 10007
+        x = random_signal(1, n)
+        got = BluesteinPlan(n).execute(x)
+        assert np.allclose(got, np.fft.fft(x), atol=1e-6)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(PlanError):
+            BluesteinPlan(8).execute(np.zeros((1, 9), dtype=complex))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(PlanError):
+            BluesteinPlan(0)
+        with pytest.raises(PlanError):
+            BluesteinPlan(8, 5)

@@ -1,0 +1,196 @@
+"""Unit tests for the CPU, cache, and network models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import (
+    HOPPER,
+    PLATFORMS,
+    UMD_CLUSTER,
+    CacheModel,
+    CpuModel,
+    NetworkModel,
+    get_platform,
+)
+
+
+def small_cpu(**kw):
+    defaults = dict(
+        flops=1e9,
+        mem_bw=2e9,
+        cache_bw=8e9,
+        cache=CacheModel(l1_bytes=32 * 1024, l2_bytes=256 * 1024),
+    )
+    defaults.update(kw)
+    return CpuModel(**defaults)
+
+
+class TestCacheModel:
+    def test_fits_private(self):
+        c = CacheModel(l1_bytes=32 * 1024, l2_bytes=256 * 1024)
+        assert c.fits_private(100 * 1024)
+        assert not c.fits_private(200 * 1024)  # above usable fraction
+
+    def test_fits_l1(self):
+        c = CacheModel(l1_bytes=32 * 1024, l2_bytes=256 * 1024)
+        assert c.fits_l1(10 * 1024)
+        assert not c.fits_l1(20 * 1024)
+
+    def test_lines_touched(self):
+        c = CacheModel(l1_bytes=1024, l2_bytes=2048, line_bytes=64)
+        assert c.lines_touched(64) == 1
+        assert c.lines_touched(65) == 2
+        assert c.lines_touched(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheModel(l1_bytes=0, l2_bytes=10)
+        with pytest.raises(ValueError):
+            CacheModel(l1_bytes=8, l2_bytes=8, usable_fraction=1.5)
+
+
+class TestCpuModel:
+    def test_fft_time_scales_nlogn(self):
+        cpu = small_cpu()
+        t1 = cpu.fft_time(256, batch=1)
+        t2 = cpu.fft_time(256, batch=10)
+        assert math.isclose(t2, 10 * t1, rel_tol=1e-12)
+
+    def test_fft_time_zero_for_trivial(self):
+        assert small_cpu().fft_time(1, 100) == 0.0
+
+    def test_fft_cache_penalty_applies_to_huge_rows(self):
+        cpu = small_cpu()
+        small = cpu.fft_time(1024)          # row fits cache
+        huge = cpu.fft_time(1024 * 1024)    # row exceeds cache
+        flops_ratio = (
+            (1024 * 1024 * math.log2(1024 * 1024)) / (1024 * math.log2(1024))
+        )
+        assert huge > small * flops_ratio  # strictly worse than pure scaling
+
+    def test_copy_time_residency(self):
+        cpu = small_cpu()
+        assert cpu.copy_time(1 << 20, resident=True) < cpu.copy_time(
+            1 << 20, resident=False
+        )
+
+    def test_pack_subtile_time_has_floor(self):
+        cpu = small_cpu()
+        assert cpu.pack_subtile_time(16) >= cpu.loop_overhead
+
+    def test_pack_subtile_cache_cliff(self):
+        cpu = small_cpu()
+        fits = cpu.pack_subtile_time(64 * 1024)
+        spills = cpu.pack_subtile_time(512 * 1024)
+        # Per-byte cost jumps when the working set stops fitting.
+        assert spills / (512 * 1024) > fits / (64 * 1024)
+
+    def test_transpose_kinds_ordered(self):
+        cpu = small_cpu()
+        nb = 1 << 20
+        fast = cpu.transpose_time(nb, "xzy")
+        general = cpu.transpose_time(nb, "zxy")
+        naive = cpu.transpose_time(nb, "naive")
+        assert fast < general < naive  # Section 3.5 ordering
+
+    def test_transpose_unknown_kind(self):
+        with pytest.raises(ValueError):
+            small_cpu().transpose_time(10, "xyx")
+
+    @given(st.integers(2, 1 << 20))
+    def test_fft_time_positive(self, n):
+        assert small_cpu().fft_time(n) > 0
+
+
+class TestNetworkModel:
+    def net(self, **kw):
+        defaults = dict(latency=5e-6, node_bw=1e9)
+        defaults.update(kw)
+        return NetworkModel(**defaults)
+
+    def test_contention_log_monotone(self):
+        n = self.net(contention_model="log", contention_coeff=0.5, contention_base=2)
+        vals = [n.contention(p) for p in (2, 4, 16, 64, 256)]
+        assert vals[0] == 1.0
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_contention_pow_monotone(self):
+        n = self.net(
+            contention_model="pow", contention_coeff=1.0,
+            contention_expo=0.5, contention_base=8,
+        )
+        assert n.contention(8) == 1.0
+        assert n.contention(32) == pytest.approx(2.0)
+        assert n.contention(128) == pytest.approx(4.0)
+
+    def test_pow_never_below_one(self):
+        n = self.net(
+            contention_model="pow", contention_coeff=0.1, contention_base=2
+        )
+        assert n.contention(4) == 1.0
+
+    def test_rank_rate_divides_by_node_sharing(self):
+        shared = self.net(ranks_per_node=8)
+        solo = self.net(ranks_per_node=1)
+        assert shared.rank_rate(2) == pytest.approx(solo.rank_rate(2) / 8)
+
+    def test_eager_threshold(self):
+        n = self.net(eager_threshold=1024)
+        assert n.is_eager(1024)
+        assert not n.is_eager(1025)
+
+    def test_post_cost_grows_with_p(self):
+        n = self.net()
+        assert n.post_cost(256) > n.post_cost(2)
+
+    def test_message_time_includes_latency(self):
+        n = self.net()
+        assert n.message_time(0, 2) == pytest.approx(n.latency)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1, node_bw=1)
+        with pytest.raises(ValueError):
+            NetworkModel(latency=0, node_bw=1, contention_model="weird")
+        with pytest.raises(ValueError):
+            NetworkModel(latency=0, node_bw=1, max_inflight=0)
+
+
+class TestPlatforms:
+    def test_presets_registered(self):
+        assert "UMD-Cluster" in PLATFORMS and "Hopper" in PLATFORMS
+
+    def test_lookup_case_insensitive(self):
+        assert get_platform("hopper") is HOPPER
+        assert get_platform("umd-cluster") is UMD_CLUSTER
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            get_platform("bluegene")
+
+    def test_paper_hardware_facts(self):
+        # Both machines have 512 KB private L2 (Section 5.1).
+        assert UMD_CLUSTER.cpu.cache.l2_bytes == 512 * 1024
+        assert HOPPER.cpu.cache.l2_bytes == 512 * 1024
+        # Hopper runs 8 ranks per node sharing the Gemini NIC.
+        assert HOPPER.net.ranks_per_node == 8
+        assert UMD_CLUSTER.net.ranks_per_node == 1
+
+    def test_platform_contrast(self):
+        # Hopper's interconnect is much faster per rank at small scale --
+        # the root of the paper's smaller overlap headroom there.
+        assert HOPPER.net.rank_rate(16) > 2 * UMD_CLUSTER.net.rank_rate(16)
+        assert HOPPER.cpu.flops > UMD_CLUSTER.cpu.flops
+
+    def test_with_overrides(self):
+        p2 = UMD_CLUSTER.with_(cpu_flops=9e9, net_latency=1e-6)
+        assert p2.cpu.flops == 9e9
+        assert p2.net.latency == 1e-6
+        assert UMD_CLUSTER.cpu.flops != 9e9  # original untouched
+
+    def test_with_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            UMD_CLUSTER.with_(bogus=1)

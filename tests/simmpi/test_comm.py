@@ -1,0 +1,320 @@
+"""Communicator semantics: p2p, collectives, payloads, split."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIUsageError
+from repro.machine import HOPPER, UMD_CLUSTER
+from repro.simmpi import run_spmd
+
+
+class TestPointToPoint:
+    def test_ring_payload(self):
+        def prog(ctx):
+            c = ctx.comm
+            c.send((c.rank + 1) % c.size, 128, payload=("hi", c.rank))
+            data, src, tag, nb = c.recv()
+            assert data == ("hi", src)
+            assert nb == 128
+            return src
+
+        res = run_spmd(4, prog, UMD_CLUSTER)
+        assert res.results == [3, 0, 1, 2]
+
+    def test_tag_matching_skips_other_tags(self):
+        def prog(ctx):
+            c = ctx.comm
+            if c.rank == 0:
+                c.send(1, 8, payload="a", tag=5)
+                c.send(1, 8, payload="b", tag=9)
+            else:
+                data, _, tag, _ = c.recv(source=0, tag=9)
+                assert (data, tag) == ("b", 9)
+                data, _, tag, _ = c.recv(source=0, tag=5)
+                assert (data, tag) == ("a", 5)
+
+        run_spmd(2, prog, UMD_CLUSTER)
+
+    def test_fifo_same_tag(self):
+        def prog(ctx):
+            c = ctx.comm
+            if c.rank == 0:
+                for i in range(5):
+                    c.send(1, 8, payload=i)
+            else:
+                got = [c.recv(source=0)[0] for _ in range(5)]
+                assert got == list(range(5))
+
+        run_spmd(2, prog, UMD_CLUSTER)
+
+    def test_any_source(self):
+        def prog(ctx):
+            c = ctx.comm
+            if c.rank == 0:
+                seen = {c.recv()[1] for _ in range(c.size - 1)}
+                assert seen == {1, 2, 3}
+            else:
+                ctx.compute(1e-4 * c.rank)
+                c.send(0, 64, payload=c.rank)
+
+        run_spmd(4, prog, UMD_CLUSTER)
+
+    def test_sendrecv_exchange(self):
+        def prog(ctx):
+            c = ctx.comm
+            peer = c.size - 1 - c.rank
+            data, src, _, _ = c.sendrecv(peer, 32, payload=c.rank, source=peer)
+            assert data == peer and src == peer
+
+        run_spmd(4, prog, UMD_CLUSTER)
+
+    def test_message_takes_time(self):
+        def prog(ctx):
+            c = ctx.comm
+            if c.rank == 0:
+                c.send(1, 10 * 1024 * 1024)
+                return ctx.now
+            t0 = ctx.now
+            c.recv(source=0)
+            return ctx.now - t0
+
+        res = run_spmd(2, prog, UMD_CLUSTER)
+        # 10 MB at ~100 MB/s effective must cost on the order of 0.1 s.
+        assert res.results[1] > 0.01
+
+    def test_bad_destination(self):
+        def prog(ctx):
+            ctx.comm.send(7, 8)
+
+        with pytest.raises(Exception):
+            run_spmd(2, prog, UMD_CLUSTER)
+
+    def test_isend_irecv(self):
+        def prog(ctx):
+            c = ctx.comm
+            sreq = c.isend((c.rank + 1) % c.size, 64, payload=c.rank)
+            rreq = c.irecv()
+            c.wait(sreq)
+            payload, src, _, _ = c.wait(rreq)
+            assert payload == (c.rank - 1) % c.size
+
+        run_spmd(3, prog, UMD_CLUSTER)
+
+    def test_request_reuse_rejected(self):
+        def prog(ctx):
+            c = ctx.comm
+            req = c.isend(c.rank, 8) if False else c.ialltoall(8)
+            c.wait(req)
+            c.wait(req)
+
+        with pytest.raises(Exception) as ei:
+            run_spmd(2, prog, UMD_CLUSTER)
+        assert "already waited" in str(ei.value.__cause__)
+
+
+class TestCollectives:
+    def test_barrier_synchronizes_clocks(self):
+        def prog(ctx):
+            ctx.compute(0.01 * ctx.rank)
+            ctx.comm.barrier()
+            return ctx.now
+
+        res = run_spmd(4, prog, UMD_CLUSTER)
+        assert max(res.results) - min(res.results) < 1e-12
+        assert min(res.results) >= 0.03  # slowest rank dominates
+
+    def test_bcast(self):
+        def prog(ctx):
+            val = {"config": 42} if ctx.rank == 1 else None
+            return ctx.comm.bcast(payload=val, nbytes=256, root=1)
+
+        res = run_spmd(4, prog, UMD_CLUSTER)
+        assert res.results == [{"config": 42}] * 4
+
+    def test_reduce_custom_op(self):
+        def prog(ctx):
+            return ctx.comm.reduce(ctx.rank + 1, op=lambda a, b: a * b, root=0)
+
+        res = run_spmd(4, prog, UMD_CLUSTER)
+        assert res.results[0] == 24
+
+    def test_allreduce_arrays(self):
+        def prog(ctx):
+            return ctx.comm.allreduce(np.full(3, ctx.rank), nbytes=24)
+
+        res = run_spmd(3, prog, UMD_CLUSTER)
+        for arr in res.results:
+            assert np.array_equal(arr, np.full(3, 3))
+
+    def test_gather_and_allgather(self):
+        def prog(ctx):
+            g = ctx.comm.gather(ctx.rank**2, root=2)
+            ag = ctx.comm.allgather(ctx.rank)
+            return g, ag
+
+        res = run_spmd(3, prog, UMD_CLUSTER)
+        assert res.results[2][0] == [0, 1, 4]
+        assert res.results[0][0] is None
+        assert all(r[1] == [0, 1, 2] for r in res.results)
+
+    def test_scatter(self):
+        def prog(ctx):
+            vals = [f"item{i}" for i in range(ctx.size)] if ctx.rank == 0 else None
+            return ctx.comm.scatter(vals, nbytes=16, root=0)
+
+        res = run_spmd(3, prog, UMD_CLUSTER)
+        assert res.results == ["item0", "item1", "item2"]
+
+    def test_scatter_root_must_supply_values(self):
+        def prog(ctx):
+            ctx.comm.scatter(None, root=0)
+
+        with pytest.raises(Exception):
+            run_spmd(2, prog, UMD_CLUSTER)
+
+    def test_collective_kind_mismatch_detected(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.comm.barrier()
+            else:
+                ctx.comm.allreduce(1)
+
+        with pytest.raises(Exception) as ei:
+            run_spmd(2, prog, UMD_CLUSTER)
+        assert "mismatch" in str(ei.value.__cause__)
+
+
+class TestAlltoall:
+    def test_blocking_payload_routing(self):
+        def prog(ctx):
+            c = ctx.comm
+            chunks = [np.array([c.rank, d]) for d in range(c.size)]
+            out = c.alltoall(16, payload=chunks)
+            for s, arr in enumerate(out):
+                assert arr[0] == s and arr[1] == c.rank
+
+        run_spmd(5, prog, UMD_CLUSTER)
+
+    def test_alltoallv_counts(self):
+        def prog(ctx):
+            c = ctx.comm
+            send = [16 * (d + 1) for d in range(c.size)]
+            recv = [16 * (c.rank + 1)] * c.size
+            req = c.ialltoallv(send, recv)
+            c.wait(req)
+            return ctx.now
+
+        res = run_spmd(3, prog, UMD_CLUSTER)
+        assert all(t > 0 for t in res.results)
+
+    def test_counts_length_validated(self):
+        def prog(ctx):
+            ctx.comm.ialltoall([8, 8, 8])  # size is 2
+
+        with pytest.raises(Exception):
+            run_spmd(2, prog, UMD_CLUSTER)
+
+    def test_negative_counts_rejected(self):
+        def prog(ctx):
+            ctx.comm.ialltoall([-1, 8])
+
+        with pytest.raises(Exception):
+            run_spmd(2, prog, UMD_CLUSTER)
+
+    def test_progression_hides_communication(self):
+        """With enough compute and tests, Wait shrinks to (near) zero;
+        with no tests, the full exchange is exposed at Wait — the paper's
+        core mechanism (Section 3.3)."""
+
+        def make(ntests):
+            def prog(ctx):
+                c = ctx.comm
+                req = c.ialltoall(256 * 1024)
+                ctx.compute_with_progress(0.1, [(req, ntests)])
+                t0 = ctx.now
+                c.wait(req)
+                return ctx.now - t0
+
+            return prog
+
+        lazy = run_spmd(8, make(0), UMD_CLUSTER).results[0]
+        eager = run_spmd(8, make(16), UMD_CLUSTER).results[0]
+        assert eager < lazy * 0.2
+
+    def test_more_tests_cost_more_overhead(self):
+        def make(ntests):
+            def prog(ctx):
+                req = ctx.comm.ialltoall(1024)
+                ctx.compute_with_progress(0.01, [(req, ntests)])
+                ctx.comm.wait(req)
+                return ctx.now
+
+            return prog
+
+        few = run_spmd(4, make(2), UMD_CLUSTER).elapsed
+        many = run_spmd(4, make(500), UMD_CLUSTER).elapsed
+        assert many > few
+
+    def test_blocking_alltoall_time_scales_with_bytes(self):
+        def make(nbytes):
+            def prog(ctx):
+                ctx.comm.alltoall(nbytes)
+                return ctx.now
+
+            return prog
+
+        small = run_spmd(4, make(1024), UMD_CLUSTER).elapsed
+        big = run_spmd(4, make(1024 * 1024), UMD_CLUSTER).elapsed
+        assert big > 10 * small
+
+    def test_hopper_faster_than_umd(self):
+        def prog(ctx):
+            ctx.comm.alltoall(512 * 1024)
+            return ctx.now
+
+        umd = run_spmd(8, prog, UMD_CLUSTER).elapsed
+        hop = run_spmd(8, prog, HOPPER).elapsed
+        assert hop < umd
+
+    def test_window_of_concurrent_alltoalls(self):
+        def prog(ctx):
+            c = ctx.comm
+            reqs = [c.ialltoall(64 * 1024) for _ in range(3)]
+            ctx.compute_with_progress(0.05, [(r, 8) for r in reqs])
+            c.waitall(reqs)
+            return ctx.now
+
+        res = run_spmd(4, prog, UMD_CLUSTER)
+        assert res.elapsed > 0
+
+
+class TestSplit:
+    def test_split_groups_and_collectives(self):
+        def prog(ctx):
+            c = ctx.comm
+            sub = c.split(color=ctx.rank % 2)
+            return sub.size, sub.allreduce(ctx.rank)
+
+        res = run_spmd(6, prog, UMD_CLUSTER)
+        for r, (size, total) in enumerate(res.results):
+            assert size == 3
+            assert total == sum(x for x in range(6) if x % 2 == r % 2)
+
+    def test_split_key_reorders(self):
+        def prog(ctx):
+            sub = ctx.comm.split(color=0, key=-ctx.rank)
+            return sub.rank
+
+        res = run_spmd(4, prog, UMD_CLUSTER)
+        assert res.results == [3, 2, 1, 0]
+
+    def test_sub_communicator_p2p(self):
+        def prog(ctx):
+            sub = ctx.comm.split(color=ctx.rank // 2)
+            peer = 1 - sub.rank
+            data, src, _, _ = sub.sendrecv(peer, 16, payload=ctx.rank, source=peer)
+            # Peer's world rank differs by 1 within each pair.
+            assert abs(data - ctx.rank) == 1
+            return data
+
+        run_spmd(4, prog, UMD_CLUSTER)

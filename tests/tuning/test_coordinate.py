@@ -1,0 +1,83 @@
+"""Coordinate-descent strategy (the §7 'other strategies' extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemShape
+from repro.errors import TuningError
+from repro.machine import UMD_CLUSTER
+from repro.tuning import CoordinateDescent, autotune
+
+
+def run_cd(f, start, sizes, max_evals=500, **kw):
+    cd = CoordinateDescent(np.asarray(start, float), sizes, **kw)
+    n = 0
+    while not cd.converged and n < max_evals:
+        x = cd.ask()
+        cd.tell(x, f(x))
+        n += 1
+    return cd, n
+
+
+class TestCoordinateDescent:
+    def test_separable_quadratic(self):
+        f = lambda x: (x[0] - 5) ** 2 + (x[1] - 2) ** 2  # noqa: E731
+        cd, n = run_cd(f, [0, 0], [20, 20])
+        x, v = cd.best()
+        assert v == 0.0
+        assert tuple(x) == (5.0, 2.0)
+
+    def test_respects_bounds(self):
+        # Optimum outside the grid: converges to the boundary.
+        f = lambda x: (x[0] - 100) ** 2  # noqa: E731
+        cd, _ = run_cd(f, [0], [8])
+        x, _ = cd.best()
+        assert x[0] == 7.0  # last in-bounds index
+
+    def test_converges_on_plateau(self):
+        cd, n = run_cd(lambda x: 1.0, [3, 3, 3], [8, 8, 8])
+        assert cd.converged
+        assert n < 100
+
+    def test_handles_inf(self):
+        def f(x):
+            return float("inf") if x[0] > 4 else (x[0] - 4) ** 2
+
+        cd, _ = run_cd(f, [0], [20])
+        assert cd.best()[1] == 0.0
+
+    def test_protocol_validation(self):
+        cd = CoordinateDescent(np.zeros(2), [4, 4])
+        cd.ask()
+        with pytest.raises(TuningError):
+            cd.tell(np.array([9.0, 9.0]), 1.0)
+
+    def test_bad_construction(self):
+        with pytest.raises(TuningError):
+            CoordinateDescent(np.zeros((2, 2)), [2, 2])
+        with pytest.raises(TuningError):
+            CoordinateDescent(np.zeros(2), [2])
+
+
+class TestStrategyIntegration:
+    def test_autotune_with_coordinate(self):
+        shape = ProblemShape(64, 64, 64, 4)
+        res = autotune("NEW", UMD_CLUSTER, shape, strategy="coordinate")
+        assert res.best_params.is_feasible(shape)
+        assert res.evaluations > 5
+
+    def test_strategies_land_close(self):
+        """Both strategies should find comparably good configurations on
+        the same problem (neither is an order of magnitude worse)."""
+        shape = ProblemShape(128, 128, 128, 8)
+        nm = autotune("NEW", UMD_CLUSTER, shape)
+        cd = autotune("NEW", UMD_CLUSTER, shape, strategy="coordinate")
+        assert cd.best_objective <= nm.best_objective * 1.3
+        assert nm.best_objective <= cd.best_objective * 1.3
+
+    def test_unknown_strategy(self):
+        with pytest.raises(TuningError):
+            autotune(
+                "NEW", UMD_CLUSTER, ProblemShape(64, 64, 64, 4),
+                strategy="simulated-annealing",
+            )

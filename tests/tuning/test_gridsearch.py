@@ -1,0 +1,54 @@
+"""Grid/exhaustive search tooling and its agreement with Nelder-Mead."""
+
+import pytest
+
+from repro.core import ProblemShape, default_params
+from repro.machine import UMD_CLUSTER
+from repro.tuning import autotune, exhaustive_search, sweep_parameter
+from repro.tuning.gridsearch import SweepPoint
+
+
+class TestSweep:
+    def test_sweep_values_are_candidates(self):
+        shape = ProblemShape(64, 64, 64, 4)
+        pts = sweep_parameter("NEW", UMD_CLUSTER, shape, "T")
+        values = [p.value for p in pts]
+        assert values == sorted(values)
+        assert values[-1] == 64
+        # T below the base point's Pz/Uz (= 4) is infeasible and skipped.
+        base = default_params(shape)
+        assert values[0] == base.Pz
+
+    def test_sweep_base_override(self):
+        shape = ProblemShape(64, 64, 64, 4)
+        base = default_params(shape).replace(W=4)
+        pts = sweep_parameter("NEW", UMD_CLUSTER, shape, "W", base=base)
+        assert all(p.params.Px == base.Px for p in pts)
+
+    def test_sweep_point_fields(self):
+        pt = SweepPoint(params=None, value=3, objective=1.0)
+        assert pt.value == 3
+
+
+class TestExhaustive:
+    def test_small_space_enumerates(self):
+        # TH's 3-parameter space on a tiny problem is enumerable.
+        shape = ProblemShape(16, 16, 16, 4)
+        best, val, n = exhaustive_search("TH", UMD_CLUSTER, shape)
+        assert n > 10
+        assert val > 0
+        assert best.is_feasible(shape)
+
+    def test_size_limit_enforced(self):
+        shape = ProblemShape(256, 256, 256, 16)
+        with pytest.raises(ValueError):
+            exhaustive_search("NEW", UMD_CLUSTER, shape, max_points=100)
+
+    def test_nm_close_to_grid_optimum(self):
+        """On an enumerable space, Nelder-Mead must land within a modest
+        factor of the true grid optimum (the paper's §5.3.1 claim in
+        miniature)."""
+        shape = ProblemShape(16, 16, 16, 4)
+        best, val, _ = exhaustive_search("TH", UMD_CLUSTER, shape)
+        tuned = autotune("TH", UMD_CLUSTER, shape)
+        assert tuned.best_objective <= val * 1.25

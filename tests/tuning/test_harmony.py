@@ -1,0 +1,202 @@
+"""Harmony server/client loop, the four techniques, and end-to-end tuning."""
+
+import math
+
+import pytest
+
+from repro.core import ProblemShape, default_params, run_case
+from repro.core.variants import NEW, baseline_params
+from repro.machine import UMD_CLUSTER
+from repro.tuning import (
+    HarmonyClient,
+    HarmonyServer,
+    NelderMead,
+    SearchSpace,
+    TuningSession,
+    autotune,
+    fftw_tuning_time,
+    initial_simplex,
+    random_search,
+    run_tuning_loop,
+    sweep_parameter,
+)
+from repro.tuning.harmony import HARNESS_OVERHEAD
+
+
+def small_shape():
+    return ProblemShape(64, 64, 64, 4)
+
+
+def make_client(shape, session, calls):
+    base = baseline_params(NEW, shape)
+    space = session.space
+
+    def measure(params):
+        calls.append(params)
+        res, _ = run_case(NEW, UMD_CLUSTER, shape, params, include_fixed_steps=False)
+        return res.elapsed, res.elapsed
+
+    return HarmonyClient(space, shape, base, measure, session)
+
+
+class TestClientTechniques:
+    def test_infeasible_penalized_without_running(self):
+        shape = small_shape()
+        session = TuningSession(space=SearchSpace(shape, NEW.tunable))
+        calls = []
+        client = make_client(shape, session, calls)
+        # Out-of-bounds index -> inf, no execution.
+        idx = tuple([-5] * 10)
+        assert client.evaluate(idx) == math.inf
+        assert calls == []
+        assert session.tuning_time == 0.0
+
+    def test_dependent_constraint_penalized(self):
+        shape = small_shape()
+        space = SearchSpace(shape, NEW.tunable)
+        session = TuningSession(space=space)
+        calls = []
+        client = make_client(shape, session, calls)
+        # Force Pz > T: T index 0 -> T=1, Pz index large -> Pz=64.
+        names = [d.name for d in space.dims]
+        idx = list(space.index_of(default_params(shape)))
+        idx[names.index("T")] = 0
+        idx[names.index("Pz")] = len(space.dims[names.index("Pz")]) - 1
+        assert client.evaluate(tuple(idx)) == math.inf
+        assert calls == []
+
+    def test_history_cache_reused(self):
+        shape = small_shape()
+        session = TuningSession(space=SearchSpace(shape, NEW.tunable))
+        calls = []
+        client = make_client(shape, session, calls)
+        idx = session.space.index_of(default_params(shape))
+        v1 = client.evaluate(idx)
+        v2 = client.evaluate(idx)
+        assert v1 == v2
+        assert len(calls) == 1  # second evaluation from cache
+        assert session.evaluations == 2
+        assert session.executed_evaluations == 1
+
+    def test_tuning_time_accumulates_only_executed(self):
+        shape = small_shape()
+        session = TuningSession(space=SearchSpace(shape, NEW.tunable))
+        client = make_client(shape, session, [])
+        idx = session.space.index_of(default_params(shape))
+        v = client.evaluate(idx)
+        assert session.tuning_time == pytest.approx(v + HARNESS_OVERHEAD)
+        client.evaluate(idx)  # cache hit adds nothing
+        assert session.tuning_time == pytest.approx(v + HARNESS_OVERHEAD)
+
+
+class TestSessionQueries:
+    def test_best_and_evals_to_reach(self):
+        shape = small_shape()
+        session = TuningSession(space=SearchSpace(shape, NEW.tunable))
+        client = make_client(shape, session, [])
+        space = session.space
+        base_idx = space.index_of(default_params(shape))
+        vals = [client.evaluate(base_idx)]
+        other = list(base_idx)
+        other[0] = max(0, other[0] - 1)
+        vals.append(client.evaluate(tuple(other)))
+        best = session.best()
+        assert best.objective == min(vals)
+        assert session.evals_to_reach(min(vals)) in (1, 2)
+        assert session.evals_to_reach(-1.0) is None
+
+    def test_best_with_no_feasible_raises(self):
+        shape = small_shape()
+        session = TuningSession(space=SearchSpace(shape, NEW.tunable))
+        client = make_client(shape, session, [])
+        client.evaluate(tuple([-1] * 10))
+        from repro.errors import TuningError
+
+        with pytest.raises(TuningError):
+            session.best()
+
+
+class TestEndToEndTuning:
+    def test_autotune_new_improves_or_matches_default(self):
+        shape = ProblemShape(256, 256, 256, 16)
+        result = autotune("NEW", UMD_CLUSTER, shape)
+        default_run, _ = run_case("NEW", UMD_CLUSTER, shape)
+        assert result.fft_time <= default_run.elapsed * 1.02
+        assert result.best_params.is_feasible(shape)
+        assert result.evaluations > 10
+        assert result.tuning_time > 0
+
+    def test_autotune_converges_before_cap(self):
+        shape = ProblemShape(128, 128, 128, 8)
+        result = autotune("NEW", UMD_CLUSTER, shape, max_evaluations=300)
+        assert result.evaluations < 300
+
+    def test_autotune_th_three_params(self):
+        shape = ProblemShape(128, 128, 128, 8)
+        result = autotune("TH", UMD_CLUSTER, shape)
+        assert result.session.space.ndim == 3
+        assert result.best_params.Fu == 0 and result.best_params.Fx == 0
+
+    def test_autotune_fftw_models_patient_planning(self):
+        shape = ProblemShape(128, 128, 128, 8)
+        result = autotune("FFTW", UMD_CLUSTER, shape)
+        assert result.tuning_time == pytest.approx(
+            fftw_tuning_time(result.fft_time)
+        )
+        assert result.evaluations == 0
+
+    def test_tuned_config_beats_random_median(self):
+        shape = ProblemShape(256, 256, 256, 16)
+        tuned = autotune("NEW", UMD_CLUSTER, shape)
+        rs = random_search("NEW", UMD_CLUSTER, shape, n_samples=30, seed=3)
+        assert tuned.best_objective <= rs.percentile(50)
+
+    def test_loop_respects_max_evaluations(self):
+        shape = small_shape()
+        space = SearchSpace(shape, NEW.tunable)
+        session = TuningSession(space=space)
+        client = make_client(shape, session, [])
+        server = HarmonyServer(
+            NelderMead(initial_simplex(space, shape), stall_limit=10**9,
+                       ftol=0.0, xtol=0.0),
+            space,
+        )
+        run_tuning_loop(server, client, max_evaluations=15)
+        assert session.evaluations == 15
+
+
+class TestRandomAndSweeps:
+    def test_random_search_reproducible(self):
+        shape = small_shape()
+        a = random_search("NEW", UMD_CLUSTER, shape, n_samples=5, seed=9)
+        b = random_search("NEW", UMD_CLUSTER, shape, n_samples=5, seed=9)
+        assert list(a.times) == list(b.times)
+
+    def test_random_search_cdf(self):
+        shape = small_shape()
+        rs = random_search("NEW", UMD_CLUSTER, shape, n_samples=12, seed=1)
+        xs, ys = rs.cdf()
+        assert len(xs) == 12
+        assert ys[0] == pytest.approx(1 / 12)
+        assert ys[-1] == pytest.approx(1.0)
+        assert all(a <= b for a, b in zip(xs, xs[1:]))
+
+    def test_random_samples_all_feasible(self):
+        shape = small_shape()
+        rs = random_search("NEW", UMD_CLUSTER, shape, n_samples=10, seed=2)
+        assert all(p.is_feasible(shape) for p in rs.params)
+
+    def test_sweep_parameter_skips_infeasible(self):
+        shape = small_shape()
+        pts = sweep_parameter("NEW", UMD_CLUSTER, shape, "T")
+        assert len(pts) >= 3
+        assert all(p.params.T == p.value for p in pts)
+
+    def test_sweep_shows_tile_size_tradeoff(self):
+        # The T sweep must not be monotone: tiny tiles pay latency/round
+        # overhead, giant tiles lose overlap (Section 3.1's trade-off).
+        shape = ProblemShape(256, 256, 256, 16)
+        pts = sweep_parameter("NEW", UMD_CLUSTER, shape, "T")
+        times = [p.objective for p in pts]
+        best = min(range(len(times)), key=times.__getitem__)
+        assert 0 < best < len(times) - 1

@@ -1,0 +1,110 @@
+"""Nelder-Mead core: classic optimization behavior and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.tuning import NelderMead
+
+
+def run_nm(f, simplex, max_evals=5000, **kw):
+    nm = NelderMead(np.asarray(simplex, dtype=float), **kw)
+    n = 0
+    while not nm.converged and n < max_evals:
+        x = nm.ask()
+        nm.tell(x, f(x))
+        n += 1
+    return nm, n
+
+
+def axis_simplex(center, step):
+    center = np.asarray(center, dtype=float)
+    d = len(center)
+    s = np.tile(center, (d + 1, 1))
+    for i in range(d):
+        s[i + 1, i] += step
+    return s
+
+
+class TestOptimization:
+    def test_quadratic_2d(self):
+        f = lambda x: (x[0] - 3) ** 2 + (x[1] + 1) ** 2  # noqa: E731
+        nm, n = run_nm(f, axis_simplex([0, 0], 1.0), xtol=1e-8, ftol=1e-12,
+                       stall_limit=10**9)
+        x, v = nm.best()
+        assert np.allclose(x, [3, -1], atol=1e-3)
+        assert v < 1e-6
+
+    def test_rosenbrock_4d(self):
+        def rosen(x):
+            return sum(
+                100 * (x[i + 1] - x[i] ** 2) ** 2 + (1 - x[i]) ** 2
+                for i in range(len(x) - 1)
+            )
+
+        nm, _ = run_nm(rosen, axis_simplex([0] * 4, 1.5), xtol=1e-7,
+                       ftol=1e-12, stall_limit=10**9)
+        x, v = nm.best()
+        assert v < 1e-5
+
+    def test_handles_inf_regions(self):
+        # Half-plane of infinity (the infeasible-penalty pattern).
+        def f(x):
+            if x[0] < 0:
+                return float("inf")
+            return (x[0] - 2) ** 2 + x[1] ** 2
+
+        nm, _ = run_nm(f, axis_simplex([5, 5], 2.0), xtol=1e-6, ftol=1e-12,
+                       stall_limit=10**9)
+        x, v = nm.best()
+        assert v < 1e-3
+
+    def test_plateau_terminates_quickly(self):
+        nm, n = run_nm(lambda x: 7.0, axis_simplex([0, 0, 0], 1.0))
+        assert nm.converged
+        assert n < 50  # plateau detection, not an endless cycle
+
+    def test_stall_limit_terminates(self):
+        # A discretized objective full of ties must still terminate.
+        f = lambda x: round((x[0] ** 2 + x[1] ** 2) / 100)  # noqa: E731
+        nm, n = run_nm(f, axis_simplex([40, 40], 3.0), stall_limit=20)
+        assert nm.converged
+
+
+class TestProtocol:
+    def test_ask_is_idempotent_until_tell(self):
+        nm = NelderMead(axis_simplex([0, 0], 1.0))
+        a, b = nm.ask(), nm.ask()
+        assert np.array_equal(a, b)
+
+    def test_tell_must_match_ask(self):
+        nm = NelderMead(axis_simplex([0, 0], 1.0))
+        nm.ask()
+        with pytest.raises(TuningError):
+            nm.tell(np.array([99.0, 99.0]), 1.0)
+
+    def test_init_phase_evaluates_all_vertices(self):
+        nm = NelderMead(axis_simplex([0, 0, 0], 1.0))
+        seen = []
+        for _ in range(4):
+            x = nm.ask()
+            seen.append(tuple(x))
+            nm.tell(x, sum(x))
+        assert len(set(seen)) == 4
+
+    def test_bad_simplex_shape(self):
+        with pytest.raises(TuningError):
+            NelderMead(np.zeros((3, 3)))
+
+    def test_not_converged_during_init(self):
+        nm = NelderMead(axis_simplex([0, 0], 1e-12))
+        assert not nm.converged  # even a tiny simplex: init must finish
+
+    def test_best_tracks_minimum(self):
+        nm = NelderMead(axis_simplex([0, 0], 1.0))
+        vals = iter([5.0, 2.0, 9.0])
+        for _ in range(3):
+            x = nm.ask()
+            nm.tell(x, next(vals))
+        _, v = nm.best()
+        assert v == 2.0

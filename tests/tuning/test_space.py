@@ -1,0 +1,130 @@
+"""Search space, log reduction, and initial simplex."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PARAM_NAMES, ProblemShape, default_params
+from repro.core.variants import NEW, TH, baseline_params
+from repro.errors import TuningError
+from repro.tuning import Dimension, SearchSpace, initial_simplex
+
+
+def shape16():
+    return ProblemShape(256, 256, 256, 16)
+
+
+class TestDimension:
+    def test_value_lookup(self):
+        d = Dimension("T", (1, 2, 4, 8))
+        assert d.value_at(2) == 4
+        with pytest.raises(IndexError):
+            d.value_at(4)
+        with pytest.raises(IndexError):
+            d.value_at(-1)
+
+    def test_index_of_closest(self):
+        d = Dimension("T", (1, 2, 4, 8, 16))
+        assert d.index_of(4) == 2
+        assert d.index_of(5) == 2
+        assert d.index_of(7) == 3
+        assert d.index_of(100) == 4
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            Dimension("x", ())
+        with pytest.raises(TuningError):
+            Dimension("x", (2, 1))
+
+
+class TestSearchSpace:
+    def test_full_space_dimensions(self):
+        space = SearchSpace(shape16())
+        assert space.ndim == 10
+        assert [d.name for d in space.dims] == list(PARAM_NAMES)
+
+    def test_t_candidates_are_log_reduced(self):
+        space = SearchSpace(shape16(), ("T",))
+        vals = space.dims[0].values
+        assert vals[0] == 1 and vals[-1] == 256
+        assert all(v & (v - 1) == 0 for v in vals)  # all powers of two here
+
+    def test_w_searched_linearly(self):
+        space = SearchSpace(shape16(), ("W",))
+        assert space.dims[0].values == tuple(range(1, 9))
+
+    def test_f_range_scales_with_p(self):
+        big = SearchSpace(ProblemShape(2048, 2048, 2048, 256), ("Fy",))
+        assert big.dims[0].values[-1] == 2048
+
+    def test_space_size_is_large(self):
+        # The paper's point: the parameter space is far too large to
+        # enumerate by hand (billions of raw configurations; still tens
+        # of millions after log reduction).
+        assert SearchSpace(shape16()).size() > 10**7
+
+    def test_round_point_and_bounds(self):
+        space = SearchSpace(shape16(), ("T", "W"))
+        assert space.round_point([1.2, 3.6]) == (1, 4)
+        assert space.in_bounds((0, 0))
+        assert not space.in_bounds((-1, 0))
+        assert not space.in_bounds((len(space.dims[0]), 0))
+
+    def test_round_point_wrong_arity(self):
+        with pytest.raises(TuningError):
+            SearchSpace(shape16(), ("T",)).round_point([1.0, 2.0])
+
+    def test_params_at_merges_base(self):
+        s = shape16()
+        space = SearchSpace(s, ("T", "W"))
+        base = default_params(s)
+        p = space.params_at((0, 1), base)
+        assert p.T == 1 and p.W == 2
+        assert p.Px == base.Px  # untouched dimension
+
+    def test_index_roundtrip(self):
+        s = shape16()
+        space = SearchSpace(s)
+        base = default_params(s)
+        idx = space.index_of(base)
+        again = space.params_at(idx, base)
+        assert again == base or all(
+            getattr(again, n) in space.dims[i].values
+            for i, n in enumerate(PARAM_NAMES)
+        )
+
+    def test_unknown_parameter(self):
+        with pytest.raises(TuningError):
+            SearchSpace(shape16(), ("Q",))
+
+
+class TestInitialSimplex:
+    def test_shape_and_base_vertex(self):
+        s = shape16()
+        space = SearchSpace(s, NEW.tunable)
+        simplex = initial_simplex(space, s)
+        assert simplex.shape == (11, 10)
+        base_idx = space.index_of(default_params(s))
+        assert tuple(simplex[0].astype(int)) == base_idx
+
+    def test_nondegenerate(self):
+        s = shape16()
+        space = SearchSpace(s, NEW.tunable)
+        simplex = initial_simplex(space, s)
+        # Every non-base vertex differs from the base in exactly one dim.
+        for i in range(1, 11):
+            diff = np.nonzero(simplex[i] != simplex[0])[0]
+            assert list(diff) == [i - 1]
+
+    def test_vertices_in_bounds(self):
+        for s in [shape16(), ProblemShape(16, 16, 16, 4),
+                  ProblemShape(2048, 2048, 2048, 256)]:
+            space = SearchSpace(s, NEW.tunable)
+            simplex = initial_simplex(space, s)
+            for row in simplex:
+                assert space.in_bounds(tuple(int(v) for v in row)), (s, row)
+
+    def test_th_space_is_three_dimensional(self):
+        s = shape16()
+        space = SearchSpace(s, TH.tunable)
+        simplex = initial_simplex(space, s, baseline_params(TH, s))
+        assert simplex.shape == (4, 3)

@@ -1,0 +1,93 @@
+"""Tuning-wisdom store: lookup, nearest fallback, persistence."""
+
+import pytest
+
+from repro.core import ProblemShape, default_params
+from repro.machine import UMD_CLUSTER
+from repro.tuning import autotune
+from repro.tuning.store import TuningStore
+
+
+def shape(n=256, p=16):
+    return ProblemShape(n, n, n, p)
+
+
+class TestStoreBasics:
+    def test_roundtrip_exact(self):
+        store = TuningStore()
+        params = default_params(shape())
+        store.record("Hopper", "NEW", shape(), params, fft_time=0.5)
+        got = store.lookup("Hopper", "NEW", shape())
+        assert got == params
+
+    def test_miss_returns_none(self):
+        store = TuningStore()
+        assert store.lookup("Hopper", "NEW", shape()) is None
+
+    def test_settings_are_disjoint(self):
+        store = TuningStore()
+        store.record("Hopper", "NEW", shape(256), default_params(shape(256)))
+        store.record("Hopper", "TH", shape(256), default_params(shape(256)))
+        store.record("UMD-Cluster", "NEW", shape(256), default_params(shape(256)))
+        assert len(store) == 3
+        assert store.lookup("Hopper", "TH", shape(256)) is not None
+        assert store.lookup("UMD-Cluster", "TH", shape(256)) is None
+
+    def test_overwrite(self):
+        store = TuningStore()
+        a = default_params(shape())
+        b = a.replace(T=4)
+        store.record("X", "NEW", shape(), a)
+        store.record("X", "NEW", shape(), b)
+        assert store.lookup("X", "NEW", shape()).T == 4
+        assert len(store) == 1
+
+
+class TestNearest:
+    def test_nearest_by_volume(self):
+        store = TuningStore()
+        store.record("X", "NEW", shape(128), default_params(shape(128)).replace(T=4))
+        store.record("X", "NEW", shape(512, 16), default_params(shape(512, 16)).replace(T=64))
+        got = store.lookup_nearest("X", "NEW", shape(160, 16))
+        assert got.T == 4  # 128^3 is closer to 160^3 than 512^3
+
+    def test_nearest_requires_matching_p(self):
+        store = TuningStore()
+        store.record("X", "NEW", shape(128, 8), default_params(shape(128, 8)))
+        assert store.lookup_nearest("X", "NEW", shape(128, 16)) is None
+
+    def test_nearest_empty(self):
+        assert TuningStore().lookup_nearest("X", "NEW", shape()) is None
+
+
+class TestPersistence:
+    def test_save_load(self, tmp_path):
+        store = TuningStore()
+        store.record("Hopper", "NEW", shape(), default_params(shape()), 0.25)
+        path = tmp_path / "wisdom.json"
+        store.save(path)
+        again = TuningStore.load(path)
+        assert len(again) == 1
+        assert again.lookup("Hopper", "NEW", shape()) == default_params(shape())
+
+    def test_load_missing_is_empty(self, tmp_path):
+        assert len(TuningStore.load(tmp_path / "none.json")) == 0
+
+    def test_json_roundtrip(self):
+        store = TuningStore()
+        store.record("A", "TH", shape(64, 4), default_params(shape(64, 4)))
+        again = TuningStore.from_json(store.to_json())
+        assert again.settings() == store.settings()
+
+
+class TestIntegrationWithTuner:
+    def test_record_result_and_warm_start(self):
+        s = ProblemShape(64, 64, 64, 4)
+        result = autotune("NEW", UMD_CLUSTER, s, max_evaluations=60)
+        store = TuningStore()
+        store.record_result(result)
+        stored = store.lookup("UMD-Cluster", "NEW", s)
+        assert stored == result.best_params
+        # Warm-starting from the stored config is valid input to autotune.
+        warm = autotune("NEW", UMD_CLUSTER, s, max_evaluations=40, base=stored)
+        assert warm.best_objective <= result.best_objective * 1.05

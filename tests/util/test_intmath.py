@@ -1,0 +1,173 @@
+"""Unit tests for repro.util.intmath."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    clamp,
+    divisors,
+    is_pow2,
+    iter_blocks,
+    next_pow2,
+    pow2_candidates,
+    prime_factors,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 5) == 1
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**4))
+    def test_matches_definition(self, a, b):
+        q = ceil_div(a, b)
+        assert q * b >= a
+        assert (q - 1) * b < a or q == 0
+
+
+class TestPow2:
+    def test_is_pow2_true(self):
+        for v in (1, 2, 4, 1024, 2**30):
+            assert is_pow2(v)
+
+    def test_is_pow2_false(self):
+        for v in (0, 3, 6, 12, -4):
+            assert not is_pow2(v)
+
+    def test_next_pow2(self):
+        assert next_pow2(1) == 1
+        assert next_pow2(3) == 4
+        assert next_pow2(16) == 16
+        assert next_pow2(17) == 32
+
+    def test_next_pow2_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_pow2(0)
+
+    @given(st.integers(1, 2**40))
+    def test_next_pow2_properties(self, n):
+        m = next_pow2(n)
+        assert is_pow2(m) and m >= n and m < 2 * n
+
+
+class TestPrimeFactors:
+    def test_small(self):
+        assert prime_factors(1) == []
+        assert prime_factors(2) == [2]
+        assert prime_factors(12) == [2, 2, 3]
+        assert prime_factors(97) == [97]
+
+    def test_paper_sizes(self):
+        # The evaluation's transform sizes factor into small primes.
+        assert prime_factors(384) == [2] * 7 + [3]
+        assert prime_factors(640) == [2] * 7 + [5]
+        assert prime_factors(1792) == [2] * 8 + [7]
+
+    @given(st.integers(1, 10**6))
+    def test_product_reconstructs(self, n):
+        fs = prime_factors(n)
+        prod = 1
+        for f in fs:
+            prod *= f
+        assert prod == n
+        assert fs == sorted(fs)
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(13) == [1, 13]
+
+    @given(st.integers(1, 5000))
+    def test_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(set(ds))
+        assert ds[0] == 1 and ds[-1] == n
+
+
+class TestPow2Candidates:
+    def test_paper_example(self):
+        # Section 4.4: "when Nz = 24, T can be 1, 2, 4, 8, 16, or 24"
+        assert pow2_candidates(1, 24) == [1, 2, 4, 8, 16, 24]
+
+    def test_pow2_bounds(self):
+        assert pow2_candidates(1, 16) == [1, 2, 4, 8, 16]
+
+    def test_nontrivial_lower(self):
+        assert pow2_candidates(3, 24) == [3, 4, 8, 16, 24]
+
+    def test_without_bounds(self):
+        assert pow2_candidates(3, 24, include_bounds=False) == [4, 8, 16]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            pow2_candidates(5, 4)
+
+    @given(st.integers(1, 1000), st.integers(0, 1000))
+    def test_sorted_within_range(self, lo, extra):
+        hi = lo + extra
+        vals = pow2_candidates(lo, hi)
+        assert vals == sorted(set(vals))
+        assert all(lo <= v <= hi for v in vals)
+        assert lo in vals and hi in vals
+
+
+class TestIterBlocks:
+    def test_exact_division(self):
+        assert list(iter_blocks(8, 4)) == [(0, 4), (4, 8)]
+
+    def test_remainder(self):
+        assert list(iter_blocks(10, 4)) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_block_larger_than_total(self):
+        assert list(iter_blocks(3, 10)) == [(0, 3)]
+
+    def test_zero_total(self):
+        assert list(iter_blocks(0, 4)) == []
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            list(iter_blocks(5, 0))
+
+    @given(st.integers(0, 10000), st.integers(1, 500))
+    def test_covers_exactly(self, total, block):
+        blocks = list(iter_blocks(total, block))
+        covered = sum(b - a for a, b in blocks)
+        assert covered == total
+        # contiguous, ordered, non-empty
+        pos = 0
+        for a, b in blocks:
+            assert a == pos and b > a
+            pos = b
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 1, 10) == 5
+
+    def test_below(self):
+        assert clamp(-3, 1, 10) == 1
+
+    def test_above(self):
+        assert clamp(30, 1, 10) == 10
+
+    def test_empty_range(self):
+        with pytest.raises(ValueError):
+            clamp(5, 10, 1)
