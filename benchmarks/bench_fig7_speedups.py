@@ -5,6 +5,7 @@ layout (one row per (p, N) tick) with the paper's values alongside.
 """
 
 from repro.bench import PAPER_SPEEDUP_RANGES, PAPER_TABLE2, cells_for, evaluate_cell
+from repro.exec import evaluate_cells
 from repro.machine import HOPPER, UMD_CLUSTER
 from repro.report import format_table
 
@@ -12,6 +13,7 @@ from repro.report import format_table
 def speedup_series(platform, kind, paper_key):
     paper = PAPER_TABLE2[paper_key]
     rows, ours = [], []
+    evaluate_cells(platform, cells_for(kind))  # parallel prefetch ($REPRO_JOBS)
     for p, n in cells_for(kind):
         cell = evaluate_cell(platform, p, n)
         pf, pn, pt = paper[(p, n)]

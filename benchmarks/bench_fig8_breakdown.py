@@ -13,6 +13,7 @@ import pytest
 
 from repro.bench import BREAKDOWN_CELLS, run_breakdown
 from repro.core import BREAKDOWN_LABELS
+from repro.exec import evaluate_cells
 from repro.report import format_stacked_breakdown
 
 CELLS = (
@@ -24,6 +25,9 @@ CELLS = (
 
 @pytest.mark.parametrize("platform,p,n", CELLS)
 def test_fig8_breakdown(platform, p, n, report_writer, benchmark):
+    # Parallel prefetch of this platform's breakdown cells ($REPRO_JOBS);
+    # run_breakdown reads them from the memo.
+    evaluate_cells(platform, [(pp, nn) for pl, pp, nn in CELLS if pl == platform])
     results = run_breakdown(platform, p, n)
     columns = [(name, res.breakdown) for name, res in results.items()]
     text = format_stacked_breakdown(columns, BREAKDOWN_LABELS)

@@ -7,6 +7,7 @@ paper's argument that tuning results do not transfer between machines
 """
 
 from repro.bench import PAPER_TABLE2, cells_for, cross_platform_time, evaluate_cell
+from repro.exec import evaluate_cells
 from repro.machine import HOPPER, UMD_CLUSTER
 from repro.report import format_table
 
@@ -15,6 +16,10 @@ def cross_series(run_on, tuned_on, paper_key):
     rows = []
     losses = []
     paper = PAPER_TABLE2[paper_key]
+    # Parallel prefetch of both platforms' cells ($REPRO_JOBS workers);
+    # cross_platform_time reads the tuned_on cells from the memo.
+    evaluate_cells(run_on, cells_for("small"))
+    evaluate_cells(tuned_on, cells_for("small"))
     for p, n in cells_for("small"):
         native = evaluate_cell(run_on, p, n)
         cross_t = cross_platform_time(run_on, tuned_on, p, n)

@@ -2,6 +2,7 @@
 
 from repro.bench import PAPER_TABLE2, cells_for, evaluate_cell
 from repro.core import ProblemShape, run_case
+from repro.exec import evaluate_cells
 from repro.machine import HOPPER
 from repro.report import format_table
 
@@ -10,6 +11,7 @@ PAPER = PAPER_TABLE2["Hopper"]
 
 def test_table2b(report_writer, benchmark):
     rows, cells = [], {}
+    evaluate_cells(HOPPER, cells_for("small"))  # parallel prefetch ($REPRO_JOBS)
     for p, n in cells_for("small"):
         cell = evaluate_cell(HOPPER, p, n)
         cells[(p, n)] = cell

@@ -7,6 +7,7 @@ payload per transform, which is exactly why the pipeline's virtual
 
 from repro.bench import PAPER_TABLE2, cells_for, evaluate_cell
 from repro.core import ProblemShape, run_case
+from repro.exec import evaluate_cells
 from repro.machine import HOPPER
 from repro.report import format_table
 
@@ -15,6 +16,7 @@ PAPER = PAPER_TABLE2["Hopper-large"]
 
 def test_table2c(report_writer, benchmark):
     rows, cells = [], {}
+    evaluate_cells(HOPPER, cells_for("large"))  # parallel prefetch ($REPRO_JOBS)
     for p, n in cells_for("large"):
         cell = evaluate_cell(HOPPER, p, n)
         cells[(p, n)] = cell

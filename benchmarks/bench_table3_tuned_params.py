@@ -10,6 +10,7 @@ import pytest
 
 from repro.bench import PAPER_TABLE3, cells_for, evaluate_cell
 from repro.core import PARAM_NAMES, ProblemShape
+from repro.exec import evaluate_cells
 from repro.machine import HOPPER, UMD_CLUSTER
 from repro.report import format_table
 
@@ -25,6 +26,7 @@ def test_table3(name, platform, kind, paper_key, report_writer, benchmark):
     paper = PAPER_TABLE3[paper_key]
     rows = []
     tuned = {}
+    evaluate_cells(platform, cells_for(kind))  # parallel prefetch ($REPRO_JOBS)
     for p, n in cells_for(kind):
         cell = evaluate_cell(platform, p, n)
         tuned[(p, n)] = cell.params["NEW"]

@@ -11,6 +11,7 @@ most cells.
 import pytest
 
 from repro.bench import PAPER_TABLE4, cells_for, evaluate_cell
+from repro.exec import evaluate_cells
 from repro.machine import HOPPER, UMD_CLUSTER
 from repro.report import format_table
 
@@ -25,6 +26,7 @@ CASES = [
 def test_table4(name, platform, kind, paper_key, report_writer, benchmark):
     paper = PAPER_TABLE4[paper_key]
     rows, cells = [], {}
+    evaluate_cells(platform, cells_for(kind))  # parallel prefetch ($REPRO_JOBS)
     for p, n in cells_for(kind):
         cell = evaluate_cell(platform, p, n)
         cells[(p, n)] = cell

@@ -5,7 +5,9 @@ writes the paper-vs-measured report to ``results/<name>.txt`` (stdout is
 captured by pytest, files persist).  Tuned cells are memoized in-process
 across benchmark files; set ``REPRO_BENCH_CACHE=1`` to also persist them
 to disk between invocations, and ``REPRO_BENCH_SCALE=quick`` to trim the
-grids for a fast smoke run.
+grids for a fast smoke run.  ``--jobs N`` (or ``$REPRO_JOBS``) shards
+cell evaluation over worker processes; results are identical to serial
+runs (see :mod:`repro.exec`).
 """
 
 from __future__ import annotations
@@ -19,6 +21,21 @@ from repro.bench import load_cache, save_cache
 
 RESULTS_DIR = Path(__file__).parent / "results"
 CACHE_FILE = Path(__file__).parent / ".cell_cache.json"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=None,
+        help="worker processes for cell evaluation (0 = all cores)",
+    )
+
+
+def pytest_configure(config):
+    jobs = config.getoption("--jobs", default=None)
+    if jobs is not None:
+        # The drivers read $REPRO_JOBS through repro.exec.default_jobs;
+        # the env var keeps worker processes and helpers in agreement.
+        os.environ["REPRO_JOBS"] = str(jobs)
 
 
 @pytest.fixture(scope="session", autouse=True)

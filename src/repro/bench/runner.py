@@ -4,11 +4,18 @@
 setting, exactly the way the paper built each Table 2 row; results are
 memoized per process (and optionally on disk) because Tables 2/3/4 and
 Figures 7/9 all consume the same cells.
+
+The memo key includes the *effective tuning budget*: the same cell
+evaluated with a different ``max_evaluations`` is a different
+experiment and must not alias a cached one.  For multi-core machines,
+:mod:`repro.exec` shards grids of cells over worker processes and feeds
+this same memo through :func:`prime_cache`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -30,13 +37,26 @@ class CellResult:
     tuning_times: dict[str, float]    # variant -> Table 4 seconds
     params: dict[str, TuningParams]   # variant -> winning configuration
     evaluations: dict[str, int]       # variant -> tuning evaluations
+    budget: int = 0                   # tuning budget the cell was built with
 
     def speedup(self, variant: str) -> float:
         """Speedup of ``variant`` over the FFTW baseline (Figure 7)."""
         return self.times["FFTW"] / self.times[variant]
 
 
-_CACHE: dict[tuple[str, int, int], CellResult] = {}
+_CACHE: dict[tuple[str, int, int, int], CellResult] = {}
+
+
+def effective_budget(p: int, max_evaluations: int | None = None) -> int:
+    """The tuning budget a cell evaluation will actually use."""
+    return max_evaluations if max_evaluations is not None else tuning_budget(p)
+
+
+def cell_key(
+    platform: str, p: int, n: int, max_evaluations: int | None = None
+) -> tuple[str, int, int, int]:
+    """Memo/store key for one cell: (platform, p, n, effective budget)."""
+    return (platform, p, n, effective_budget(p, max_evaluations))
 
 
 def evaluate_cell(
@@ -47,11 +67,11 @@ def evaluate_cell(
 ) -> CellResult:
     """Tune and time FFTW/NEW/TH for one cell (memoized)."""
     plat = get_platform(platform) if isinstance(platform, str) else platform
-    key = (plat.name, p, n)
+    budget = effective_budget(p, max_evaluations)
+    key = (plat.name, p, n, budget)
     if key in _CACHE:
         return _CACHE[key]
     shape = ProblemShape(n, n, n, p)
-    budget = max_evaluations if max_evaluations is not None else tuning_budget(p)
     times, tunings, params, evals = {}, {}, {}, {}
     for variant in ("FFTW", "NEW", "TH"):
         result: TuningResult = autotune(
@@ -64,9 +84,16 @@ def evaluate_cell(
     cell = CellResult(
         platform=plat.name, p=p, n=n,
         times=times, tuning_times=tunings, params=params, evaluations=evals,
+        budget=budget,
     )
     _CACHE[key] = cell
     return cell
+
+
+def prime_cache(cells: list[CellResult]) -> None:
+    """Insert externally computed cells (parallel workers) into the memo."""
+    for cell in cells:
+        _CACHE[(cell.platform, cell.p, cell.n, cell.budget)] = cell
 
 
 def run_breakdown(
@@ -107,45 +134,69 @@ def cross_platform_time(
 
 
 # ------------------------------------------------------------------------
+# serialization (shared by the disk cache and the exec-layer store)
+# ------------------------------------------------------------------------
+
+
+def cell_to_dict(cell: CellResult) -> dict:
+    """JSON-ready representation of one cell."""
+    return {
+        "platform": cell.platform,
+        "p": cell.p,
+        "n": cell.n,
+        "budget": cell.budget,
+        "times": cell.times,
+        "tuning_times": cell.tuning_times,
+        "evaluations": cell.evaluations,
+        "params": {k: v.as_dict() for k, v in cell.params.items()},
+    }
+
+
+def cell_from_dict(item: dict) -> CellResult:
+    """Inverse of :func:`cell_to_dict`."""
+    return CellResult(
+        platform=item["platform"],
+        p=item["p"],
+        n=item["n"],
+        times=item["times"],
+        tuning_times=item["tuning_times"],
+        evaluations=item["evaluations"],
+        params={k: TuningParams(**v) for k, v in item["params"].items()},
+        budget=item["budget"],
+    )
+
+
+# ------------------------------------------------------------------------
 # optional on-disk cache so repeated benchmark invocations skip tuning
 # ------------------------------------------------------------------------
 
 
 def save_cache(path: str | Path) -> None:
-    """Persist all memoized cells to JSON."""
-    payload = []
-    for cell in _CACHE.values():
-        payload.append(
-            {
-                "platform": cell.platform,
-                "p": cell.p,
-                "n": cell.n,
-                "times": cell.times,
-                "tuning_times": cell.tuning_times,
-                "evaluations": cell.evaluations,
-                "params": {k: v.as_dict() for k, v in cell.params.items()},
-            }
-        )
-    Path(path).write_text(json.dumps(payload, indent=1))
+    """Persist all memoized cells to JSON (atomically: an interrupted or
+    concurrent run can never leave a truncated file for load_cache)."""
+    payload = [cell_to_dict(cell) for cell in _CACHE.values()]
+    target = Path(path)
+    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=1))
+    os.replace(tmp, target)
 
 
 def load_cache(path: str | Path) -> int:
-    """Load previously saved cells; returns the number restored."""
+    """Load previously saved cells; returns the number restored.
+
+    Entries from the pre-budget schema (no ``"budget"`` field) are
+    skipped: their key is ambiguous, and silently aliasing them to some
+    budget would resurrect the stale-cell bug the key exists to fix.
+    """
     file = Path(path)
     if not file.exists():
         return 0
     restored = 0
     for item in json.loads(file.read_text()):
-        cell = CellResult(
-            platform=item["platform"],
-            p=item["p"],
-            n=item["n"],
-            times=item["times"],
-            tuning_times=item["tuning_times"],
-            evaluations=item["evaluations"],
-            params={k: TuningParams(**v) for k, v in item["params"].items()},
-        )
-        _CACHE[(cell.platform, cell.p, cell.n)] = cell
+        if "budget" not in item:
+            continue
+        cell = cell_from_dict(item)
+        _CACHE[(cell.platform, cell.p, cell.n, cell.budget)] = cell
         restored += 1
     return restored
 

@@ -12,6 +12,9 @@ Commands
     One-parameter ablation sweep (tile size, window, test frequency...).
 ``random``
     Figure-5-style random-configuration CDF.
+``grid``
+    Evaluate a Table-2 style benchmark grid, optionally sharded over
+    worker processes (``--jobs``) with an on-disk result store.
 ``calibrate``
     Machine-model calibration against the paper's published numbers.
 ``platforms``
@@ -40,6 +43,13 @@ def _add_setting_args(p: argparse.ArgumentParser) -> None:
                    help="platform model (see `platforms`)")
     p.add_argument("-v", "--variant", default="NEW",
                    help=f"method: {', '.join(sorted(VARIANTS))}")
+
+
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (0 = all cores; default: $REPRO_JOBS or 1)",
+    )
 
 
 def _shape(args) -> ProblemShape:
@@ -79,7 +89,7 @@ def cmd_run(args) -> int:
         from .simmpi.spmd import run_spmd
 
         def prog(ctx):
-            ParallelRFFT3D(ctx, shape, _parse_params(args.params)).execute(None)
+            yield from ParallelRFFT3D(ctx, shape, _parse_params(args.params)).steps(None)
 
         sim = run_spmd(args.procs, prog, platform)
         print(f"r2c FFT on {platform.name}: N={args.size}^3, p={args.procs}")
@@ -144,7 +154,9 @@ def cmd_sweep(args) -> int:
     from .tuning.gridsearch import sweep_parameter
 
     platform = get_platform(args.machine)
-    pts = sweep_parameter(args.variant, platform, _shape(args), args.name)
+    pts = sweep_parameter(
+        args.variant, platform, _shape(args), args.name, jobs=args.jobs
+    )
     print(format_table(
         [args.name, "time (s)"],
         [[p.value, p.objective] for p in pts],
@@ -161,13 +173,48 @@ def cmd_random(args) -> int:
     platform = get_platform(args.machine)
     rs = random_search(
         args.variant, platform, _shape(args),
-        n_samples=args.samples, seed=args.seed,
+        n_samples=args.samples, seed=args.seed, jobs=args.jobs,
     )
     print(format_cdf(rs.times))
     stats = summarize_cdf(rs.times)
     print(format_table(
         ["min", "median", "max", "max/min"],
         [[stats["min"], stats["median"], stats["max"], stats["spread"]]],
+    ))
+    return 0
+
+
+def cmd_grid(args) -> int:
+    """``repro grid``: evaluate a benchmark grid of (p, N) cells."""
+    from .bench.workloads import VARIANT_ORDER
+    from .exec import run_grid
+
+    cells = []
+    try:
+        for spec_str in args.cells.split(";"):
+            p_str, _, n_str = spec_str.partition(":")
+            for n in n_str.split(","):
+                cells.append((int(p_str), int(n)))
+    except ValueError:
+        print(f"error: bad --cells {args.cells!r}; expected 'p:N,N,...;p:N,...'"
+              " (e.g. '16:256,384;32:256')", file=sys.stderr)
+        return 2
+    results = run_grid(
+        args.machine, cells,
+        jobs=args.jobs, max_evaluations=args.budget, store_dir=args.store,
+    )
+    rows = []
+    for cell in results:
+        rows.append(
+            [cell.p, cell.n]
+            + [cell.times[v] for v in VARIANT_ORDER]
+            + [cell.speedup("NEW")]
+        )
+    print(format_table(
+        ["p", "N"] + list(VARIANT_ORDER) + ["NEW speedup"],
+        rows,
+        title=f"grid on {args.machine} (budget={args.budget}, "
+              f"jobs={args.jobs if args.jobs is not None else 'auto'})",
     ))
     return 0
 
@@ -234,14 +281,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="sweep one parameter")
     _add_setting_args(p_sweep)
+    _add_jobs_arg(p_sweep)
     p_sweep.add_argument("name", help="parameter to sweep (T, W, Fy, ...)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_rand = sub.add_parser("random", help="random-config CDF (Figure 5)")
     _add_setting_args(p_rand)
+    _add_jobs_arg(p_rand)
     p_rand.add_argument("--samples", type=int, default=200)
     p_rand.add_argument("--seed", type=int, default=0)
     p_rand.set_defaults(func=cmd_random)
+
+    p_grid = sub.add_parser(
+        "grid", help="evaluate a (p, N) benchmark grid, optionally in parallel"
+    )
+    p_grid.add_argument("-m", "--machine", default="UMD-Cluster",
+                        help="platform model (see `platforms`)")
+    p_grid.add_argument(
+        "--cells", default="16:256,384,512,640;32:256,384,512,640",
+        help="grid as 'p:N,N,...;p:N,...' (default: the Table-2a cells)",
+    )
+    p_grid.add_argument("--budget", type=int, default=None,
+                        help="tuning budget per cell (default: paper scale)")
+    p_grid.add_argument("--store", default=None,
+                        help="directory for the on-disk result store")
+    _add_jobs_arg(p_grid)
+    p_grid.set_defaults(func=cmd_grid)
 
     p_cal = sub.add_parser("calibrate", help="model-vs-paper calibration")
     p_cal.set_defaults(func=cmd_calibrate)

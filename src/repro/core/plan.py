@@ -148,7 +148,15 @@ class ParallelFFT3D:
 
     def execute(self, local: np.ndarray | None = None) -> np.ndarray | None:
         """Run the transform; returns the local output block (real mode)
-        in :attr:`output_layout` order, or ``None`` (virtual mode)."""
+        in :attr:`output_layout` order, or ``None`` (virtual mode).
+
+        Thread-backend facade over :meth:`steps`; generator SPMD
+        programs should ``yield from plan.steps(local)`` instead so the
+        engine can run them on the no-threads ``tasks`` backend."""
+        return self.ctx.drive(self.steps(local))
+
+    def steps(self, local: np.ndarray | None = None):
+        """The transform as a coroutine (``yield from`` in SPMD generators)."""
         real = local is not None
         dec, ctx, P = self.dec, self.ctx, self.params
         nx, ny, nz = self.shape.nx, self.shape.ny, self.shape.nz
@@ -197,7 +205,9 @@ class ParallelFFT3D:
                 if i < k:
                     self._ffty_pack(i, data, chunks, reqs)
                 if i >= w:
-                    recv[i - w] = self.comm.wait(reqs[i - w], label="Wait")
+                    recv[i - w] = yield from self.comm.co_wait(
+                        reqs[i - w], label="Wait"
+                    )
                 if i < k:
                     self._post(i, chunks, reqs)
                 if i >= w:
@@ -206,7 +216,7 @@ class ParallelFFT3D:
             for i in range(k):
                 self._ffty_pack(i, data, chunks, reqs)
                 self._post(i, chunks, reqs)
-                recv[i] = self.comm.wait(reqs[i], label="Wait")
+                recv[i] = yield from self.comm.co_wait(reqs[i], label="Wait")
                 self._unpack_fftx(i, recv, reqs, out if real else None)
 
         return out if real else None

@@ -78,6 +78,11 @@ class ParallelRFFT3D:
 
     def execute(self, local: np.ndarray | None = None) -> np.ndarray | None:
         """r2c transform of the local block (or virtual timing run)."""
+        return self.ctx.drive(self.steps(local))
+
+    def steps(self, local: np.ndarray | None = None):
+        """The r2c transform as a coroutine (``yield from`` in SPMD
+        generators)."""
         ctx = self.ctx
         dec = self.inner.dec
         ny, nz = self.shape.ny, self.shape.nz
@@ -92,7 +97,7 @@ class ParallelRFFT3D:
                 self._rplan = RealPlan1D(nz)
             half = self._rplan.rfft(np.asarray(local, dtype=np.float64))
         ctx.compute(rfft_z_cost(ctx.cpu, nz, dec.nxl * ny), "FFTz")
-        return self.inner.execute(half)
+        return (yield from self.inner.steps(half))
 
 
 def parallel_rfft3d(
@@ -114,7 +119,8 @@ def parallel_rfft3d(
 
     def prog(ctx):
         plan = ParallelRFFT3D(ctx, shape, params, variant)
-        return plan.execute(blocks[ctx.rank]), plan.output_layout
+        out = yield from plan.steps(blocks[ctx.rank])
+        return out, plan.output_layout
 
     sim = run_spmd(p, prog, platform)
     outs = [o for (o, _l) in sim.results]

@@ -1,0 +1,34 @@
+"""Execution layer: shard experiment grids across CPU cores.
+
+The repo's wall-clock cost is the harness, not the model — every
+Table-2 cell auto-tunes three variants serially, hundreds of full SPMD
+simulations each.  Cells are independent experiments keyed by
+``(platform, p, n, budget)``, so the grid parallelizes embarrassingly:
+
+* :func:`evaluate_cells` — evaluate a list of cells on a process pool
+  with deterministic, order-preserving result merging;
+* :func:`parallel_map` — the generic primitive underneath (also used
+  for random-search CDF samples and ablation sweeps);
+* :class:`ResultStore` — a concurrency-safe on-disk cache (one JSON
+  file per cell, atomic write-tmp-then-rename);
+* :func:`default_jobs` — the shared ``--jobs``/``$REPRO_JOBS``
+  resolution used by the CLI and every ``benchmarks/bench_*.py``
+  driver.
+
+Determinism argument: a cell evaluation is a pure function of its key —
+the simulation engine is deterministic, the tuner seeds its own RNG,
+and workers start from a fresh memo — so *where* a cell runs cannot
+change its value, and merging by input order (never completion order)
+makes ``jobs=N`` byte-identical to ``jobs=1``.
+"""
+
+from .pool import default_jobs, evaluate_cells, parallel_map, run_grid
+from .store import ResultStore
+
+__all__ = [
+    "ResultStore",
+    "default_jobs",
+    "evaluate_cells",
+    "parallel_map",
+    "run_grid",
+]

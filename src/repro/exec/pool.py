@@ -1,0 +1,139 @@
+"""Process-pool sharding with deterministic merging.
+
+:func:`parallel_map` is the one primitive: evaluate ``fn`` over a list
+of argument tuples on ``jobs`` worker processes, returning results in
+**input order** (never completion order).  Each worker is seeded with
+the parent's FFT wisdom at startup and ships its accumulated wisdom
+back with every result, so planner work done anywhere is reused
+everywhere.  ``jobs=1`` (the default) bypasses the pool entirely and
+runs in-process — the reference path the parallel one must match
+byte-for-byte.
+
+:func:`evaluate_cells` specializes this for benchmark grids, layering
+the in-process memo and an optional :class:`~repro.exec.store.ResultStore`
+in front of the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from ..bench.runner import (
+    CellResult,
+    _CACHE,
+    cell_key,
+    effective_budget,
+    evaluate_cell,
+    prime_cache,
+)
+from ..fft.wisdom import GLOBAL_WISDOM
+from ..machine.platforms import Platform
+from .store import ResultStore
+
+
+def default_jobs(explicit: int | None = None) -> int:
+    """Resolve a worker count: an explicit value wins, then ``$REPRO_JOBS``
+    (``0``/``auto`` = all cores), else serial."""
+    if explicit is None:
+        env = os.environ.get("REPRO_JOBS", "").strip().lower()
+        if not env:
+            return 1
+        explicit = 0 if env == "auto" else int(env)
+    if explicit == 0:
+        return os.cpu_count() or 1
+    return max(1, explicit)
+
+
+def _worker_init(wisdom_json: str) -> None:
+    if wisdom_json:
+        GLOBAL_WISDOM.import_json(wisdom_json)
+
+
+def _invoke(fn: Callable[..., Any], args: tuple) -> tuple[Any, str]:
+    return fn(*args), GLOBAL_WISDOM.export_json()
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    argtuples: Sequence[tuple],
+    jobs: int | None = None,
+) -> list[Any]:
+    """``[fn(*args) for args in argtuples]`` over a process pool.
+
+    ``fn`` must be a module-level (picklable) callable whose value is a
+    pure function of its arguments; results are merged by input
+    position, making the output independent of worker scheduling.
+    """
+    argtuples = list(argtuples)
+    jobs = default_jobs(jobs)
+    if jobs <= 1 or len(argtuples) <= 1:
+        return [fn(*args) for args in argtuples]
+    out: list[Any] = []
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(argtuples)),
+        initializer=_worker_init,
+        initargs=(GLOBAL_WISDOM.export_json(),),
+    ) as pool:
+        futures = [pool.submit(_invoke, fn, args) for args in argtuples]
+        for fut in futures:
+            value, wisdom_json = fut.result()
+            GLOBAL_WISDOM.import_json(wisdom_json)
+            out.append(value)
+    return out
+
+
+def evaluate_cells(
+    platform: Platform | str,
+    cells: Sequence[tuple[int, int]],
+    jobs: int | None = None,
+    max_evaluations: int | None = None,
+    store: ResultStore | None = None,
+) -> list[CellResult]:
+    """Evaluate a grid of ``(p, n)`` cells, sharded over ``jobs`` workers.
+
+    Results come back in input order and are primed into the in-process
+    memo, so subsequent serial ``evaluate_cell`` calls (the benchmark
+    drivers' reporting loops) are cache hits.  Layering, per cell:
+    in-process memo → ``store`` (if given) → pool evaluation; computed
+    cells are written back to the store.
+    """
+    name = platform if isinstance(platform, str) else platform.name
+    found: dict[tuple, CellResult] = {}
+    todo: list[tuple[str, int, int, int]] = []
+    for p, n in cells:
+        key = cell_key(name, p, n, max_evaluations)
+        if key in found or key in _CACHE:
+            found[key] = _CACHE.get(key, found.get(key))
+            continue
+        if store is not None:
+            cached = store.get(*key)
+            if cached is not None:
+                found[key] = cached
+                continue
+        todo.append(key)
+    computed = parallel_map(
+        evaluate_cell,
+        [(plat, p, n, budget) for (plat, p, n, budget) in todo],
+        jobs,
+    )
+    for cell in computed:
+        found[(cell.platform, cell.p, cell.n, cell.budget)] = cell
+        if store is not None:
+            store.put(cell)
+    prime_cache(list(found.values()))
+    return [found[cell_key(name, p, n, max_evaluations)] for p, n in cells]
+
+
+def run_grid(
+    platform: Platform | str,
+    cells: Sequence[tuple[int, int]],
+    jobs: int | None = None,
+    max_evaluations: int | None = None,
+    store_dir: str | os.PathLike | None = None,
+) -> list[CellResult]:
+    """CLI-facing wrapper: like :func:`evaluate_cells` with an optional
+    store directory instead of a store object."""
+    store = ResultStore(store_dir) if store_dir is not None else None
+    return evaluate_cells(platform, cells, jobs, max_evaluations, store)

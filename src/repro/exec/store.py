@@ -1,0 +1,60 @@
+"""Concurrency-safe on-disk result store for grid experiments.
+
+One JSON file per cell, named by the full cache key
+(``<platform>__p<p>__n<n>__b<budget>.json``), written atomically: the
+payload goes to a temp file in the same directory and is moved into
+place with ``os.replace``.  Concurrent writers of the *same* key are
+computing the same deterministic value, so last-writer-wins is
+lossless; readers never observe a truncated file because the rename is
+atomic on POSIX.  Unlike :func:`repro.bench.runner.save_cache` (one
+file for the whole memo), per-key files let parallel workers and even
+separate benchmark invocations share results without coordination.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..bench.runner import CellResult, cell_from_dict, cell_to_dict
+
+
+def _safe(token: str) -> str:
+    return "".join(c if (c.isalnum() or c in "-.") else "-" for c in token)
+
+
+class ResultStore:
+    """Directory of per-cell JSON results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, platform: str, p: int, n: int, budget: int) -> Path:
+        """File backing one cell key."""
+        return self.root / f"{_safe(platform)}__p{p}__n{n}__b{budget}.json"
+
+    def get(self, platform: str, p: int, n: int, budget: int) -> CellResult | None:
+        """Stored cell for the key, or ``None`` (missing or unreadable —
+        a foreign/corrupt file is treated as a miss, never an error)."""
+        file = self.path_for(platform, p, n, budget)
+        try:
+            item = json.loads(file.read_text())
+            cell = cell_from_dict(item)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if (cell.platform, cell.p, cell.n, cell.budget) != (platform, p, n, budget):
+            return None  # file name does not match its contents
+        return cell
+
+    def put(self, cell: CellResult) -> Path:
+        """Persist one cell atomically; returns its file path."""
+        target = self.path_for(cell.platform, cell.p, cell.n, cell.budget)
+        tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(cell_to_dict(cell), indent=1))
+        os.replace(tmp, target)
+        return target
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

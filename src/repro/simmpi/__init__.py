@@ -7,7 +7,7 @@ drives injection).  See DESIGN.md section 5 for the model.
 """
 
 from .comm import Communicator, SimContext
-from .engine import Engine, RankTrace
+from .engine import Engine, RankTrace, SchedStats
 from .fabric import Fabric
 from .request import AlltoallRequest, P2PRequest, RecvRequest, Request
 from .spmd import SimResult, run_spmd
@@ -21,6 +21,7 @@ __all__ = [
     "RankTrace",
     "RecvRequest",
     "Request",
+    "SchedStats",
     "SimContext",
     "SimResult",
     "run_spmd",

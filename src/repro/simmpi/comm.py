@@ -13,6 +13,21 @@ the MPI operations the paper's code and common substrates need:
 * ``split`` for sub-communicators (used by the 2-D decomposition
   extension).
 
+Every *blocking* operation exists in two spellings sharing one
+implementation:
+
+* the plain method (``wait``, ``barrier``, ...) blocks the calling rank
+  **thread** — use it from ordinary SPMD callables;
+* the ``co_`` twin (``co_wait``, ``co_barrier``, ...) is a coroutine to
+  be delegated with ``yield from`` — use it from generator SPMD
+  functions, which the engine then runs on its no-threads ``tasks``
+  backend (see :mod:`repro.simmpi.engine`).
+
+The coroutine form is the primary implementation: it yields engine
+commands (block / reschedule) to whoever drives it — the task scheduler
+directly, or :meth:`Engine.drive`'s trampoline on a rank thread — so the
+two spellings take bit-identical scheduling decisions.
+
 Payloads are optional everywhere: in virtual mode callers pass byte
 counts only, in real mode actual numpy arrays travel with the messages.
 """
@@ -46,6 +61,11 @@ class SimContext:
         """Current virtual time of this rank."""
         return self.engine.now(self.rank)
 
+    def drive(self, gen) -> Any:
+        """Run a ``co_*`` coroutine to completion on this rank's thread
+        (threads backend only; generator programs use ``yield from``)."""
+        return self.engine.drive(self.rank, gen)
+
     def compute(self, seconds: float, label: str = "compute") -> None:
         """Advance virtual time by ``seconds`` of local computation."""
         self.engine.advance(self.rank, seconds, label)
@@ -63,6 +83,8 @@ class SimContext:
         request (the paper's Algorithms 2-3, where ``Fy/Fp/Fu/Fx`` tests
         are spread over each computation phase).  Test-call overhead is
         charged on top of ``seconds`` and traced under ``"Test"``.
+
+        Never suspends, so it is safe in both SPMD spellings.
         """
         t0 = self.now
         total_tests = 0
@@ -104,8 +126,9 @@ class Communicator:
     def _charge(self, seconds: float, label: str) -> None:
         self.engine.advance(self.ctx.rank, seconds, label)
 
-    def _block(self, probe: Callable[[], float | None], label: str) -> float:
-        return self.engine.block(self.ctx.rank, probe, label)
+    def _drive(self, gen) -> Any:
+        """Run a co_* coroutine thread-blockingly (threads backend)."""
+        return self.engine.drive(self.ctx.rank, gen)
 
     @property
     def net(self):
@@ -113,11 +136,6 @@ class Communicator:
         return self.fabric.net
 
     # ------------------------------------------------------------------ p2p
-
-    def send(self, dest: int, nbytes: int, payload: Any = None, tag: int = 0) -> None:
-        """Blocking standard-mode send (completes locally at injection)."""
-        req = self.isend(dest, nbytes, payload, tag)
-        self.wait(req, label="Send")
 
     def isend(self, dest: int, nbytes: int, payload: Any = None, tag: int = 0) -> P2PRequest:
         """Non-blocking send; completes locally at injection finish."""
@@ -147,28 +165,48 @@ class Communicator:
         world_src = None if source is None else self.group[source]
         return RecvRequest(self.fabric, self.group[self.rank], world_src, tag)
 
+    def co_send(self, dest: int, nbytes: int, payload: Any = None, tag: int = 0):
+        """Coroutine form of :meth:`send`."""
+        req = self.isend(dest, nbytes, payload, tag)
+        yield from self.co_wait(req, label="Send")
+
+    def send(self, dest: int, nbytes: int, payload: Any = None, tag: int = 0) -> None:
+        """Blocking standard-mode send (completes locally at injection)."""
+        return self._drive(self.co_send(dest, nbytes, payload, tag))
+
+    def co_recv(self, source: int | None = None, tag: int | None = None):
+        """Coroutine form of :meth:`recv`."""
+        req = self.irecv(source, tag)
+        payload, world_src, mtag, nbytes = yield from self.co_wait(req, label="Recv")
+        return payload, self.group.index(world_src), mtag, nbytes
+
     def recv(self, source: int | None = None, tag: int | None = None):
         """Blocking receive; returns ``(payload, src, tag, nbytes)`` with
         ``src`` translated back to this communicator's ranks."""
-        req = self.irecv(source, tag)
-        payload, world_src, mtag, nbytes = self.wait(req, label="Recv")
-        return payload, self.group.index(world_src), mtag, nbytes
+        return self._drive(self.co_recv(source, tag))
+
+    def co_sendrecv(
+        self, dest: int, nbytes: int, payload: Any = None,
+        source: int | None = None, tag: int = 0,
+    ):
+        """Coroutine form of :meth:`sendrecv`."""
+        rreq = self.irecv(source, tag)
+        sreq = self.isend(dest, nbytes, payload, tag)
+        yield from self.co_wait(sreq, label="Send")
+        payload_in, world_src, mtag, nb = yield from self.co_wait(rreq, label="Recv")
+        return payload_in, self.group.index(world_src), mtag, nb
 
     def sendrecv(
         self, dest: int, nbytes: int, payload: Any = None,
         source: int | None = None, tag: int = 0,
     ):
         """Combined send+recv without deadlock (both posted, then both waited)."""
-        rreq = self.irecv(source, tag)
-        sreq = self.isend(dest, nbytes, payload, tag)
-        self.wait(sreq, label="Send")
-        payload_in, world_src, mtag, nb = self.wait(rreq, label="Recv")
-        return payload_in, self.group.index(world_src), mtag, nb
+        return self._drive(self.co_sendrecv(dest, nbytes, payload, source, tag))
 
     # ------------------------------------------------------------ wait/test
 
-    def wait(self, req: Request, label: str = "Wait"):
-        """Block until ``req`` completes; returns the op's result value."""
+    def co_wait(self, req: Request, label: str = "Wait"):
+        """Coroutine form of :meth:`wait`."""
         if req.consumed:
             raise MPIUsageError("request already waited on")
         t = self.ctx.now
@@ -178,17 +216,27 @@ class Communicator:
                 # Event-driven wakeup: the peer whose round completes our
                 # arrival row notifies the engine (no polling sweeps).
                 req.op.waiters[req.rank] = self.group[self.rank]
-        done = self._block(req.completion_probe, label)
+        done = yield ("block", req.completion_probe, label)
         req.consumed = True
         return req.on_complete(done)
+
+    def wait(self, req: Request, label: str = "Wait"):
+        """Block until ``req`` completes; returns the op's result value."""
+        return self._drive(self.co_wait(req, label))
+
+    def co_waitall(self, reqs: Sequence[Request], label: str = "Wait"):
+        """Coroutine form of :meth:`waitall`."""
+        out = []
+        for r in reqs:
+            out.append((yield from self.co_wait(r, label)))
+        return out
 
     def waitall(self, reqs: Sequence[Request], label: str = "Wait") -> list[Any]:
         """Wait on every request; returns their results in order."""
         return [self.wait(r, label) for r in reqs]
 
-    def test(self, req: Request) -> tuple[bool, Any]:
-        """Non-blocking completion check (one MPI_Test): progresses the
-        request, charges the call overhead, returns ``(flag, result)``."""
+    def co_test(self, req: Request):
+        """Coroutine form of :meth:`test`."""
         if req.consumed:
             raise MPIUsageError("request already waited on")
         t = self.ctx.now
@@ -203,8 +251,13 @@ class Communicator:
             return True, req.on_complete(self.ctx.now)
         # Unsuccessful poll: hand the token back so peers (usually behind
         # in virtual time) can post the events this rank is waiting for.
-        self.engine.reschedule(self.ctx.rank)
+        yield ("yield",)
         return False, None
+
+    def test(self, req: Request) -> tuple[bool, Any]:
+        """Non-blocking completion check (one MPI_Test): progresses the
+        request, charges the call overhead, returns ``(flag, result)``."""
+        return self._drive(self.co_test(req))
 
     # -------------------------------------------------------------- alltoall
 
@@ -254,20 +307,25 @@ class Communicator:
     # Alias for the explicit-v spelling.
     ialltoallv = ialltoall
 
+    def co_alltoall(self, sendcounts, recvcounts=None, payload: list[Any] | None = None):
+        """Coroutine form of :meth:`alltoall`."""
+        req = self.ialltoall(sendcounts, recvcounts, payload)
+        return (yield from self.co_wait(req, label="A2A"))
+
     def alltoall(self, sendcounts, recvcounts=None, payload: list[Any] | None = None):
         """Blocking all-to-all(v): post then wait (library-resident, so it
         progresses at full NIC rate — the FFTW-baseline communication)."""
-        req = self.ialltoall(sendcounts, recvcounts, payload)
-        return self.wait(req, label="A2A")
+        return self._drive(self.co_alltoall(sendcounts, recvcounts, payload))
 
     alltoallv = alltoall
+    co_alltoallv = co_alltoall
 
     # ---------------------------------------------------------- collectives
 
     def _tree_depth(self) -> int:
         return max(1, math.ceil(math.log2(max(self.size, 2))))
 
-    def _sync_collective(
+    def _co_sync_collective(
         self, kind: str, extra_time: float, label: str,
         payload: Any = None, root: int | None = None,
         combine: Callable[[list[Any]], Any] | None = None,
@@ -294,7 +352,7 @@ class Communicator:
                 return None
             return float(op.entered.max()) + extra_time
 
-        self._block(probe, label)
+        yield ("block", probe, label)
         result = None
         if combine is not None:
             payloads = [op.payload.get(i) for i in range(self.size)]
@@ -304,14 +362,18 @@ class Communicator:
             self.fabric.release_coll(key)
         return result
 
-    def barrier(self) -> None:
-        """Synchronize all ranks (dissemination-barrier time model)."""
-        self._sync_collective(
+    def co_barrier(self):
+        """Coroutine form of :meth:`barrier`."""
+        yield from self._co_sync_collective(
             "barrier", self._tree_depth() * self.net.latency, "Barrier"
         )
 
-    def bcast(self, payload: Any = None, nbytes: int = 0, root: int = 0):
-        """Broadcast ``root``'s payload to everyone (binomial-tree model)."""
+    def barrier(self) -> None:
+        """Synchronize all ranks (dissemination-barrier time model)."""
+        return self._drive(self.co_barrier())
+
+    def co_bcast(self, payload: Any = None, nbytes: int = 0, root: int = 0):
+        """Coroutine form of :meth:`bcast`."""
         depth = self._tree_depth()
         t_extra = depth * (self.net.latency + nbytes / self.fabric.rank_rate)
         me = self.rank
@@ -320,14 +382,17 @@ class Communicator:
             return payloads[root]
 
         marker = payload if me == root else None
-        return self._sync_collective(
+        return (yield from self._co_sync_collective(
             "bcast", t_extra, "Bcast", payload=marker, root=root, combine=combine
-        )
+        ))
 
-    def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
-               nbytes: int = 0, root: int = 0):
-        """Reduce values to ``root`` (returns the reduction on root, the
-        local value elsewhere).  ``op`` defaults to elementwise add."""
+    def bcast(self, payload: Any = None, nbytes: int = 0, root: int = 0):
+        """Broadcast ``root``'s payload to everyone (binomial-tree model)."""
+        return self._drive(self.co_bcast(payload, nbytes, root))
+
+    def co_reduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+                  nbytes: int = 0, root: int = 0):
+        """Coroutine form of :meth:`reduce`."""
         depth = self._tree_depth()
         t_extra = depth * (self.net.latency + nbytes / self.fabric.rank_rate)
         combiner = op if op is not None else (lambda a, b: a + b)
@@ -341,13 +406,19 @@ class Communicator:
                 acc = combiner(acc, item)
             return acc
 
-        return self._sync_collective(
+        return (yield from self._co_sync_collective(
             "reduce", t_extra, "Reduce", payload=value, root=root, combine=combine
-        )
+        ))
 
-    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
-                  nbytes: int = 0):
-        """Reduce-to-all (recursive-doubling time model)."""
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+               nbytes: int = 0, root: int = 0):
+        """Reduce values to ``root`` (returns the reduction on root, the
+        local value elsewhere).  ``op`` defaults to elementwise add."""
+        return self._drive(self.co_reduce(value, op, nbytes, root))
+
+    def co_allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+                     nbytes: int = 0):
+        """Coroutine form of :meth:`allreduce`."""
         depth = self._tree_depth()
         t_extra = depth * (self.net.latency + nbytes / self.fabric.rank_rate)
         combiner = op if op is not None else (lambda a, b: a + b)
@@ -358,12 +429,17 @@ class Communicator:
                 acc = combiner(acc, item)
             return acc
 
-        return self._sync_collective(
+        return (yield from self._co_sync_collective(
             "allreduce", t_extra, "Allreduce", payload=value, combine=combine
-        )
+        ))
 
-    def gather(self, value: Any, nbytes: int = 0, root: int = 0):
-        """Gather values to ``root`` (list in rank order on root, else None)."""
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+                  nbytes: int = 0):
+        """Reduce-to-all (recursive-doubling time model)."""
+        return self._drive(self.co_allreduce(value, op, nbytes))
+
+    def co_gather(self, value: Any, nbytes: int = 0, root: int = 0):
+        """Coroutine form of :meth:`gather`."""
         t_extra = self._tree_depth() * self.net.latency + (
             (self.size - 1) * nbytes / self.fabric.rank_rate
         )
@@ -372,22 +448,30 @@ class Communicator:
         def combine(payloads: list[Any]):
             return list(payloads) if me == root else None
 
-        return self._sync_collective(
+        return (yield from self._co_sync_collective(
             "gather", t_extra, "Gather", payload=value, root=root, combine=combine
-        )
+        ))
 
-    def allgather(self, value: Any, nbytes: int = 0):
-        """Gather values to all ranks (list in rank order)."""
+    def gather(self, value: Any, nbytes: int = 0, root: int = 0):
+        """Gather values to ``root`` (list in rank order on root, else None)."""
+        return self._drive(self.co_gather(value, nbytes, root))
+
+    def co_allgather(self, value: Any, nbytes: int = 0):
+        """Coroutine form of :meth:`allgather`."""
         t_extra = self._tree_depth() * self.net.latency + (
             (self.size - 1) * nbytes / self.fabric.rank_rate
         )
-        return self._sync_collective(
+        return (yield from self._co_sync_collective(
             "allgather", t_extra, "Allgather", payload=value, combine=list
-        )
+        ))
 
-    def scatter(self, values: Sequence[Any] | None = None, nbytes: int = 0,
-                root: int = 0):
-        """Scatter ``root``'s list of per-rank values."""
+    def allgather(self, value: Any, nbytes: int = 0):
+        """Gather values to all ranks (list in rank order)."""
+        return self._drive(self.co_allgather(value, nbytes))
+
+    def co_scatter(self, values: Sequence[Any] | None = None, nbytes: int = 0,
+                   root: int = 0):
+        """Coroutine form of :meth:`scatter`."""
         if self.rank == root:
             if values is None or len(values) != self.size:
                 raise MPIUsageError(
@@ -402,11 +486,32 @@ class Communicator:
             return payloads[root][me] if payloads[root] is not None else None
 
         marker = list(values) if self.rank == root else None
-        return self._sync_collective(
+        return (yield from self._co_sync_collective(
             "scatter", t_extra, "Scatter", payload=marker, root=root, combine=combine
-        )
+        ))
+
+    def scatter(self, values: Sequence[Any] | None = None, nbytes: int = 0,
+                root: int = 0):
+        """Scatter ``root``'s list of per-rank values."""
+        return self._drive(self.co_scatter(values, nbytes, root))
 
     # -------------------------------------------------------------------- split
+
+    def co_split(self, color: int, key: int | None = None):
+        """Coroutine form of :meth:`split`."""
+        me_key = self.rank if key is None else key
+        triples = yield from self.co_allgather(
+            (color, me_key, self.group[self.rank])
+        )
+        mine = sorted(
+            (k, wr) for (c, k, wr) in triples if c == color
+        )
+        new_group = [wr for (_k, wr) in mine]
+        # Communicator ids must be shared by the members and distinct
+        # across colors: agree on the minimum of the per-rank draws over
+        # the *parent*, then qualify it with the color.
+        agreed = yield from self.co_allreduce(self.engine.new_comm_id(), op=min)
+        return Communicator(self.ctx, new_group, (agreed, color))
 
     def split(self, color: int, key: int | None = None) -> "Communicator":
         """Partition the communicator by ``color`` (MPI_Comm_split).
@@ -415,14 +520,4 @@ class Communicator:
         ``key`` (default: current rank).  Collective — all members must
         call it.
         """
-        me_key = self.rank if key is None else key
-        triples = self.allgather((color, me_key, self.group[self.rank]))
-        mine = sorted(
-            (k, wr) for (c, k, wr) in triples if c == color
-        )
-        new_group = [wr for (_k, wr) in mine]
-        # Communicator ids must be shared by the members and distinct
-        # across colors: agree on the minimum of the per-rank draws over
-        # the *parent*, then qualify it with the color.
-        agreed = self.allreduce(self.engine.new_comm_id(), op=min)
-        return Communicator(self.ctx, new_group, (agreed, color))
+        return self._drive(self.co_split(color, key))

@@ -1,13 +1,33 @@
 """Deterministic discrete-event engine for the simulated cluster.
 
-Each simulated rank runs as a real Python thread executing ordinary
-Python code (the SPMD function), but exactly one rank thread is awake at
-any moment: the scheduler always resumes the rank with the smallest
-*virtual* clock.  This single-token, min-time policy gives conservative
-parallel-discrete-event correctness — when a rank at virtual time ``t``
-runs, every peer's clock is already ``>= t``, so every message that could
-influence it by time ``t`` has been posted — and bit-for-bit determinism
-(ties break by rank id).
+Each simulated rank executes ordinary Python code (the SPMD function),
+but exactly one rank is awake at any moment: the scheduler always
+resumes the rank with the smallest *virtual* clock.  This single-token,
+min-time policy gives conservative parallel-discrete-event correctness —
+when a rank at virtual time ``t`` runs, every peer's clock is already
+``>= t``, so every message that could influence it by time ``t`` has
+been posted — and bit-for-bit determinism (ties break by rank id).
+
+Two **rank backends** share that scheduler:
+
+``threads``
+    every rank is a parked OS thread; suspension points hand the token
+    over through a pair of ``threading.Event`` waits.  Works for any
+    SPMD callable, but each handoff costs two kernel round-trips — at
+    p=256 the handoffs, not the model, dominate wall-clock time.
+``tasks``
+    every rank is a *generator* resumed by ``gen.send`` on the
+    scheduler's own stack — no threads, no locks, no context switches.
+    Requires the SPMD function to be a generator function whose
+    blocking operations are expressed as ``yield from`` of the comm
+    layer's ``co_*`` coroutines (all pipelines in :mod:`repro.core` are
+    written this way).
+
+Backend selection is automatic: a generator SPMD function runs on the
+``tasks`` backend, a plain callable on ``threads``.  Virtual-time
+results are bit-identical between the two because every scheduling
+decision is taken by the same code on the same ordered events; the
+equivalence is enforced by ``tests/simmpi/test_backends.py``.
 
 Virtual time advances only through :meth:`SimContext.compute` /
 communication calls; real numpy work done by the rank costs *zero*
@@ -26,12 +46,16 @@ waiter onto a completion-time heap instead of the scheduler polling.
 The one visible consequence: a non-blocking ``test()`` may
 conservatively report "not done" for an exchange whose peers have not
 been simulated far enough yet; completion *times* (via ``wait``) are
-exact either way.
+exact either way.  The completion-time heap also feeds the pick itself:
+a blocked rank whose wakeup time precedes every ready clock runs first,
+so a rank spinning in a ``test()`` poll loop (which stays ready between
+polls) cannot starve peers parked in ``wait``.
 """
 
 from __future__ import annotations
 
 import heapq
+import inspect
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -41,6 +65,35 @@ from ..machine.platforms import Platform
 from .fabric import Fabric
 
 _STACK_SIZE = 512 * 1024  # rank threads are shallow; keep 256-rank jobs light
+
+#: engine commands a rank coroutine may yield to the scheduler
+_CMD_BLOCK = "block"
+_CMD_YIELD = "yield"
+
+
+@dataclass
+class SchedStats:
+    """Scheduler instrumentation for one engine run.
+
+    ``handoffs`` counts rank resumptions (token grants); ``probe_polls``
+    counts completion-probe invocations made by the scheduler.  Both are
+    backend-independent — the thread and task backends take identical
+    scheduling decisions — so they double as a cheap equivalence check,
+    and their wall-clock cost is what the ``tasks`` backend removes.
+    """
+
+    backend: str = ""
+    handoffs: int = 0
+    probe_polls: int = 0
+
+    def merge(self, other: "SchedStats") -> None:
+        """Accumulate another run's counters into this record."""
+        self.handoffs += other.handoffs
+        self.probe_polls += other.probe_polls
+
+
+#: process-wide cumulative counters (benchmark/smoke reporting)
+TOTALS = SchedStats(backend="total")
 
 
 @dataclass
@@ -60,11 +113,11 @@ class RankTrace:
 
 
 class _Rank:
-    """Scheduler-side bookkeeping for one rank thread."""
+    """Scheduler-side bookkeeping for one simulated rank."""
 
     __slots__ = (
         "idx", "clock", "state", "event", "probe", "probe_label",
-        "thread", "result", "exc", "trace", "coll_seq",
+        "thread", "gen", "block_t0", "result", "exc", "trace", "coll_seq",
     )
 
     def __init__(self, idx: int, record_events: bool) -> None:
@@ -75,6 +128,8 @@ class _Rank:
         self.probe: Callable[[], float | None] | None = None
         self.probe_label = ""
         self.thread: threading.Thread | None = None
+        self.gen = None  # rank coroutine (tasks backend)
+        self.block_t0: float | None = None  # pending-block entry time (tasks)
         self.result: Any = None
         self.exc: BaseException | None = None
         self.trace = RankTrace(events=[] if record_events else None)
@@ -89,11 +144,19 @@ class Engine:
         nprocs: int,
         platform: Platform,
         record_events: bool = False,
+        backend: str = "auto",
     ) -> None:
+        if backend not in ("auto", "threads", "tasks"):
+            raise SimulationError(
+                f"unknown backend {backend!r}; use 'auto', 'threads' or 'tasks'"
+            )
         self.nprocs = nprocs
         self.platform = platform
+        self.backend = backend
         self.fabric = Fabric(platform, nprocs)
         self.ranks = [_Rank(i, record_events) for i in range(nprocs)]
+        self.stats = SchedStats()
+        self._active_backend = "threads"
         self._sched_event = threading.Event()
         self._comm_counter = 0
         self._blocked: set[int] = set()
@@ -107,6 +170,7 @@ class Engine:
         if world_rank in self._blocked:
             self._blocked.discard(world_rank)
             r = self.ranks[world_rank]
+            self.stats.probe_polls += 1
             t = r.probe()
             if t is None:  # pragma: no cover - defensive
                 self._blocked.add(world_rank)
@@ -162,6 +226,7 @@ class Engine:
         r.state = "blocked"
         r.probe = probe
         r.probe_label = label
+        self.stats.probe_polls += 1
         t_ready = probe()
         if t_ready is not None:
             heapq.heappush(self._ready_heap, (max(t_ready, r.clock), rank))
@@ -179,11 +244,79 @@ class Engine:
         r.event.wait()
         r.event.clear()
 
+    def drive(self, rank: int, gen) -> Any:
+        """Run a comm-layer coroutine to completion on a rank *thread*.
+
+        This is the bridge that lets the coroutine-style blocking
+        operations (``co_wait``, ``co_barrier``, ...) serve the thread
+        backend too: each yielded engine command is executed with the
+        ordinary thread-parking primitives.  On the ``tasks`` backend
+        the command must instead propagate to the scheduler via
+        ``yield from`` — calling the synchronous facade there is a
+        programming error, reported eagerly.
+        """
+        if self._active_backend == "tasks":
+            raise SimulationError(
+                "synchronous blocking call on the coroutine backend; "
+                "use the co_* form via 'yield from'"
+            )
+        value = None
+        while True:
+            try:
+                cmd = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value = self._perform(rank, cmd)
+
+    def _perform(self, rank: int, cmd: tuple) -> Any:
+        """Execute one yielded engine command, thread-blocking style."""
+        kind = cmd[0]
+        if kind == _CMD_BLOCK:
+            return self.block(rank, cmd[1], cmd[2])
+        if kind == _CMD_YIELD:
+            self.reschedule(rank)
+            return None
+        raise SimulationError(f"unknown engine command {kind!r}")
+
     # -- run -----------------------------------------------------------------
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
         """Execute ``fn(ctx, *args, **kwargs)`` on every rank; returns the
-        per-rank return values.  Any rank exception is re-raised."""
+        per-rank return values.  Any rank exception is re-raised.
+
+        ``fn`` may be a plain callable (runs on the ``threads`` backend)
+        or a generator function whose blocking operations are
+        ``yield from`` of the comm layer's ``co_*`` coroutines (runs on
+        the ``tasks`` backend unless ``backend="threads"`` forces the
+        thread trampoline — same virtual times either way).
+        """
+        is_gen = inspect.isgeneratorfunction(fn)
+        backend = self.backend
+        if backend == "auto":
+            backend = "tasks" if is_gen else "threads"
+        if backend == "tasks" and not is_gen:
+            raise SimulationError(
+                "the tasks backend needs a generator SPMD function; "
+                "pass a plain callable to the threads backend instead"
+            )
+        self._active_backend = backend
+        self.stats.backend = backend
+        try:
+            if backend == "tasks":
+                return self._run_tasks(fn, args, kwargs)
+            return self._run_threads(fn, args, kwargs, is_gen)
+        finally:
+            TOTALS.merge(self.stats)
+
+    def _collect(self) -> list[Any]:
+        for r in self.ranks:
+            if r.exc is not None:
+                raise SimulationError(f"rank {r.idx} failed") from r.exc
+        return [r.result for r in self.ranks]
+
+    # -- threads backend -----------------------------------------------------
+
+    def _run_threads(self, fn, args, kwargs, is_gen: bool) -> list[Any]:
         from .comm import Communicator, SimContext  # cycle-free at runtime
 
         world = list(range(self.nprocs))
@@ -195,7 +328,10 @@ class Engine:
             ctx = SimContext(self, rank_idx)
             ctx.comm = Communicator(ctx, group=world, comm_id=0)
             try:
-                r.result = fn(ctx, *args, **kwargs)
+                if is_gen:
+                    r.result = self.drive(rank_idx, fn(ctx, *args, **kwargs))
+                else:
+                    r.result = fn(ctx, *args, **kwargs)
             except BaseException as exc:  # surfaced by the scheduler
                 r.exc = exc
             finally:
@@ -213,19 +349,78 @@ class Engine:
             threading.stack_size(old_stack)
 
         try:
-            self._schedule()
+            self._schedule(self._resume_thread)
         finally:
             for r in self.ranks:
                 if r.thread is not None and r.thread.is_alive() and r.state != "done":
                     # A failed run leaves threads parked; they are daemons
                     # and die with the process, but unblock what we can.
                     r.state = "done"
-        for r in self.ranks:
-            if r.exc is not None:
-                raise SimulationError(f"rank {r.idx} failed") from r.exc
-        return [r.result for r in self.ranks]
+        return self._collect()
 
-    def _schedule(self) -> None:
+    def _resume_thread(self, r: _Rank) -> None:
+        r.state = "running"
+        self.stats.handoffs += 1
+        self._sched_event.clear()
+        r.event.set()
+        self._sched_event.wait()
+
+    # -- tasks backend -------------------------------------------------------
+
+    def _run_tasks(self, fn, args, kwargs) -> list[Any]:
+        from .comm import Communicator, SimContext  # cycle-free at runtime
+
+        world = list(range(self.nprocs))
+        for r in self.ranks:
+            ctx = SimContext(self, r.idx)
+            ctx.comm = Communicator(ctx, group=world, comm_id=0)
+            r.gen = fn(ctx, *args, **kwargs)
+        self._schedule(self._resume_task)
+        return self._collect()
+
+    def _resume_task(self, r: _Rank) -> None:
+        r.state = "running"
+        self.stats.handoffs += 1
+        value = None
+        if r.block_t0 is not None:
+            # Waking from a block: the scheduler set the clock to the
+            # completion time; account the blocked interval exactly the
+            # way the thread backend does on its side of block().
+            r.trace.add(r.block_t0, r.clock, r.probe_label)
+            value = r.clock
+            r.block_t0 = None
+        try:
+            cmd = r.gen.send(value)
+        except StopIteration as stop:
+            r.result = stop.value
+            r.state = "done"
+            return
+        except BaseException as exc:
+            r.exc = exc
+            r.state = "done"
+            return
+        kind = cmd[0]
+        if kind == _CMD_BLOCK:
+            probe, label = cmd[1], cmd[2]
+            r.block_t0 = r.clock
+            r.state = "blocked"
+            r.probe = probe
+            r.probe_label = label
+            self.stats.probe_polls += 1
+            t_ready = probe()
+            if t_ready is not None:
+                heapq.heappush(self._ready_heap, (max(t_ready, r.clock), r.idx))
+            else:
+                self._blocked.add(r.idx)
+        elif kind == _CMD_YIELD:
+            r.state = "ready"
+        else:
+            r.exc = SimulationError(f"unknown engine command {kind!r}")
+            r.state = "done"
+
+    # -- shared scheduling core ----------------------------------------------
+
+    def _schedule(self, resume: Callable[[_Rank], None]) -> None:
         ranks = self.ranks
         # Lazy min-heap of (clock, idx) for ready ranks; stale entries
         # (rank no longer ready, or re-queued with a newer clock) are
@@ -236,11 +431,22 @@ class Engine:
         while True:
             best: _Rank | None = None
             while heap:
-                clock, idx = heapq.heappop(heap)
+                clock, idx = heap[0]
                 cand = ranks[idx]
                 if cand.state == "ready" and cand.clock == clock:
                     best = cand
                     break
+                heapq.heappop(heap)
+            if best is not None:
+                # Min-time includes blocked ranks with a determinable
+                # completion: a poller that stays "ready" between failed
+                # test() calls must not starve waiting peers whose wakeup
+                # times lie before its clock (virtual-time livelock).
+                woken = self._pop_woken(before=best.clock)
+                if woken is not None:
+                    best = woken
+                else:
+                    heapq.heappop(heap)
             if best is None:
                 best, best_t = self._pick_blocked()
                 if best is None:
@@ -250,15 +456,34 @@ class Engine:
                 best.clock = best_t
                 best.probe = None
                 self._blocked.discard(best.idx)
-            best.state = "running"
-            self._sched_event.clear()
-            best.event.set()
-            self._sched_event.wait()
+            resume(best)
             if best.exc is not None:
-                # Fail fast: other ranks are parked; run() reports.
+                # Fail fast: remaining ranks are parked; run() reports.
                 return
             if best.state == "ready":
                 heapq.heappush(heap, (best.clock, best.idx))
+
+    def _pop_woken(self, before: float) -> "_Rank | None":
+        """Pop the earliest blocked rank whose event-fed completion time
+        is strictly earlier than ``before`` and make it runnable; ``None``
+        when the ready rank at ``before`` should run instead (ties keep
+        the ready rank — matches the pre-wakeup scheduling order)."""
+        rh = self._ready_heap
+        ranks = self.ranks
+        while rh:
+            t, idx = rh[0]
+            r = ranks[idx]
+            if r.state != "blocked":
+                heapq.heappop(rh)  # stale: already woken or done
+                continue
+            if t >= before:
+                return None
+            heapq.heappop(rh)
+            r.clock = t
+            r.probe = None
+            self._blocked.discard(idx)
+            return r
+        return None
 
     def _pick_blocked(self) -> tuple["_Rank | None", float | None]:
         """Earliest-completing blocked rank, or (None, None).
@@ -277,6 +502,7 @@ class Engine:
         best_t: float | None = None
         for idx in self._blocked:
             r = ranks[idx]
+            self.stats.probe_polls += 1
             t = r.probe()
             if t is None:
                 continue

@@ -7,11 +7,12 @@ step-time breakdowns the benchmarks aggregate (Figure 8 of the paper).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..machine.platforms import Platform
-from .engine import Engine, RankTrace
+from .engine import Engine, RankTrace, SchedStats
 
 
 @dataclass
@@ -23,6 +24,7 @@ class SimResult:
     traces: list[RankTrace]
     nprocs: int
     platform: Platform
+    stats: SchedStats | None = None
 
     def breakdown(self, labels: list[str] | None = None) -> dict[str, float]:
         """Average per-rank virtual seconds by step label.
@@ -50,6 +52,7 @@ def run_spmd(
     platform: Platform,
     *args: Any,
     record_events: bool = False,
+    backend: str = "auto",
     **kwargs: Any,
 ) -> SimResult:
     """Run ``fn(ctx, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -57,8 +60,18 @@ def run_spmd(
     ``ctx`` is a :class:`~repro.simmpi.comm.SimContext`; ``ctx.comm`` is
     the world communicator.  The function must be SPMD-correct: every
     rank must participate in every collective it reaches.
+
+    ``backend`` selects the rank substrate: ``"threads"`` (one OS thread
+    per rank), ``"tasks"`` (ranks as coroutines — requires ``fn`` to be
+    a generator function using the ``co_*`` comm spellings), or
+    ``"auto"`` (tasks for generator functions, threads otherwise).
+    ``$REPRO_SIM_BACKEND`` overrides ``"auto"`` — the benchmarking knob
+    for timing the thread substrate against the task one on the same
+    generator program.
     """
-    engine = Engine(nprocs, platform, record_events=record_events)
+    if backend == "auto":
+        backend = os.environ.get("REPRO_SIM_BACKEND", "").strip() or "auto"
+    engine = Engine(nprocs, platform, record_events=record_events, backend=backend)
     results = engine.run(fn, *args, **kwargs)
     return SimResult(
         results=results,
@@ -66,4 +79,5 @@ def run_spmd(
         traces=engine.traces(),
         nprocs=nprocs,
         platform=platform,
+        stats=engine.stats,
     )

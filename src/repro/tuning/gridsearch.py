@@ -28,6 +28,16 @@ class SweepPoint:
     objective: float
 
 
+def _time_point(spec, platform, shape, params, include_fixed_steps):
+    """One sweep point's objective (module-level: pool workers pickle it)."""
+    from ..core.api import run_case
+
+    res, _ = run_case(
+        spec, platform, shape, params, include_fixed_steps=include_fixed_steps
+    )
+    return res.elapsed
+
+
 def sweep_parameter(
     variant: str | VariantSpec,
     platform: Platform,
@@ -35,25 +45,32 @@ def sweep_parameter(
     name: str,
     base: TuningParams | None = None,
     include_fixed_steps: bool = True,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
     """Vary one parameter over its candidate list, others fixed at
-    ``base``; skips infeasible combinations."""
-    from ..core.api import run_case
+    ``base``; skips infeasible combinations.  ``jobs`` shards the point
+    evaluations over worker processes (see :mod:`repro.exec`) with
+    order-preserving merging."""
+    from ..exec.pool import parallel_map
 
     spec = get_variant(variant) if isinstance(variant, str) else variant
     if base is None:
         base = baseline_params(spec, shape)
     space = SearchSpace(shape, (name,))
-    out: list[SweepPoint] = []
+    points = []
     for value in space.dims[0].values:
         params = base.replace(**{name: value})
-        if not params.is_feasible(shape):
-            continue
-        res, _ = run_case(
-            spec, platform, shape, params, include_fixed_steps=include_fixed_steps
-        )
-        out.append(SweepPoint(params=params, value=value, objective=res.elapsed))
-    return out
+        if params.is_feasible(shape):
+            points.append((value, params))
+    objectives = parallel_map(
+        _time_point,
+        [(spec, platform, shape, p, include_fixed_steps) for _v, p in points],
+        jobs,
+    )
+    return [
+        SweepPoint(params=params, value=value, objective=obj)
+        for (value, params), obj in zip(points, objectives)
+    ]
 
 
 def exhaustive_search(

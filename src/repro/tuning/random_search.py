@@ -52,6 +52,16 @@ def sample_params(
             return params
 
 
+def _time_params(spec, platform, shape, params, include_fixed_steps):
+    """One sample's objective (module-level: pool workers pickle it)."""
+    from ..core.api import run_case  # local import to avoid cycles
+
+    res, _ = run_case(
+        spec, platform, shape, params, include_fixed_steps=include_fixed_steps
+    )
+    return res.elapsed
+
+
 def random_search(
     variant: str | VariantSpec,
     platform: Platform,
@@ -59,26 +69,31 @@ def random_search(
     n_samples: int = 200,
     seed: int = 0,
     include_fixed_steps: bool = False,
+    jobs: int | None = None,
 ) -> RandomSearchResult:
     """Measure ``n_samples`` random configurations (Figure 5).
 
     ``include_fixed_steps=False`` matches the paper: "We exclude the FFTz
     and Transpose steps as those steps have the fixed performance
     regardless of parameter values."
+
+    ``jobs`` shards the sample evaluations over worker processes (see
+    :mod:`repro.exec`); all draws come from the single seeded RNG up
+    front, so the sample set — and hence the result — is identical for
+    every worker count.
     """
-    from ..core.api import run_case  # local import to avoid cycles
+    from ..exec.pool import parallel_map  # local import to avoid cycles
 
     spec = get_variant(variant) if isinstance(variant, str) else variant
     base = baseline_params(spec, shape)
     space = SearchSpace(shape, spec.tunable)
     rng = random.Random(seed)
-    params_list: list[TuningParams] = []
-    times = np.empty(n_samples)
-    for i in range(n_samples):
-        params = sample_params(space, shape, base, rng)
-        res, _ = run_case(
-            spec, platform, shape, params, include_fixed_steps=include_fixed_steps
-        )
-        params_list.append(params)
-        times[i] = res.elapsed
-    return RandomSearchResult(params=params_list, times=times)
+    params_list = [
+        sample_params(space, shape, base, rng) for _ in range(n_samples)
+    ]
+    elapsed = parallel_map(
+        _time_params,
+        [(spec, platform, shape, p, include_fixed_steps) for p in params_list],
+        jobs,
+    )
+    return RandomSearchResult(params=params_list, times=np.asarray(elapsed))

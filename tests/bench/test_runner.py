@@ -71,15 +71,39 @@ class TestRunner:
         assert cell.speedup("NEW") == cell.times["FFTW"] / cell.times["NEW"]
         assert all(t > 0 for t in cell.times.values())
 
+    def test_budget_in_memo_key(self):
+        # Different tuning budgets are different experiments: the memo
+        # must not serve one for the other.
+        a = evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=10)
+        b = evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=40)
+        assert a is not b
+        assert a.budget == 10 and b.budget == 40
+        assert evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=10) is a
+
     def test_save_load_roundtrip(self, tmp_path):
         cell = evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=40)
         path = tmp_path / "cache.json"
         save_cache(path)
         clear_cache()
         assert load_cache(path) == 1
-        restored = evaluate_cell(UMD_CLUSTER, 4, 64)  # served from cache
+        # Same budget -> served from cache.
+        restored = evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=40)
         assert restored.times == cell.times
         assert restored.params["NEW"] == cell.params["NEW"]
+
+    def test_save_cache_atomic(self, tmp_path):
+        evaluate_cell(UMD_CLUSTER, 4, 64, max_evaluations=10)
+        path = tmp_path / "cache.json"
+        save_cache(path)
+        save_cache(path)  # overwrite goes through os.replace
+        assert [f.name for f in tmp_path.iterdir()] == ["cache.json"]
+
+    def test_load_skips_pre_budget_schema(self, tmp_path):
+        # Old-schema entries (no "budget") have ambiguous keys; they are
+        # dropped rather than aliased to some budget.
+        path = tmp_path / "cache.json"
+        path.write_text('[{"platform": "UMD-Cluster", "p": 4, "n": 64}]')
+        assert load_cache(path) == 0
 
     def test_load_missing_file(self, tmp_path):
         assert load_cache(tmp_path / "nope.json") == 0

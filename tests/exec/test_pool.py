@@ -1,0 +1,122 @@
+"""Execution layer: worker-count resolution, deterministic sharding.
+
+The contract under test is the one the benchmark drivers rely on:
+``evaluate_cells(..., jobs=4)`` returns exactly what ``jobs=1`` returns
+— same cells, same order, same numbers — and primes the in-process memo
+so the drivers' serial reporting loops never re-tune.
+"""
+
+import pytest
+
+from repro.bench import clear_cache, evaluate_cell
+from repro.exec import ResultStore, default_jobs, evaluate_cells, parallel_map
+
+GRID = [(4, 32), (4, 48), (8, 32)]
+BUDGET = 4
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _square(x):
+    return x * x  # module-level: must survive pickling into workers
+
+
+class TestDefaultJobs:
+    def test_serial_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert default_jobs(3) == 3
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert default_jobs() == 5
+
+    @pytest.mark.parametrize("spelling", ["0", "auto"])
+    def test_zero_and_auto_mean_all_cores(self, monkeypatch, spelling):
+        monkeypatch.setenv("REPRO_JOBS", spelling)
+        assert default_jobs() >= 1
+
+    def test_floor_is_one(self):
+        assert default_jobs(-3) == 1
+
+
+class TestParallelMap:
+    def test_input_order_serial(self):
+        assert parallel_map(_square, [(3,), (1,), (2,)], jobs=1) == [9, 1, 4]
+
+    def test_input_order_pooled(self):
+        args = [(i,) for i in range(8)]
+        assert parallel_map(_square, args, jobs=4) == [i * i for i in range(8)]
+
+    def test_single_item_bypasses_pool(self):
+        # A lambda is unpicklable; only the in-process path can run it.
+        assert parallel_map(lambda x: x + 1, [(41,)], jobs=4) == [42]
+
+
+class TestEvaluateCells:
+    def _grid(self, jobs):
+        clear_cache()
+        return evaluate_cells(
+            "UMD-Cluster", GRID, jobs=jobs, max_evaluations=BUDGET
+        )
+
+    def test_jobs4_identical_to_jobs1(self):
+        serial = self._grid(1)
+        pooled = self._grid(4)
+        assert pooled == serial  # same cells, same order, same numbers
+
+    @pytest.mark.parametrize("platform", ["UMD-Cluster", "Hopper"])
+    def test_jobs4_identical_to_jobs1_both_platforms(self, platform):
+        # The issue's canonical grid: two platforms x p in {4, 8} x one N.
+        grid = [(4, 32), (8, 32)]
+        clear_cache()
+        serial = evaluate_cells(platform, grid, jobs=1, max_evaluations=BUDGET)
+        clear_cache()
+        pooled = evaluate_cells(platform, grid, jobs=4, max_evaluations=BUDGET)
+        assert pooled == serial
+
+    def test_results_in_input_order(self):
+        cells = self._grid(2)
+        assert [(c.p, c.n) for c in cells] == GRID
+        assert all(c.budget == BUDGET for c in cells)
+
+    def test_primes_the_memo(self):
+        cells = self._grid(2)
+        # The drivers' serial loops must hit the memo, not re-tune.
+        again = evaluate_cell("UMD-Cluster", 4, 32, max_evaluations=BUDGET)
+        assert again is cells[0]
+
+    def test_duplicate_cells_evaluated_once(self):
+        cells = evaluate_cells(
+            "UMD-Cluster", [(4, 32), (4, 32)], jobs=1, max_evaluations=BUDGET
+        )
+        assert cells[0] is cells[1]
+
+    def test_store_read_through(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        first = evaluate_cells(
+            "UMD-Cluster", GRID, jobs=1, max_evaluations=BUDGET, store=store
+        )
+        assert len(store) == len(GRID)
+
+        # A fresh process (memo cleared) must be served from the store
+        # without a single pool evaluation.
+        clear_cache()
+
+        def no_work(fn, argtuples, jobs=None):
+            assert list(argtuples) == []
+            return []
+
+        monkeypatch.setattr("repro.exec.pool.parallel_map", no_work)
+        second = evaluate_cells(
+            "UMD-Cluster", GRID, jobs=1, max_evaluations=BUDGET, store=store
+        )
+        assert second == first

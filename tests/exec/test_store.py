@@ -1,0 +1,68 @@
+"""On-disk result store: atomicity, key discipline, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.bench import clear_cache, evaluate_cell
+from repro.exec import ResultStore
+
+BUDGET = 4
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture
+def cell():
+    return evaluate_cell("UMD-Cluster", 4, 32, max_evaluations=BUDGET)
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path, cell):
+        store = ResultStore(tmp_path / "cells")
+        path = store.put(cell)
+        assert path.exists()
+        assert len(store) == 1
+        back = store.get("UMD-Cluster", 4, 32, BUDGET)
+        assert back == cell
+
+    def test_missing_key_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("UMD-Cluster", 4, 32, BUDGET) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, cell):
+        store = ResultStore(tmp_path)
+        store.put(cell)
+        store.path_for(cell.platform, cell.p, cell.n, cell.budget).write_text(
+            "{ truncated"
+        )
+        assert store.get("UMD-Cluster", 4, 32, BUDGET) is None
+
+    def test_mismatched_contents_are_a_miss(self, tmp_path, cell):
+        store = ResultStore(tmp_path)
+        path = store.put(cell)
+        # A file whose *name* claims a different key must not be served.
+        impostor = store.path_for(cell.platform, cell.p, 64, cell.budget)
+        impostor.write_text(path.read_text())
+        assert store.get("UMD-Cluster", 4, 64, BUDGET) is None
+
+    def test_put_is_atomic(self, tmp_path, cell):
+        store = ResultStore(tmp_path)
+        store.put(cell)
+        store.put(cell)  # overwrite goes through the same tmp+rename path
+        leftovers = [f for f in store.root.iterdir() if ".tmp." in f.name]
+        assert leftovers == []
+        assert len(store) == 1
+
+    def test_payload_is_plain_json(self, tmp_path, cell):
+        store = ResultStore(tmp_path)
+        path = store.put(cell)
+        item = json.loads(path.read_text())
+        assert item["platform"] == "UMD-Cluster"
+        assert item["budget"] == BUDGET
+        assert set(item["times"]) == {"FFTW", "NEW", "TH"}

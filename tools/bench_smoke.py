@@ -1,0 +1,60 @@
+"""CI smoke benchmark: tiny grid, writes BENCH_smoke.json.
+
+Usage:  python tools/bench_smoke.py [--out PATH]
+
+Evaluates a handful of small cells through the execution layer (tasks
+backend, in-process) and records cells evaluated, wall seconds, and the
+scheduler's cumulative handoff / probe-poll counters.  Small enough for
+every CI run; the numbers give a commit-over-commit perf trajectory
+without the cost of the full benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import clear_cache  # noqa: E402
+from repro.exec import evaluate_cells  # noqa: E402
+from repro.simmpi.engine import TOTALS  # noqa: E402
+
+GRID = {"UMD-Cluster": [(4, 32), (8, 32)], "Hopper": [(4, 32)]}
+BUDGET = 6
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(ROOT / "BENCH_smoke.json"))
+    args = ap.parse_args(argv)
+
+    clear_cache()
+    t0 = time.perf_counter()
+    evaluated = 0
+    for platform, cells in GRID.items():
+        evaluate_cells(platform, cells, jobs=1, max_evaluations=BUDGET)
+        evaluated += len(cells)
+    wall = time.perf_counter() - t0
+
+    payload = {
+        "benchmark": "smoke grid (tasks backend, serial)",
+        "cells_evaluated": evaluated,
+        "budget": BUDGET,
+        "wall_s": round(wall, 3),
+        "scheduler_handoffs": TOTALS.handoffs,
+        "scheduler_probe_polls": TOTALS.probe_polls,
+        "host_cores": os.cpu_count(),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
