@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.api import RunResult, run_case
@@ -38,6 +38,10 @@ class CellResult:
     params: dict[str, TuningParams]   # variant -> winning configuration
     evaluations: dict[str, int]       # variant -> tuning evaluations
     budget: int = 0                   # tuning budget the cell was built with
+    #: variant -> overlap summary of the tuned full run
+    #: (:func:`repro.obs.run_metrics`: overlap_efficiency_pct,
+    #: exposed_comm_s, scheduler counters, ...)
+    metrics: dict[str, dict] = field(default_factory=dict)
 
     def speedup(self, variant: str) -> float:
         """Speedup of ``variant`` over the FFTW baseline (Figure 7)."""
@@ -72,7 +76,7 @@ def evaluate_cell(
     if key in _CACHE:
         return _CACHE[key]
     shape = ProblemShape(n, n, n, p)
-    times, tunings, params, evals = {}, {}, {}, {}
+    times, tunings, params, evals, metrics = {}, {}, {}, {}, {}
     for variant in ("FFTW", "NEW", "TH"):
         result: TuningResult = autotune(
             variant, plat, shape, max_evaluations=budget
@@ -81,10 +85,14 @@ def evaluate_cell(
         tunings[variant] = result.tuning_time
         params[variant] = result.best_params
         evals[variant] = result.evaluations
+        if result.full_run.sim is not None:
+            from ..obs.metrics import run_metrics
+
+            metrics[variant] = run_metrics(result.full_run.sim)
     cell = CellResult(
         platform=plat.name, p=p, n=n,
         times=times, tuning_times=tunings, params=params, evaluations=evals,
-        budget=budget,
+        budget=budget, metrics=metrics,
     )
     _CACHE[key] = cell
     return cell
@@ -149,6 +157,7 @@ def cell_to_dict(cell: CellResult) -> dict:
         "tuning_times": cell.tuning_times,
         "evaluations": cell.evaluations,
         "params": {k: v.as_dict() for k, v in cell.params.items()},
+        "metrics": cell.metrics,
     }
 
 
@@ -163,6 +172,9 @@ def cell_from_dict(item: dict) -> CellResult:
         evaluations=item["evaluations"],
         params={k: TuningParams(**v) for k, v in item["params"].items()},
         budget=item["budget"],
+        # pre-observability stores have no metrics section; an empty
+        # dict keeps those cells loadable (summaries just omit them)
+        metrics=item.get("metrics", {}),
     )
 
 

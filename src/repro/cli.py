@@ -15,16 +15,25 @@ Commands
 ``grid``
     Evaluate a Table-2 style benchmark grid, optionally sharded over
     worker processes (``--jobs``) with an on-disk result store.
+``trace``
+    Replay a saved trace (JSONL or Chrome JSON) as an ASCII gantt.
 ``calibrate``
     Machine-model calibration against the paper's published numbers.
 ``platforms``
     List available platform models.
+
+``run``, ``sweep`` and ``grid`` accept ``--trace FILE``: the run is
+executed under a :mod:`repro.obs` tracer and the result written as a
+Chrome trace-event JSON (``.json``, Perfetto-viewable) or a JSONL event
+log (``.jsonl``, replayable with ``repro trace``).  ``grid``/``sweep``
+render a live per-cell progress line with ETA on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from .core.api import BREAKDOWN_LABELS, run_case
 from .core.params import ProblemShape, TuningParams
@@ -50,6 +59,45 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
         "-j", "--jobs", type=int, default=None,
         help="worker processes (0 = all cores; default: $REPRO_JOBS or 1)",
     )
+    p.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live progress line on stderr",
+    )
+
+
+def _add_trace_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a trace: .jsonl = event log (replayable with "
+             "`repro trace`), anything else = Chrome trace-event JSON "
+             "(open in Perfetto)",
+    )
+
+
+@contextmanager
+def _maybe_trace(args, rank_spans: bool):
+    """Install a tracer for the command body when ``--trace`` was given,
+    and export it on the way out."""
+    path = getattr(args, "trace", None)
+    if not path:
+        yield None
+        return
+    from .obs import Tracer, tracing, write_trace
+
+    meta = {"command": args.command, "argv": " ".join(sys.argv[1:])}
+    with tracing(Tracer(rank_spans=rank_spans, meta=meta)) as tracer:
+        yield tracer
+    n = write_trace(tracer, path)
+    print(f"trace: {n} records -> {path}")
+
+
+def _progress(args):
+    """The live per-cell progress renderer (None when suppressed)."""
+    if getattr(args, "no_progress", False):
+        return None
+    from .obs import ProgressLine
+
+    return ProgressLine()
 
 
 def _shape(args) -> ProblemShape:
@@ -67,47 +115,62 @@ def _parse_params(text: str | None) -> TuningParams | None:
     return TuningParams(**fields)
 
 
+def _print_overlap(sim) -> None:
+    """One-line overlap summary under a run's breakdown table."""
+    from .obs import run_metrics
+
+    m = run_metrics(sim)
+    print(f"overlap: {m['overlap_efficiency_pct']:.1f}% of the exchange "
+          f"window covered by compute; exposed comm "
+          f"{m['exposed_comm_s']:.4f} s")
+
+
 def cmd_run(args) -> int:
     """``repro run``: simulate one FFT and print the breakdown."""
     platform = get_platform(args.machine)
     shape = _shape(args)
-    if args.decomposition == "pencil":
-        from .core.pencil import PencilFFT3D
-        from .simmpi.spmd import run_spmd
+    with _maybe_trace(args, rank_spans=True):
+        if args.decomposition == "pencil":
+            from .core.pencil import PencilFFT3D
+            from .simmpi.spmd import run_spmd
 
-        def prog(ctx):
-            PencilFFT3D(ctx, (args.size, args.size, args.size)).execute(None)
+            def prog(ctx):
+                PencilFFT3D(ctx, (args.size, args.size, args.size)).execute(None)
 
-        sim = run_spmd(args.procs, prog, platform)
-        print(f"pencil FFT on {platform.name}: N={args.size}^3, p={args.procs}")
-        print(f"simulated time: {sim.elapsed:.4f} s")
-        rows = [[k, v] for k, v in sorted(sim.breakdown().items())]
-        print(format_table(["step", "seconds"], rows))
+            sim = run_spmd(args.procs, prog, platform)
+            print(f"pencil FFT on {platform.name}: N={args.size}^3, p={args.procs}")
+            print(f"simulated time: {sim.elapsed:.4f} s")
+            rows = [[k, v] for k, v in sorted(sim.breakdown().items())]
+            print(format_table(["step", "seconds"], rows))
+            return 0
+        if args.real:
+            from .core.realfft3d import ParallelRFFT3D
+            from .simmpi.spmd import run_spmd
+
+            def prog(ctx):
+                yield from ParallelRFFT3D(
+                    ctx, shape, _parse_params(args.params)
+                ).steps(None)
+
+            sim = run_spmd(args.procs, prog, platform)
+            print(f"r2c FFT on {platform.name}: N={args.size}^3, p={args.procs}")
+            print(f"simulated time: {sim.elapsed:.4f} s")
+            return 0
+        result, _ = run_case(
+            args.variant, platform, shape, _parse_params(args.params)
+        )
+        print(f"{result.variant} on {result.platform}: "
+              f"N={args.size}^3, p={args.procs}")
+        print(f"simulated time: {result.elapsed:.4f} s")
+        rows = [
+            [label, secs, 100.0 * secs / result.elapsed]
+            for label, secs in result.breakdown.items()
+            if label in BREAKDOWN_LABELS
+        ]
+        print(format_table(["step", "seconds", "% of total"], rows))
+        if result.sim is not None:
+            _print_overlap(result.sim)
         return 0
-    if args.real:
-        from .core.realfft3d import ParallelRFFT3D
-        from .simmpi.spmd import run_spmd
-
-        def prog(ctx):
-            yield from ParallelRFFT3D(ctx, shape, _parse_params(args.params)).steps(None)
-
-        sim = run_spmd(args.procs, prog, platform)
-        print(f"r2c FFT on {platform.name}: N={args.size}^3, p={args.procs}")
-        print(f"simulated time: {sim.elapsed:.4f} s")
-        return 0
-    result, _ = run_case(
-        args.variant, platform, shape, _parse_params(args.params)
-    )
-    print(f"{result.variant} on {result.platform}: "
-          f"N={args.size}^3, p={args.procs}")
-    print(f"simulated time: {result.elapsed:.4f} s")
-    rows = [
-        [label, secs, 100.0 * secs / result.elapsed]
-        for label, secs in result.breakdown.items()
-        if label in BREAKDOWN_LABELS
-    ]
-    print(format_table(["step", "seconds", "% of total"], rows))
-    return 0
 
 
 def cmd_multi(args) -> int:
@@ -154,9 +217,11 @@ def cmd_sweep(args) -> int:
     from .tuning.gridsearch import sweep_parameter
 
     platform = get_platform(args.machine)
-    pts = sweep_parameter(
-        args.variant, platform, _shape(args), args.name, jobs=args.jobs
-    )
+    with _maybe_trace(args, rank_spans=False):
+        pts = sweep_parameter(
+            args.variant, platform, _shape(args), args.name, jobs=args.jobs,
+            progress=_progress(args),
+        )
     print(format_table(
         [args.name, "time (s)"],
         [[p.value, p.objective] for p in pts],
@@ -199,10 +264,12 @@ def cmd_grid(args) -> int:
         print(f"error: bad --cells {args.cells!r}; expected 'p:N,N,...;p:N,...'"
               " (e.g. '16:256,384;32:256')", file=sys.stderr)
         return 2
-    results = run_grid(
-        args.machine, cells,
-        jobs=args.jobs, max_evaluations=args.budget, store_dir=args.store,
-    )
+    with _maybe_trace(args, rank_spans=False):
+        results = run_grid(
+            args.machine, cells,
+            jobs=args.jobs, max_evaluations=args.budget, store_dir=args.store,
+            progress=_progress(args),
+        )
     rows = []
     for cell in results:
         rows.append(
@@ -216,6 +283,59 @@ def cmd_grid(args) -> int:
         title=f"grid on {args.machine} (budget={args.budget}, "
               f"jobs={args.jobs if args.jobs is not None else 'auto'})",
     ))
+    overlap_rows = [
+        [cell.p, cell.n, variant,
+         cell.metrics[variant]["overlap_efficiency_pct"],
+         cell.metrics[variant]["exposed_comm_s"],
+         cell.metrics[variant].get("test_calls_per_rank", 0)]
+        for cell in results
+        for variant in VARIANT_ORDER
+        if variant in cell.metrics
+    ]
+    if overlap_rows:
+        print()
+        print(format_table(
+            ["p", "N", "variant", "overlap eff %", "exposed comm (s)",
+             "tests/rank"],
+            overlap_rows,
+            title="overlap summary (tuned full runs)",
+        ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: replay a saved trace as an ASCII gantt."""
+    from .obs import load_trace, rank_timelines
+    from .report.gantt import render_traces
+    from .simmpi.engine import RankTrace
+
+    try:
+        tracer = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    timelines, total = rank_timelines(tracer)
+    if timelines and total > 0:
+        traces = [RankTrace(events=events) for events in timelines]
+        print(render_traces(traces, total, width=args.width,
+                            max_ranks=args.max_ranks))
+        print(f"({len(timelines)} ranks, makespan {total:.4f} virtual s)")
+    else:
+        print("no per-rank spans in this trace (recorded without rank "
+              "timelines, e.g. from `sweep`/`grid`)")
+    if tracer.spans and not timelines:
+        by_track: dict[str, int] = {}
+        for sp in tracer.spans:
+            by_track[sp.track] = by_track.get(sp.track, 0) + 1
+        print(format_table(
+            ["track", "spans"], sorted(by_track.items()),
+        ))
+    summary = tracer.summary()
+    if summary:
+        rows = [[k, v] for k, v in sorted(summary.items())
+                if not isinstance(v, dict)]
+        if rows:
+            print(format_table(["counter", "value"], rows))
     return 0
 
 
@@ -263,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--real", action="store_true",
         help="real-to-complex transform (half spectrum, Section 2.3)",
     )
+    _add_trace_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_multi = sub.add_parser(
@@ -282,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="sweep one parameter")
     _add_setting_args(p_sweep)
     _add_jobs_arg(p_sweep)
+    _add_trace_arg(p_sweep)
     p_sweep.add_argument("name", help="parameter to sweep (T, W, Fy, ...)")
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -306,7 +428,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--store", default=None,
                         help="directory for the on-disk result store")
     _add_jobs_arg(p_grid)
+    _add_trace_arg(p_grid)
     p_grid.set_defaults(func=cmd_grid)
+
+    p_trace = sub.add_parser(
+        "trace", help="replay a saved trace file as an ASCII gantt"
+    )
+    p_trace.add_argument("file", help="trace file (.jsonl event log or "
+                                      "Chrome trace-event .json)")
+    p_trace.add_argument("--width", type=int, default=100,
+                         help="gantt width in characters")
+    p_trace.add_argument("--max-ranks", type=int, default=8,
+                         help="rank strips to show before eliding")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_cal = sub.add_parser("calibrate", help="model-vs-paper calibration")
     p_cal.set_defaults(func=cmd_calibrate)

@@ -83,6 +83,9 @@ class ParallelFFT3D:
         self.output_layout = "yzx" if self.use_fast_transpose else "zyx"
         self.tiles = self.dec.tile_ranges(self.params.T)
         self._plans: dict[str, Plan1D] = {}
+        #: tracing active for this run? (checked once; per-tile attr
+        #: dicts are only built when a repro.obs tracer is installed)
+        self._obs = ctx.engine.tracer is not None
 
     # -- lazily planned 1-D kernels (real mode only) -----------------------
 
@@ -233,8 +236,9 @@ class ParallelFFT3D:
         z0, z1 = self.tiles[i]
         tz = z1 - z0
         P = self.params
+        a = {"tile": i, "tz": tz, "bytes": self._tile_bytes(tz)} if self._obs else None
         self.ctx.compute_with_progress(
-            self._ffty_time(tz), self._share_tests(reqs, P.Fy), "FFTy"
+            self._ffty_time(tz), self._share_tests(reqs, P.Fy), "FFTy", attrs=a
         )
         if data is not None:
             plan = self._plan("y", self.shape.ny)
@@ -247,7 +251,7 @@ class ParallelFFT3D:
                 self.tile_layout,
             )
         self.ctx.compute_with_progress(
-            self._pack_time(tz), self._share_tests(reqs, P.Fp), "Pack"
+            self._pack_time(tz), self._share_tests(reqs, P.Fp), "Pack", attrs=a
         )
 
     def _post(self, i, chunks, reqs) -> None:
@@ -264,8 +268,12 @@ class ParallelFFT3D:
         z0, z1 = self.tiles[j]
         tz = z1 - z0
         P = self.params
+        a = None
+        if self._obs:
+            a = {"tile": j, "tz": tz,
+                 "bytes": tz * self.dec.nyl * self.shape.nx * ITEMSIZE}
         self.ctx.compute_with_progress(
-            self._unpack_time(tz), self._share_tests(reqs, P.Fu), "Unpack"
+            self._unpack_time(tz), self._share_tests(reqs, P.Fu), "Unpack", attrs=a
         )
         if out is not None:
             plan = self._plan("x", self.shape.nx)
@@ -284,7 +292,7 @@ class ParallelFFT3D:
                 out[:, z0:z1, :] = tile_out
         recv[j] = None
         self.ctx.compute_with_progress(
-            self._fftx_time(tz), self._share_tests(reqs, P.Fx), "FFTx"
+            self._fftx_time(tz), self._share_tests(reqs, P.Fx), "FFTx", attrs=a
         )
 
     def _alloc_output(self) -> np.ndarray:

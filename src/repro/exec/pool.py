@@ -17,7 +17,8 @@ in front of the pool.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Sequence
 
 from ..bench.runner import (
@@ -30,7 +31,12 @@ from ..bench.runner import (
 )
 from ..fft.wisdom import GLOBAL_WISDOM
 from ..machine.platforms import Platform
+from ..obs.tracer import WALL, current_tracer
 from .store import ResultStore
+
+#: completion callback: ``progress(done, total, label)`` — called once
+#: per finished item, in completion order (the CLI's live ticker)
+ProgressFn = Callable[[int, int, str], None]
 
 
 def default_jobs(explicit: int | None = None) -> int:
@@ -51,37 +57,83 @@ def _worker_init(wisdom_json: str) -> None:
         GLOBAL_WISDOM.import_json(wisdom_json)
 
 
-def _invoke(fn: Callable[..., Any], args: tuple) -> tuple[Any, str]:
-    return fn(*args), GLOBAL_WISDOM.export_json()
+def _invoke(fn: Callable[..., Any], args: tuple) -> tuple[Any, str, float]:
+    t0 = time.perf_counter()
+    value = fn(*args)
+    return value, GLOBAL_WISDOM.export_json(), time.perf_counter() - t0
 
 
 def parallel_map(
     fn: Callable[..., Any],
     argtuples: Sequence[tuple],
     jobs: int | None = None,
+    labels: Sequence[str] | None = None,
+    progress: ProgressFn | None = None,
 ) -> list[Any]:
     """``[fn(*args) for args in argtuples]`` over a process pool.
 
     ``fn`` must be a module-level (picklable) callable whose value is a
     pure function of its arguments; results are merged by input
     position, making the output independent of worker scheduling.
+
+    ``progress`` receives one completion event per finished item (in
+    completion order — the live ticker's feed); ``labels`` names the
+    items for progress lines and trace spans.  When a :mod:`repro.obs`
+    tracer is installed, each item's busy interval is recorded as a
+    wall-clock span on the ``pool`` track — workers measure their own
+    duration and ship it back with the result.
     """
     argtuples = list(argtuples)
     jobs = default_jobs(jobs)
-    if jobs <= 1 or len(argtuples) <= 1:
-        return [fn(*args) for args in argtuples]
-    out: list[Any] = []
+    total = len(argtuples)
+    name = getattr(fn, "__name__", "item")
+    if labels is None:
+        labels = [f"{name}[{i}]" for i in range(total)]
+    tr = current_tracer()
+    if jobs <= 1 or total <= 1:
+        out: list[Any] = []
+        for i, args in enumerate(argtuples):
+            t0 = tr.wall() if tr is not None else 0.0
+            out.append(fn(*args))
+            if tr is not None:
+                tr.count("pool.items")
+                tr.add_span("pool", labels[i], t0, tr.wall(), WALL,
+                            {"mode": "serial"})
+            if progress is not None:
+                progress(i + 1, total, labels[i])
+        return out
+    results: list[Any] = [None] * total
+    wisdoms: list[str] = [""] * total
+    done = 0
     with ProcessPoolExecutor(
-        max_workers=min(jobs, len(argtuples)),
+        max_workers=min(jobs, total),
         initializer=_worker_init,
         initargs=(GLOBAL_WISDOM.export_json(),),
     ) as pool:
-        futures = [pool.submit(_invoke, fn, args) for args in argtuples]
-        for fut in futures:
-            value, wisdom_json = fut.result()
-            GLOBAL_WISDOM.import_json(wisdom_json)
-            out.append(value)
-    return out
+        futures = {
+            pool.submit(_invoke, fn, args): i
+            for i, args in enumerate(argtuples)
+        }
+        for fut in as_completed(futures):
+            i = futures[fut]
+            value, wisdom_json, worker_s = fut.result()
+            results[i] = value
+            wisdoms[i] = wisdom_json
+            done += 1
+            if tr is not None:
+                t1 = tr.wall()
+                tr.count("pool.items")
+                tr.observe("pool.item_s", worker_s)
+                tr.add_span("pool", labels[i], max(t1 - worker_s, 0.0), t1,
+                            WALL, {"mode": "pool", "worker_s": worker_s})
+            if progress is not None:
+                progress(done, total, labels[i])
+    # Wisdom merges are first-wins per key and every entry is a pure
+    # function of its key, so import order cannot change the final
+    # store; input order keeps the merge reproducible regardless.
+    for wisdom_json in wisdoms:
+        GLOBAL_WISDOM.import_json(wisdom_json)
+    return results
 
 
 def evaluate_cells(
@@ -90,6 +142,7 @@ def evaluate_cells(
     jobs: int | None = None,
     max_evaluations: int | None = None,
     store: ResultStore | None = None,
+    progress: ProgressFn | None = None,
 ) -> list[CellResult]:
     """Evaluate a grid of ``(p, n)`` cells, sharded over ``jobs`` workers.
 
@@ -97,7 +150,8 @@ def evaluate_cells(
     memo, so subsequent serial ``evaluate_cell`` calls (the benchmark
     drivers' reporting loops) are cache hits.  Layering, per cell:
     in-process memo → ``store`` (if given) → pool evaluation; computed
-    cells are written back to the store.
+    cells are written back to the store.  ``progress`` sees one event
+    per cell actually evaluated (memo/store hits are free and silent).
     """
     name = platform if isinstance(platform, str) else platform.name
     found: dict[tuple, CellResult] = {}
@@ -117,6 +171,8 @@ def evaluate_cells(
         evaluate_cell,
         [(plat, p, n, budget) for (plat, p, n, budget) in todo],
         jobs,
+        labels=[f"{plat} p{p} N{n}" for (plat, p, n, _b) in todo],
+        progress=progress,
     )
     for cell in computed:
         found[(cell.platform, cell.p, cell.n, cell.budget)] = cell
@@ -132,8 +188,9 @@ def run_grid(
     jobs: int | None = None,
     max_evaluations: int | None = None,
     store_dir: str | os.PathLike | None = None,
+    progress: ProgressFn | None = None,
 ) -> list[CellResult]:
     """CLI-facing wrapper: like :func:`evaluate_cells` with an optional
     store directory instead of a store object."""
     store = ResultStore(store_dir) if store_dir is not None else None
-    return evaluate_cells(platform, cells, jobs, max_evaluations, store)
+    return evaluate_cells(platform, cells, jobs, max_evaluations, store, progress)

@@ -1,0 +1,86 @@
+"""Observability layer: structured tracing, metrics, and live progress.
+
+Threads spans and counters through every layer of the reproduction —
+the discrete-event scheduler, the FFT pipeline, the tuning loop, and
+the process pool — without perturbing the simulation: tracing is
+off by default, instrumentation only *reads* virtual clocks, and a
+disabled tracer costs one ``is None`` check per construct.
+
+* :class:`Tracer` / :func:`tracing` / :func:`current_tracer` — the
+  collector and its installation scope;
+* :func:`write_trace` / :func:`load_trace` — Chrome trace-event JSON
+  and JSONL exporters (Perfetto-viewable) and their loaders;
+* :func:`run_metrics` — overlap-efficiency / exposed-communication
+  summary of one simulated run;
+* :class:`ProgressLine` — live per-cell completion ticker with ETA;
+* :func:`sched_totals` / :func:`reset_sched_totals` — the process-wide
+  scheduler counter accumulator, now resettable per benchmark run.
+"""
+
+from ..simmpi.engine import SchedStats
+from ..simmpi import engine as _engine
+from .export import (
+    chrome_events,
+    emit_rank_spans,
+    export_chrome,
+    export_jsonl,
+    load_trace,
+    rank_timelines,
+    write_trace,
+)
+from .metrics import EXPOSED_LABELS, OVERLAP_LABELS, run_metrics
+from .progress import ProgressLine
+from .tracer import (
+    Span,
+    Tracer,
+    VIRTUAL,
+    WALL,
+    current_tracer,
+    install,
+    tracing,
+    uninstall,
+)
+
+
+def sched_totals() -> SchedStats:
+    """The process-wide cumulative scheduler counters (compatibility
+    accessor for ``repro.simmpi.engine.TOTALS``)."""
+    return _engine.TOTALS
+
+
+def reset_sched_totals() -> SchedStats:
+    """Zero the process-wide scheduler counters; returns a snapshot of
+    the values they held (so callers can log-and-reset atomically)."""
+    snap = SchedStats(
+        backend=_engine.TOTALS.backend,
+        handoffs=_engine.TOTALS.handoffs,
+        probe_polls=_engine.TOTALS.probe_polls,
+        wakeups=_engine.TOTALS.wakeups,
+    )
+    _engine.TOTALS.reset()
+    return snap
+
+
+__all__ = [
+    "EXPOSED_LABELS",
+    "OVERLAP_LABELS",
+    "ProgressLine",
+    "Span",
+    "Tracer",
+    "VIRTUAL",
+    "WALL",
+    "chrome_events",
+    "current_tracer",
+    "emit_rank_spans",
+    "export_chrome",
+    "export_jsonl",
+    "install",
+    "load_trace",
+    "rank_timelines",
+    "reset_sched_totals",
+    "run_metrics",
+    "sched_totals",
+    "tracing",
+    "uninstall",
+    "write_trace",
+]

@@ -1,0 +1,224 @@
+"""Trace exporters and loaders.
+
+Two interchangeable on-disk formats:
+
+* **Chrome trace-event JSON** (``.json``) — the ``{"traceEvents": [...]}``
+  format Perfetto / ``chrome://tracing`` accept.  Spans become complete
+  (``"ph": "X"``) events; virtual-time tracks (simulated ranks) and
+  wall-time tracks (driver work) are kept in separate process groups so
+  the two clock domains never share a timeline.
+* **JSONL event log** (``.jsonl``) — one self-describing JSON object per
+  line (``meta`` / ``span`` / ``counter`` / ``histogram`` records).
+  Loss-free for this tracer's model and trivially greppable;
+  ``repro trace`` replays it into the ASCII gantt.
+
+:func:`write_trace` dispatches on the file suffix; :func:`load_trace`
+reads either format back into a :class:`~repro.obs.tracer.Tracer`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .tracer import Span, Tracer, VIRTUAL, WALL
+
+#: process ids for the two clock domains in the Chrome export
+_PID_VIRTUAL = 1
+_PID_WALL = 2
+
+_RANK_TRACK = re.compile(r"^rank (\d+)$")
+
+
+def emit_rank_spans(tracer: Tracer, traces, prefix: str = "rank") -> None:
+    """Unify a simulated run's per-rank event timelines into the trace.
+
+    ``traces`` is the engine's ``RankTrace`` list: each recorded
+    ``(t0, t1, label)`` event becomes a virtual-time span on the rank's
+    track, carrying the per-event attrs (tile index, byte counts) the
+    instrumented pipeline attached.
+    """
+    for idx, tr in enumerate(traces):
+        if tr.events is None:
+            continue
+        attrs = tr.attrs if tr.attrs is not None else [None] * len(tr.events)
+        track = f"{prefix} {idx}"
+        for (t0, t1, label), a in zip(tr.events, attrs):
+            tracer.add_span(track, label, t0, t1, VIRTUAL, a)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+
+def chrome_events(tracer: Tracer) -> list[dict]:
+    """The trace as a Chrome ``traceEvents`` list (timestamps in µs)."""
+    events: list[dict] = []
+    tids: dict[tuple[int, str], int] = {}
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in tids:
+            m = _RANK_TRACK.match(track)
+            # rank tracks keep their rank id as tid so Perfetto sorts
+            # them numerically; other tracks get ids past any sane rank.
+            tid = int(m.group(1)) if m else 100_000 + len(tids)
+            tids[key] = tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+        return tids[key]
+
+    for pid, name in (
+        (_PID_VIRTUAL, "simulation (virtual time)"),
+        (_PID_WALL, "driver (wall time)"),
+    ):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+
+    for sp in tracer.spans:
+        pid = _PID_VIRTUAL if sp.clock == VIRTUAL else _PID_WALL
+        events.append({
+            "name": sp.name,
+            "cat": sp.clock,
+            "ph": "X",
+            "ts": sp.t0 * 1e6,
+            "dur": max(sp.duration, 0.0) * 1e6,
+            "pid": pid,
+            "tid": tid_for(pid, sp.track),
+            "args": sp.attrs,
+        })
+    summary = tracer.summary()
+    if summary:
+        events.append({
+            "name": "run summary", "cat": "metrics", "ph": "I", "s": "g",
+            "ts": 0.0, "pid": _PID_WALL, "tid": 0, "args": summary,
+        })
+    return events
+
+
+def export_chrome(tracer: Tracer, path: str | Path) -> int:
+    """Write the Chrome trace-event JSON file; returns the event count."""
+    events = chrome_events(tracer)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms",
+               "otherData": dict(tracer.meta)}
+    Path(path).write_text(json.dumps(payload, indent=1))
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# JSONL event log
+# ---------------------------------------------------------------------------
+
+
+def export_jsonl(tracer: Tracer, path: str | Path) -> int:
+    """Write the JSONL event log; returns the record count."""
+    lines = [json.dumps({"kind": "meta", **tracer.meta,
+                         "spans_dropped": tracer.dropped})]
+    for sp in tracer.spans:
+        rec = {"kind": "span", "track": sp.track, "name": sp.name,
+               "t0": sp.t0, "t1": sp.t1, "clock": sp.clock}
+        if sp.attrs:
+            rec["attrs"] = sp.attrs
+        lines.append(json.dumps(rec))
+    for name, value in tracer.counters.items():
+        lines.append(json.dumps({"kind": "counter", "name": name,
+                                 "value": value}))
+    for name, values in tracer.histograms.items():
+        lines.append(json.dumps({"kind": "histogram", "name": name,
+                                 "values": values}))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def write_trace(tracer: Tracer, path: str | Path) -> int:
+    """Export by suffix: ``.jsonl`` → event log, anything else → Chrome
+    trace JSON.  Returns the number of records written."""
+    if str(path).endswith(".jsonl"):
+        return export_jsonl(tracer, path)
+    return export_chrome(tracer, path)
+
+
+# ---------------------------------------------------------------------------
+# loaders (the `repro trace` replay path)
+# ---------------------------------------------------------------------------
+
+
+def _load_jsonl(text: str) -> Tracer:
+    tracer = Tracer()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        kind = rec.get("kind")
+        if kind == "span":
+            tracer.add_span(rec["track"], rec["name"], rec["t0"], rec["t1"],
+                            rec.get("clock", VIRTUAL), rec.get("attrs"))
+        elif kind == "counter":
+            tracer.count(rec["name"], rec["value"])
+        elif kind == "histogram":
+            for v in rec["values"]:
+                tracer.observe(rec["name"], v)
+        elif kind == "meta":
+            tracer.meta.update(
+                {k: v for k, v in rec.items() if k not in ("kind",)}
+            )
+    return tracer
+
+
+def _load_chrome(payload: dict) -> Tracer:
+    tracer = Tracer()
+    tracer.meta.update(payload.get("otherData") or {})
+    names: dict[tuple[int, int], str] = {}
+    spans: list[tuple[int, int, Span]] = []
+    for ev in payload.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+        elif ev.get("ph") == "X":
+            clock = VIRTUAL if ev.get("cat") == VIRTUAL else WALL
+            t0 = ev["ts"] / 1e6
+            spans.append((ev["pid"], ev["tid"], Span(
+                "", ev["name"], t0, t0 + ev.get("dur", 0.0) / 1e6,
+                clock, dict(ev.get("args") or {}),
+            )))
+    for pid, tid, sp in spans:
+        sp.track = names.get((pid, tid), f"track {pid}:{tid}")
+        tracer.add_span(sp.track, sp.name, sp.t0, sp.t1, sp.clock, sp.attrs)
+    return tracer
+
+
+def load_trace(path: str | Path) -> Tracer:
+    """Read a saved trace (JSONL or Chrome JSON) back into a Tracer."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:2000]:
+        return _load_chrome(json.loads(text))
+    return _load_jsonl(text)
+
+
+def rank_timelines(tracer: Tracer) -> tuple[list[list[tuple[float, float, str]]], float]:
+    """Rebuild per-rank event timelines from a trace's virtual spans.
+
+    Returns ``(events_by_rank, total)`` ready for
+    :func:`repro.report.render_traces`-style rendering; ranks with no
+    spans get empty timelines, ``total`` is the latest span end (0.0
+    when there are no rank spans at all).
+    """
+    by_rank: dict[int, list[tuple[float, float, str]]] = {}
+    total = 0.0
+    for sp in tracer.spans:
+        m = _RANK_TRACK.match(sp.track)
+        if m is None or sp.clock != VIRTUAL:
+            continue
+        by_rank.setdefault(int(m.group(1)), []).append((sp.t0, sp.t1, sp.name))
+        total = max(total, sp.t1)
+    if not by_rank:
+        return [], 0.0
+    nranks = max(by_rank) + 1
+    return [by_rank.get(i, []) for i in range(nranks)], total

@@ -1,0 +1,76 @@
+"""Live progress reporting for long grid/sweep runs.
+
+:class:`ProgressLine` renders a single-line completion ticker with an
+ETA, fed from per-cell completion events (the pool's ``progress``
+callback, or the serial loop's per-item calls).  On a TTY the line
+rewrites in place with ``\\r``; on a pipe/CI log each update is a plain
+line so output stays greppable.  Writes go to *stderr* by default so
+result tables on stdout remain clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+
+def _fmt_secs(secs: float) -> str:
+    if secs >= 3600:
+        return f"{secs / 3600:.1f}h"
+    if secs >= 60:
+        return f"{secs / 60:.1f}m"
+    return f"{secs:.1f}s"
+
+
+class ProgressLine:
+    """Callable progress renderer: ``progress(done, total, label)``.
+
+    ``clock`` is injectable for tests; ``enabled=False`` turns the
+    renderer into a no-op (the CLI's ``--no-progress``).
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        enabled: bool | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = (
+            enabled if enabled is not None
+            else hasattr(self.stream, "write")
+        )
+        self.clock = clock
+        self._t0 = clock()
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._open = False
+        self.updates = 0
+
+    def __call__(self, done: int, total: int, label: str = "") -> None:
+        if not self.enabled or total <= 0:
+            return
+        self.updates += 1
+        elapsed = self.clock() - self._t0
+        pct = 100.0 * done / total
+        line = f"[{done}/{total}] {pct:3.0f}% elapsed {_fmt_secs(elapsed)}"
+        if 0 < done < total:
+            eta = elapsed * (total - done) / done
+            line += f" eta {_fmt_secs(eta)}"
+        if label:
+            line += f" — {label}"
+        if self._tty:
+            self.stream.write("\r\x1b[K" + line)
+            if done >= total:
+                self.stream.write("\n")
+            self._open = done < total
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Terminate a partially drawn TTY line (error paths)."""
+        if self._open and self._tty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._open = False

@@ -26,15 +26,19 @@ def render_strip(
     """One rank's timeline as a ``width``-character strip.
 
     Each event paints its proportional span with its glyph, rounded up
-    to at least one cell; when events share a cell, the later-drawn one
-    wins (so sub-character events are visible unless immediately
-    overpainted).
+    to at least one cell.  Events are painted longest-first (a stable
+    sort by descending duration), so when several share a cell the
+    *shortest* is drawn last and wins: a sub-character ``Pack`` stays
+    visible inside a long ``FFTy``, instead of whichever event happened
+    to come later in the log overpainting it.
     """
     if total <= 0:
         raise ValueError(f"total must be positive, got {total}")
     table = glyphs if glyphs is not None else DEFAULT_GLYPHS
     strip = [" "] * width
-    for t0, t1, label in events:
+    # Stable: equal-duration events keep log order, later-logged on top.
+    ordered = sorted(events, key=lambda ev: -(ev[1] - ev[0]))
+    for t0, t1, label in ordered:
         g = table.get(label, "?")
         c0 = int(t0 / total * (width - 1))
         c1 = max(c0 + 1, int(t1 / total * (width - 1)) + 1)

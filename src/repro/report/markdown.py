@@ -25,3 +25,30 @@ def md_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
 def md_section(title: str, body: str, level: int = 2) -> str:
     """A heading plus body with blank-line separation."""
     return f"{'#' * level} {title}\n\n{body}\n"
+
+
+def overlap_table(cells) -> str:
+    """Per-variant overlap metrics of a cell list as a markdown table.
+
+    Consumes :class:`~repro.bench.runner.CellResult.metrics` (the
+    :func:`repro.obs.run_metrics` summaries attached when the cells were
+    tuned); cells evaluated before the observability layer existed have
+    no metrics and are skipped.
+    """
+    rows = []
+    for cell in cells:
+        for variant in sorted(cell.metrics):
+            m = cell.metrics[variant]
+            rows.append([
+                cell.p, cell.n, variant,
+                m["overlap_efficiency_pct"],
+                m["exposed_comm_s"],
+                m.get("test_calls_per_rank", 0),
+            ])
+    if not rows:
+        return "*(no overlap metrics recorded for these cells)*"
+    return md_table(
+        ["p", "N", "variant", "overlap eff %", "exposed comm (s)",
+         "tests/rank"],
+        rows,
+    )

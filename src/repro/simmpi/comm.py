@@ -66,15 +66,19 @@ class SimContext:
         (threads backend only; generator programs use ``yield from``)."""
         return self.engine.drive(self.rank, gen)
 
-    def compute(self, seconds: float, label: str = "compute") -> None:
+    def compute(
+        self, seconds: float, label: str = "compute",
+        attrs: dict | None = None,
+    ) -> None:
         """Advance virtual time by ``seconds`` of local computation."""
-        self.engine.advance(self.rank, seconds, label)
+        self.engine.advance(self.rank, seconds, label, attrs)
 
     def compute_with_progress(
         self,
         seconds: float,
         tests: Sequence[tuple[AlltoallRequest, int]],
         label: str = "compute",
+        attrs: dict | None = None,
     ) -> None:
         """Compute for ``seconds`` while manually progressing requests.
 
@@ -94,7 +98,7 @@ class SimContext:
             if req is not None and ntests > 0:
                 req.progress_segment(t0, seconds, ntests)
                 total_tests += ntests
-        self.engine.advance(self.rank, seconds, label)
+        self.engine.advance(self.rank, seconds, label, attrs)
         if total_tests:
             self.engine.advance(
                 self.rank, total_tests * self.cpu.test_overhead, "Test"
@@ -123,8 +127,10 @@ class Communicator:
         seqs[self.comm_id] = seq + 1
         return (self.comm_id, seq)
 
-    def _charge(self, seconds: float, label: str) -> None:
-        self.engine.advance(self.ctx.rank, seconds, label)
+    def _charge(
+        self, seconds: float, label: str, attrs: dict | None = None
+    ) -> None:
+        self.engine.advance(self.ctx.rank, seconds, label, attrs)
 
     def _drive(self, gen) -> Any:
         """Run a co_* coroutine thread-blockingly (threads backend)."""
@@ -300,7 +306,10 @@ class Communicator:
         req = AlltoallRequest(
             self.fabric, op, self.rank, self.group, send, recv, payload
         )
-        self._charge(self.net.post_cost(self.size), "Ialltoall")
+        attrs = None
+        if self.engine.tracer is not None:
+            attrs = {"send_bytes": int(send.sum()), "peers": self.size}
+        self._charge(self.net.post_cost(self.size), "Ialltoall", attrs)
         req.post(self.ctx.now)
         return req
 

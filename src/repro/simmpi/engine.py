@@ -76,7 +76,9 @@ class SchedStats:
     """Scheduler instrumentation for one engine run.
 
     ``handoffs`` counts rank resumptions (token grants); ``probe_polls``
-    counts completion-probe invocations made by the scheduler.  Both are
+    counts completion-probe invocations made by the scheduler;
+    ``wakeups`` counts blocked→runnable transitions (a rank leaving a
+    ``wait`` because its completion time became determinable).  All are
     backend-independent — the thread and task backends take identical
     scheduling decisions — so they double as a cheap equivalence check,
     and their wall-clock cost is what the ``tasks`` backend removes.
@@ -85,31 +87,54 @@ class SchedStats:
     backend: str = ""
     handoffs: int = 0
     probe_polls: int = 0
+    wakeups: int = 0
 
     def merge(self, other: "SchedStats") -> None:
         """Accumulate another run's counters into this record."""
         self.handoffs += other.handoffs
         self.probe_polls += other.probe_polls
+        self.wakeups += other.wakeups
+
+    def reset(self) -> None:
+        """Zero the counters (per-benchmark isolation of :data:`TOTALS`)."""
+        self.handoffs = 0
+        self.probe_polls = 0
+        self.wakeups = 0
 
 
-#: process-wide cumulative counters (benchmark/smoke reporting)
+#: Process-wide cumulative counters (benchmark/smoke reporting).  Every
+#: run still gets its own :attr:`Engine.stats`; this accumulator only
+#: serves whole-process summaries and is resettable — via
+#: :meth:`SchedStats.reset` or :func:`repro.obs.reset_sched_totals` — so
+#: totals no longer leak between benchmarks or test cases that read it.
 TOTALS = SchedStats(backend="total")
 
 
 @dataclass
 class RankTrace:
-    """Per-rank accounting of virtual time by step label."""
+    """Per-rank accounting of virtual time by step label.
+
+    ``events`` (when recorded) keeps its historical ``(t0, t1, label)``
+    3-tuple shape; per-event attributes from instrumented callers (tile
+    index, byte counts) live in the index-aligned ``attrs`` list so
+    existing consumers of ``events`` are unaffected.
+    """
 
     by_label: dict[str, float] = field(default_factory=dict)
     events: list[tuple[float, float, str]] | None = None
+    attrs: list[dict | None] | None = None
 
-    def add(self, t0: float, t1: float, label: str) -> None:
+    def add(
+        self, t0: float, t1: float, label: str, attrs: dict | None = None
+    ) -> None:
         """Record one event and accumulate its span under ``label``."""
         if t1 < t0:
             raise SimulationError(f"negative-duration event {label}: {t0}..{t1}")
         self.by_label[label] = self.by_label.get(label, 0.0) + (t1 - t0)
         if self.events is not None:
             self.events.append((t0, t1, label))
+            if self.attrs is not None:
+                self.attrs.append(attrs)
 
 
 class _Rank:
@@ -132,7 +157,10 @@ class _Rank:
         self.block_t0: float | None = None  # pending-block entry time (tasks)
         self.result: Any = None
         self.exc: BaseException | None = None
-        self.trace = RankTrace(events=[] if record_events else None)
+        self.trace = RankTrace(
+            events=[] if record_events else None,
+            attrs=[] if record_events else None,
+        )
         self.coll_seq: dict[int, int] = {}  # per-communicator collective counter
 
 
@@ -145,7 +173,12 @@ class Engine:
         platform: Platform,
         record_events: bool = False,
         backend: str = "auto",
+        tracer=None,
     ) -> None:
+        """``tracer`` (a :class:`repro.obs.Tracer`, or ``None``) receives
+        the run's scheduler counters; instrumented callers check it to
+        decide whether to build per-event attributes.  It never
+        influences a scheduling decision or a virtual clock."""
         if backend not in ("auto", "threads", "tasks"):
             raise SimulationError(
                 f"unknown backend {backend!r}; use 'auto', 'threads' or 'tasks'"
@@ -153,6 +186,7 @@ class Engine:
         self.nprocs = nprocs
         self.platform = platform
         self.backend = backend
+        self.tracer = tracer
         self.fabric = Fabric(platform, nprocs)
         self.ranks = [_Rank(i, record_events) for i in range(nprocs)]
         self.stats = SchedStats()
@@ -190,14 +224,17 @@ class Engine:
         """Virtual clock of ``rank``."""
         return self.ranks[rank].clock
 
-    def advance(self, rank: int, dt: float, label: str) -> None:
+    def advance(
+        self, rank: int, dt: float, label: str, attrs: dict | None = None
+    ) -> None:
         """Advance ``rank``'s clock by ``dt`` seconds (keeps the token:
         local work cannot affect peers except through timestamped posts,
-        so no reschedule is needed until the rank blocks)."""
+        so no reschedule is needed until the rank blocks).  ``attrs``
+        annotates the traced event (recorded runs only)."""
         if dt < 0:
             raise SimulationError(f"negative time advance {dt} ({label})")
         r = self.ranks[rank]
-        r.trace.add(r.clock, r.clock + dt, label)
+        r.trace.add(r.clock, r.clock + dt, label, attrs)
         r.clock += dt
 
     def reschedule(self, rank: int) -> None:
@@ -307,6 +344,11 @@ class Engine:
             return self._run_threads(fn, args, kwargs, is_gen)
         finally:
             TOTALS.merge(self.stats)
+            if self.tracer is not None:
+                self.tracer.count("sched.runs")
+                self.tracer.count("sched.handoffs", self.stats.handoffs)
+                self.tracer.count("sched.probe_polls", self.stats.probe_polls)
+                self.tracer.count("sched.wakeups", self.stats.wakeups)
 
     def _collect(self) -> list[Any]:
         for r in self.ranks:
@@ -456,6 +498,7 @@ class Engine:
                 best.clock = best_t
                 best.probe = None
                 self._blocked.discard(best.idx)
+                self.stats.wakeups += 1
             resume(best)
             if best.exc is not None:
                 # Fail fast: remaining ranks are parked; run() reports.
@@ -482,6 +525,7 @@ class Engine:
             r.clock = t
             r.probe = None
             self._blocked.discard(idx)
+            self.stats.wakeups += 1
             return r
         return None
 

@@ -68,12 +68,27 @@ def run_spmd(
     ``$REPRO_SIM_BACKEND`` overrides ``"auto"`` — the benchmarking knob
     for timing the thread substrate against the task one on the same
     generator program.
+
+    When a :mod:`repro.obs` tracer is installed, the run's scheduler
+    counters flow into it, and — for tracers with ``rank_spans`` — event
+    recording is forced on and the per-rank timelines are exported as
+    virtual-time spans.  None of this can change virtual times: tracing
+    only reads clocks (``tests/obs/test_zero_overhead.py``).
     """
+    from ..obs.tracer import current_tracer  # cycle-free: obs never imports spmd
+
     if backend == "auto":
         backend = os.environ.get("REPRO_SIM_BACKEND", "").strip() or "auto"
-    engine = Engine(nprocs, platform, record_events=record_events, backend=backend)
+    tracer = current_tracer()
+    want_rank_spans = tracer is not None and tracer.rank_spans
+    engine = Engine(
+        nprocs, platform,
+        record_events=record_events or want_rank_spans,
+        backend=backend,
+        tracer=tracer,
+    )
     results = engine.run(fn, *args, **kwargs)
-    return SimResult(
+    sim = SimResult(
         results=results,
         elapsed=engine.final_time,
         traces=engine.traces(),
@@ -81,3 +96,8 @@ def run_spmd(
         platform=platform,
         stats=engine.stats,
     )
+    if want_rank_spans:
+        from ..obs.export import emit_rank_spans
+
+        emit_rank_spans(tracer, sim.traces)
+    return sim

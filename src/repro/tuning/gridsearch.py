@@ -46,11 +46,13 @@ def sweep_parameter(
     base: TuningParams | None = None,
     include_fixed_steps: bool = True,
     jobs: int | None = None,
+    progress=None,
 ) -> list[SweepPoint]:
     """Vary one parameter over its candidate list, others fixed at
     ``base``; skips infeasible combinations.  ``jobs`` shards the point
     evaluations over worker processes (see :mod:`repro.exec`) with
-    order-preserving merging."""
+    order-preserving merging; ``progress`` receives one completion event
+    per evaluated point (``repro.exec.pool.ProgressFn``)."""
     from ..exec.pool import parallel_map
 
     spec = get_variant(variant) if isinstance(variant, str) else variant
@@ -66,6 +68,8 @@ def sweep_parameter(
         _time_point,
         [(spec, platform, shape, p, include_fixed_steps) for _v, p in points],
         jobs,
+        labels=[f"{name}={v}" for v, _p in points],
+        progress=progress,
     )
     return [
         SweepPoint(params=params, value=value, objective=obj)

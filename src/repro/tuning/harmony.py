@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.params import ProblemShape, TuningParams
 from ..errors import InfeasibleConfigError, TuningError
+from ..obs.tracer import WALL, current_tracer
 from .neldermead import NelderMead
 from .space import SearchSpace
 
@@ -134,9 +135,12 @@ class HarmonyClient:
     def evaluate(self, index: tuple[int, ...]) -> float:
         """Objective for a grid point, applying the paper's techniques."""
         s = self.session
+        tr = current_tracer()
+        t0 = tr.wall() if tr is not None else 0.0
         if index in s.cache:  # technique 2: reuse history
             value = s.cache[index]
             s.history.append(Evaluation(index, None, value, False, 0.0))
+            self._trace_eval(tr, t0, index, None, value, cache_hit=True)
             return value
         try:
             params = self.space.params_at(index, self.base)
@@ -145,12 +149,41 @@ class HarmonyClient:
             # technique 1: penalize without running the target
             s.cache[index] = math.inf
             s.history.append(Evaluation(index, None, math.inf, False, 0.0))
+            self._trace_eval(tr, t0, index, None, math.inf, cache_hit=False)
             return math.inf
         value, cost = self.measure(params)
         s.cache[index] = value
         s.tuning_time += cost + HARNESS_OVERHEAD
         s.history.append(Evaluation(index, params, value, True, cost))
+        self._trace_eval(tr, t0, index, params, value, cache_hit=False,
+                         executed=True, cost=cost)
         return value
+
+    def _trace_eval(
+        self, tr, t0, index, params, value,
+        cache_hit: bool, executed: bool = False, cost: float = 0.0,
+    ) -> None:
+        """One wall-clock span + counters per tuning-loop evaluation."""
+        if tr is None:
+            return
+        tr.count("tune.evals")
+        if cache_hit:
+            tr.count("tune.cache_hits")
+        elif not math.isfinite(value):
+            tr.count("tune.infeasible")
+        attrs = {
+            "index": list(index),
+            "cache_hit": cache_hit,
+            "feasible": math.isfinite(value),
+            "executed": executed,
+            "objective": value if math.isfinite(value) else None,
+            "sim_cost_s": cost,
+        }
+        if params is not None:
+            attrs["params"] = params.as_dict()
+        tr.add_span("tuning", "tune.eval", t0, tr.wall(), WALL, attrs)
+        if executed:
+            tr.observe("tune.objective_s", value)
 
 
 def run_tuning_loop(

@@ -74,6 +74,61 @@ class TestCommands:
             main(["run", "-m", "bluegene"])
 
 
+class TestTracing:
+    def test_run_trace_jsonl_and_overlap_line(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rc = main(["run", "-n", "64", "-p", "4", "--trace", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlap:" in out and "exposed comm" in out
+        assert f"-> {path}" in out
+        assert path.exists()
+
+    def test_run_trace_chrome_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        assert main(["run", "-n", "64", "-p", "4", "--trace", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_trace_replays_gantt(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        main(["run", "-n", "64", "-p", "4", "--trace", str(path)])
+        capsys.readouterr()
+        rc = main(["trace", str(path), "--width", "60", "--max-ranks", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out and "rank   0" in out
+        assert "makespan" in out
+        assert "sched.handoffs" in out
+
+    def test_trace_without_rank_spans_lists_tracks(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        main(["sweep", "W", "-n", "64", "-p", "4", "--no-progress",
+              "--trace", str(path)])
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no per-rank spans" in out
+        assert "pool" in out  # sweep-point spans listed per track
+
+    def test_trace_missing_file_errors(self, capsys, tmp_path):
+        rc = main(["trace", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_grid_trace_progress_and_overlap_summary(self, capsys, tmp_path):
+        path = tmp_path / "g.json"
+        rc = main(["grid", "--cells", "4:32", "--budget", "6",
+                   "--no-progress", "--trace", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlap summary (tuned full runs)" in out
+        assert "overlap eff %" in out
+        assert path.exists()
+
+
 class TestExtensionCommands:
     def test_run_pencil(self, capsys):
         rc = main(["run", "-n", "32", "-p", "4", "--decomposition", "pencil"])

@@ -111,7 +111,7 @@ class TestEvaluateCells:
         # without a single pool evaluation.
         clear_cache()
 
-        def no_work(fn, argtuples, jobs=None):
+        def no_work(fn, argtuples, jobs=None, labels=None, progress=None):
             assert list(argtuples) == []
             return []
 

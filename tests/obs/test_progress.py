@@ -1,0 +1,115 @@
+"""ProgressLine rendering and its wiring through the exec pool."""
+
+import io
+
+from repro.exec.pool import parallel_map
+from repro.obs import ProgressLine
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make(tty=False):
+    stream = io.StringIO()
+    stream.isatty = lambda: tty
+    clock = FakeClock()
+    return ProgressLine(stream=stream, clock=clock), stream, clock
+
+
+class TestProgressLine:
+    def test_plain_lines_on_non_tty(self):
+        progress, stream, clock = make(tty=False)
+        clock.t = 2.0
+        progress(1, 4, "cell a")
+        clock.t = 4.0
+        progress(2, 4, "cell b")
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "[1/4]  25% elapsed 2.0s eta 6.0s — cell a"
+        assert lines[1] == "[2/4]  50% elapsed 4.0s eta 4.0s — cell b"
+        assert progress.updates == 2
+
+    def test_final_update_has_no_eta(self):
+        progress, stream, clock = make()
+        clock.t = 8.0
+        progress(4, 4, "done")
+        assert "eta" not in stream.getvalue()
+        assert "[4/4] 100%" in stream.getvalue()
+
+    def test_tty_rewrites_in_place(self):
+        progress, stream, clock = make(tty=True)
+        clock.t = 1.0
+        progress(1, 2, "a")
+        clock.t = 2.0
+        progress(2, 2, "b")
+        out = stream.getvalue()
+        assert out.count("\r\x1b[K") == 2
+        assert out.endswith("\n")  # completion terminates the line
+
+    def test_close_terminates_partial_tty_line(self):
+        progress, stream, clock = make(tty=True)
+        progress(1, 3, "a")
+        assert not stream.getvalue().endswith("\n")
+        progress.close()
+        assert stream.getvalue().endswith("\n")
+        progress.close()  # idempotent
+
+    def test_disabled_is_noop(self):
+        stream = io.StringIO()
+        progress = ProgressLine(stream=stream, enabled=False)
+        progress(1, 2, "a")
+        assert stream.getvalue() == "" and progress.updates == 0
+
+    def test_zero_total_is_noop(self):
+        progress, stream, _ = make()
+        progress(0, 0)
+        assert stream.getvalue() == ""
+
+    def test_long_durations_format_as_minutes_hours(self):
+        progress, stream, clock = make()
+        clock.t = 90.0
+        progress(1, 3, "a")
+        assert "elapsed 1.5m eta 3.0m" in stream.getvalue()
+        clock.t = 5400.0
+        progress(2, 3, "b")
+        assert "elapsed 1.5h" in stream.getvalue()
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestPoolProgress:
+    def test_serial_path_reports_each_item(self):
+        seen = []
+        out = parallel_map(
+            _double, [(1,), (2,), (3,)], jobs=1,
+            labels=["a", "b", "c"],
+            progress=lambda done, total, label: seen.append(
+                (done, total, label)
+            ),
+        )
+        assert out == [2, 4, 6]
+        assert seen == [(1, 3, "a"), (2, 3, "b"), (3, 3, "c")]
+
+    def test_pool_path_reports_each_completion(self):
+        seen = []
+        out = parallel_map(
+            _double, [(i,) for i in range(4)], jobs=2,
+            progress=lambda done, total, label: seen.append((done, total)),
+        )
+        assert out == [0, 2, 4, 6]  # input order regardless of completion
+        assert [d for d, _t in seen] == [1, 2, 3, 4]
+        assert all(t == 4 for _d, t in seen)
+
+    def test_default_labels(self):
+        labels = []
+        parallel_map(
+            _double, [(1,), (2,)], jobs=1,
+            progress=lambda _d, _t, label: labels.append(label),
+        )
+        assert labels == ["_double[0]", "_double[1]"]

@@ -1,0 +1,109 @@
+"""repro.report edge cases: overpaint ordering, degenerate events,
+rank elision, custom glyphs, and occupancy boundaries.
+
+The overpaint regression is the headline: ``render_strip`` used to paint
+events in log order, so whichever event came *later in the log* won a
+shared cell — sub-character ``Pack``/``Test`` marks vanished under long
+neighbours.  Painting is now longest-first (stable sort by descending
+duration): the shortest event sharing a cell is drawn last and stays
+visible.
+"""
+
+import pytest
+
+from repro.report import occupancy, render_strip, render_traces
+from repro.simmpi.engine import RankTrace
+
+
+class TestOverpaintRegression:
+    def test_short_event_survives_inside_long_one(self):
+        # Pack is fully contained in a long FFTy *logged after it*; with
+        # log-order painting FFTy would erase Pack's only cell.
+        events = [(0.48, 0.52, "Pack"), (0.0, 1.0, "FFTy")]
+        strip = render_strip(events, total=1.0, width=20)
+        assert "p" in strip
+        assert strip.count("y") == 20 - strip.count("p")
+
+    def test_sub_character_poll_survives_later_long_event(self):
+        events = [(0.5, 0.5 + 1e-9, "Test"), (0.0, 1.0, "Wait")]
+        strip = render_strip(events, total=1.0, width=20)
+        assert strip.count(".") == 1
+
+    def test_equal_durations_keep_log_order(self):
+        # Stable sort: same duration -> later-logged event wins the
+        # shared boundary cell (the documented pre-existing behavior).
+        events = [(0.0, 0.5, "FFTy"), (0.5, 1.0, "Wait")]
+        assert render_strip(events, total=1.0, width=10) == "yyyyWWWWWW"
+
+    def test_input_list_not_mutated(self):
+        events = [(0.9, 1.0, "Test"), (0.0, 1.0, "FFTy")]
+        render_strip(events, total=1.0, width=10)
+        assert events[0][2] == "Test"  # sorted() copies; order untouched
+
+
+class TestDegenerateEvents:
+    def test_zero_width_event_gets_one_cell(self):
+        strip = render_strip([(0.5, 0.5, "Pack")], total=1.0, width=10)
+        assert strip.count("p") == 1
+
+    def test_zero_width_at_timeline_end_stays_in_bounds(self):
+        strip = render_strip([(1.0, 1.0, "Pack")], total=1.0, width=10)
+        assert len(strip) == 10 and strip.count("p") == 1
+
+    def test_event_past_total_is_clipped(self):
+        strip = render_strip([(0.0, 2.0, "FFTy")], total=1.0, width=10)
+        assert strip == "y" * 10
+
+    def test_empty_events_blank_strip(self):
+        assert render_strip([], total=1.0, width=8) == " " * 8
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError, match="total must be positive"):
+            render_strip([(0.0, 1.0, "FFTy")], total=-1.0)
+
+
+class TestRenderTracesEdges:
+    def _traces(self, n):
+        return [
+            RankTrace(events=[(0.0, 1.0, "FFTy")], by_label={"FFTy": 1.0})
+            for _ in range(n)
+        ]
+
+    def test_exactly_max_ranks_no_elision_line(self):
+        text = render_traces(self._traces(3), 1.0, width=10, max_ranks=3)
+        assert "more ranks" not in text
+        assert text.count("rank ") == 3
+
+    def test_elision_counts_hidden_ranks(self):
+        text = render_traces(self._traces(10), 1.0, width=10, max_ranks=4)
+        assert "... (6 more ranks)" in text
+        assert text.count("|") == 2 * 4
+
+    def test_events_none_raises_with_hint(self):
+        traces = self._traces(2)
+        traces[1] = RankTrace(events=None)
+        with pytest.raises(ValueError, match="record_events=True"):
+            render_traces(traces, 1.0)
+
+    def test_custom_glyphs_flow_into_legend_and_strips(self):
+        text = render_traces(
+            self._traces(1), 1.0, width=10, glyphs={"FFTy": "@"}
+        )
+        assert "legend: @=FFTy" in text
+        assert "@" * 10 in text
+
+    def test_unknown_label_renders_question_marks(self):
+        traces = [RankTrace(events=[(0.0, 1.0, "Nope")])]
+        assert "?" * 10 in render_traces(traces, 1.0, width=10)
+
+
+class TestOccupancyEdges:
+    def test_zero_span_events(self):
+        assert occupancy([(0.5, 0.5, "Pack")]) == 0.0
+
+    def test_no_matching_labels(self):
+        assert occupancy([(0.0, 1.0, "FFTy")], {"Wait"}) == 0.0
+
+    def test_overlapping_events_can_exceed_one(self):
+        events = [(0.0, 1.0, "FFTy"), (0.0, 1.0, "Pack")]
+        assert occupancy(events) == pytest.approx(2.0)

@@ -1,0 +1,30 @@
+"""overlap_table: CellResult.metrics -> markdown."""
+
+from repro.bench.runner import CellResult
+from repro.report import overlap_table
+
+
+def make_cell(metrics):
+    return CellResult(
+        platform="UMD-Cluster", p=4, n=32,
+        times={}, tuning_times={}, params={}, evaluations={},
+        metrics=metrics,
+    )
+
+
+def test_renders_one_row_per_variant():
+    cell = make_cell({
+        "NEW": {"overlap_efficiency_pct": 93.0, "exposed_comm_s": 0.0001,
+                "test_calls_per_rank": 120},
+        "FFTW": {"overlap_efficiency_pct": 42.0, "exposed_comm_s": 0.002},
+    })
+    text = overlap_table([cell])
+    lines = text.splitlines()
+    assert lines[0].startswith("| p | N | variant | overlap eff %")
+    # variants sorted; FFTW has no test calls -> 0
+    assert "| 4 | 32 | FFTW | 42.000 | 0.002 | 0 |" in text
+    assert "| 4 | 32 | NEW | 93.000 | 0.000 | 120 |" in text
+
+
+def test_pre_observability_cells_skipped():
+    assert "no overlap metrics" in overlap_table([make_cell({})])

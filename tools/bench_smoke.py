@@ -1,12 +1,18 @@
 """CI smoke benchmark: tiny grid, writes BENCH_smoke.json.
 
-Usage:  python tools/bench_smoke.py [--out PATH]
+Usage:  python tools/bench_smoke.py [--out PATH] [--trace PATH]
 
 Evaluates a handful of small cells through the execution layer (tasks
 backend, in-process) and records cells evaluated, wall seconds, and the
-scheduler's cumulative handoff / probe-poll counters.  Small enough for
-every CI run; the numbers give a commit-over-commit perf trajectory
-without the cost of the full benchmark suite.
+scheduler's handoff / probe-poll / wakeup counters — reset at the start
+of the run so the numbers cover exactly this grid, never counters leaked
+from an earlier run in the same process.  Small enough for every CI run;
+the numbers give a commit-over-commit perf trajectory without the cost
+of the full benchmark suite.
+
+``--trace`` additionally runs the grid under a :mod:`repro.obs` tracer
+and writes a Chrome trace-event JSON (Perfetto-viewable) that CI uploads
+as an artifact.
 """
 
 from __future__ import annotations
@@ -23,7 +29,13 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.bench import clear_cache  # noqa: E402
 from repro.exec import evaluate_cells  # noqa: E402
-from repro.simmpi.engine import TOTALS  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Tracer,
+    reset_sched_totals,
+    sched_totals,
+    tracing,
+    write_trace,
+)
 
 GRID = {"UMD-Cluster": [(4, 32), (8, 32)], "Hopper": [(4, 32)]}
 BUDGET = 6
@@ -32,27 +44,37 @@ BUDGET = 6
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=str(ROOT / "BENCH_smoke.json"))
+    ap.add_argument("--trace", default=None, metavar="PATH",
+                    help="also write a Chrome trace of the grid run")
     args = ap.parse_args(argv)
 
     clear_cache()
+    reset_sched_totals()
+    tracer = Tracer(rank_spans=False, meta={"command": "bench_smoke"})
     t0 = time.perf_counter()
     evaluated = 0
-    for platform, cells in GRID.items():
-        evaluate_cells(platform, cells, jobs=1, max_evaluations=BUDGET)
-        evaluated += len(cells)
+    with tracing(tracer):
+        for platform, cells in GRID.items():
+            evaluate_cells(platform, cells, jobs=1, max_evaluations=BUDGET)
+            evaluated += len(cells)
     wall = time.perf_counter() - t0
+    totals = sched_totals()
 
     payload = {
         "benchmark": "smoke grid (tasks backend, serial)",
         "cells_evaluated": evaluated,
         "budget": BUDGET,
         "wall_s": round(wall, 3),
-        "scheduler_handoffs": TOTALS.handoffs,
-        "scheduler_probe_polls": TOTALS.probe_polls,
+        "scheduler_handoffs": totals.handoffs,
+        "scheduler_probe_polls": totals.probe_polls,
+        "scheduler_wakeups": totals.wakeups,
         "host_cores": os.cpu_count(),
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
+    if args.trace:
+        n = write_trace(tracer, args.trace)
+        print(f"trace: {n} records -> {args.trace}")
     return 0
 
 
