@@ -22,6 +22,7 @@ from pathlib import Path
 from ..core.api import RunResult, run_case
 from ..core.params import ProblemShape, TuningParams
 from ..machine.platforms import Platform, get_platform
+from ..tuning.evalstore import EvalStore
 from ..tuning.tuner import TuningResult, autotune
 from .workloads import tuning_budget
 
@@ -68,8 +69,15 @@ def evaluate_cell(
     p: int,
     n: int,
     max_evaluations: int | None = None,
+    eval_store: EvalStore | None = None,
 ) -> CellResult:
-    """Tune and time FFTW/NEW/TH for one cell (memoized)."""
+    """Tune and time FFTW/NEW/TH for one cell (memoized).
+
+    Cache layering, outermost first: the in-process memo answers whole
+    cells; ``eval_store`` (when given) answers the *individual tuning
+    evaluations* inside a cell that the shared pool has already timed —
+    a cell missing from the memo can still tune for free point by point.
+    """
     plat = get_platform(platform) if isinstance(platform, str) else platform
     budget = effective_budget(p, max_evaluations)
     key = (plat.name, p, n, budget)
@@ -79,7 +87,8 @@ def evaluate_cell(
     times, tunings, params, evals, metrics = {}, {}, {}, {}, {}
     for variant in ("FFTW", "NEW", "TH"):
         result: TuningResult = autotune(
-            variant, plat, shape, max_evaluations=budget
+            variant, plat, shape, max_evaluations=budget,
+            eval_store=eval_store,
         )
         times[variant] = result.fft_time
         tunings[variant] = result.tuning_time

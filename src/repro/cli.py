@@ -22,6 +22,12 @@ Commands
 ``platforms``
     List available platform models.
 
+``tune``, ``sweep`` and ``grid`` accept ``--eval-store PATH``: a shared
+JSONL pool of every timed configuration (see
+:mod:`repro.tuning.evalstore`) is loaded before the command and
+atomically merge-saved after it, so repeated or cross-strategy
+invocations answer known configurations for free.
+
 ``run``, ``sweep`` and ``grid`` accept ``--trace FILE``: the run is
 executed under a :mod:`repro.obs` tracer and the result written as a
 Chrome trace-event JSON (``.json``, Perfetto-viewable) or a JSONL event
@@ -98,6 +104,33 @@ def _progress(args):
     from .obs import ProgressLine
 
     return ProgressLine()
+
+
+def _add_eval_store_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--eval-store", metavar="PATH", default=None,
+        help="shared evaluation store (JSONL): answer already-timed "
+             "configurations for free and record new ones (atomic "
+             "merge-save, shared across strategies/commands/runs)",
+    )
+
+
+def _load_eval_store(args):
+    """The shared evaluation store named by ``--eval-store`` (or None)."""
+    if getattr(args, "eval_store", None) is None:
+        return None
+    from .tuning.evalstore import EvalStore
+
+    return EvalStore.load(args.eval_store)
+
+
+def _save_eval_store(args, store) -> None:
+    """Merge-save the store back and print its hit/record summary."""
+    if store is None:
+        return
+    n = store.save(args.eval_store)
+    print(f"eval store: {store.hits} hits, {store.new_records} new "
+          f"evaluations, {n} records -> {args.eval_store}")
 
 
 def _shape(args) -> ProblemShape:
@@ -197,8 +230,10 @@ def cmd_tune(args) -> int:
     from .tuning.tuner import autotune
 
     platform = get_platform(args.machine)
+    evals = _load_eval_store(args)
     result = autotune(
-        args.variant, platform, _shape(args), max_evaluations=args.budget
+        args.variant, platform, _shape(args), max_evaluations=args.budget,
+        strategy=args.strategy, eval_store=evals,
     )
     print(f"tuned {result.variant} on {result.platform}: "
           f"N={args.size}^3, p={args.procs}")
@@ -209,6 +244,7 @@ def cmd_tune(args) -> int:
           f"({result.session.executed_evaluations} executed)")
     print(f"  tuning time    : {result.tuning_time:.1f} simulated s")
     print(f"  configuration  : {result.best_params.as_dict()}")
+    _save_eval_store(args, evals)
     return 0
 
 
@@ -217,11 +253,13 @@ def cmd_sweep(args) -> int:
     from .tuning.gridsearch import sweep_parameter
 
     platform = get_platform(args.machine)
+    evals = _load_eval_store(args)
     with _maybe_trace(args, rank_spans=False):
         pts = sweep_parameter(
             args.variant, platform, _shape(args), args.name, jobs=args.jobs,
-            progress=_progress(args),
+            progress=_progress(args), eval_store=evals,
         )
+    _save_eval_store(args, evals)
     print(format_table(
         [args.name, "time (s)"],
         [[p.value, p.objective] for p in pts],
@@ -265,11 +303,14 @@ def cmd_grid(args) -> int:
               " (e.g. '16:256,384;32:256')", file=sys.stderr)
         return 2
     with _maybe_trace(args, rank_spans=False):
-        results = run_grid(
+        results, evals = run_grid(
             args.machine, cells,
             jobs=args.jobs, max_evaluations=args.budget, store_dir=args.store,
-            progress=_progress(args),
+            progress=_progress(args), eval_store_path=args.eval_store,
         )
+    if evals is not None:
+        print(f"eval store: {evals.hits} hits, {evals.new_records} new "
+              f"evaluations, {len(evals)} records -> {args.eval_store}")
     rows = []
     for cell in results:
         rows.append(
@@ -398,12 +439,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_setting_args(p_tune)
     p_tune.add_argument("--budget", type=int, default=300,
                         help="max Nelder-Mead suggestions")
+    p_tune.add_argument("--strategy", default="nelder-mead",
+                        choices=("nelder-mead", "coordinate"),
+                        help="search strategy (share an --eval-store to "
+                             "compare them without re-simulating)")
+    _add_eval_store_arg(p_tune)
     p_tune.set_defaults(func=cmd_tune)
 
     p_sweep = sub.add_parser("sweep", help="sweep one parameter")
     _add_setting_args(p_sweep)
     _add_jobs_arg(p_sweep)
     _add_trace_arg(p_sweep)
+    _add_eval_store_arg(p_sweep)
     p_sweep.add_argument("name", help="parameter to sweep (T, W, Fy, ...)")
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -427,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tuning budget per cell (default: paper scale)")
     p_grid.add_argument("--store", default=None,
                         help="directory for the on-disk result store")
+    _add_eval_store_arg(p_grid)
     _add_jobs_arg(p_grid)
     _add_trace_arg(p_grid)
     p_grid.set_defaults(func=cmd_grid)

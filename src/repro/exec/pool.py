@@ -32,6 +32,7 @@ from ..bench.runner import (
 from ..fft.wisdom import GLOBAL_WISDOM
 from ..machine.platforms import Platform
 from ..obs.tracer import WALL, current_tracer
+from ..tuning.evalstore import EvalStore
 from .store import ResultStore
 
 #: completion callback: ``progress(done, total, label)`` — called once
@@ -136,6 +137,19 @@ def parallel_map(
     return results
 
 
+def _cell_with_evals(
+    plat: str, p: int, n: int, budget: int, evals_jsonl: str
+) -> tuple[CellResult, str, int]:
+    """One cell evaluation against a private copy of the shared eval
+    store (module-level: pool workers pickle it).  Returns the cell plus
+    the worker's *new* evaluations as JSONL, the way workers ship FFT
+    wisdom back — the parent merges the deltas in input order — and the
+    worker's store-hit count for the parent's totals."""
+    evals = EvalStore.from_jsonl(evals_jsonl)
+    cell = evaluate_cell(plat, p, n, budget, eval_store=evals)
+    return cell, evals.new_jsonl(), evals.hits
+
+
 def evaluate_cells(
     platform: Platform | str,
     cells: Sequence[tuple[int, int]],
@@ -143,6 +157,7 @@ def evaluate_cells(
     max_evaluations: int | None = None,
     store: ResultStore | None = None,
     progress: ProgressFn | None = None,
+    eval_store: EvalStore | None = None,
 ) -> list[CellResult]:
     """Evaluate a grid of ``(p, n)`` cells, sharded over ``jobs`` workers.
 
@@ -152,14 +167,24 @@ def evaluate_cells(
     in-process memo → ``store`` (if given) → pool evaluation; computed
     cells are written back to the store.  ``progress`` sees one event
     per cell actually evaluated (memo/store hits are free and silent).
+
+    ``eval_store`` is the shared per-evaluation pool (see
+    :mod:`repro.tuning.evalstore`): each worker starts from a snapshot
+    of it, answers already-timed configurations for free, and ships its
+    new evaluations back with the cell result; deltas are merged into
+    ``eval_store`` in input order (like FFT wisdom), so the outcome is
+    independent of worker scheduling.
     """
     name = platform if isinstance(platform, str) else platform.name
     found: dict[tuple, CellResult] = {}
+    pending: set[tuple[str, int, int, int]] = set()
     todo: list[tuple[str, int, int, int]] = []
     for p, n in cells:
         key = cell_key(name, p, n, max_evaluations)
-        if key in found or key in _CACHE:
-            found[key] = _CACHE.get(key, found.get(key))
+        if key in found or key in pending:
+            continue  # duplicate input cell: schedule it once
+        if key in _CACHE:
+            found[key] = _CACHE[key]
             continue
         if store is not None:
             cached = store.get(*key)
@@ -167,13 +192,39 @@ def evaluate_cells(
                 found[key] = cached
                 continue
         todo.append(key)
-    computed = parallel_map(
-        evaluate_cell,
-        [(plat, p, n, budget) for (plat, p, n, budget) in todo],
-        jobs,
-        labels=[f"{plat} p{p} N{n}" for (plat, p, n, _b) in todo],
-        progress=progress,
-    )
+        pending.add(key)
+    labels = [f"{plat} p{p} N{n}" for (plat, p, n, _b) in todo]
+    if eval_store is None:
+        computed = parallel_map(
+            evaluate_cell,
+            [(plat, p, n, budget) for (plat, p, n, budget) in todo],
+            jobs,
+            labels=labels,
+            progress=progress,
+        )
+    else:
+        snapshot = eval_store.to_jsonl()
+        shipped = parallel_map(
+            _cell_with_evals,
+            [(plat, p, n, budget, snapshot)
+             for (plat, p, n, budget) in todo],
+            jobs,
+            labels=labels,
+            progress=progress,
+        )
+        computed = [cell for cell, _delta, _hits in shipped]
+        # Input-order merge of worker deltas (first-wins per key, like
+        # the wisdom merge: every record is a pure function of its key).
+        # In-process runs (the pool bypass) traced their store hits as
+        # they happened; pooled workers have no tracer, so their shipped
+        # hit counts are folded into the parent's trace here.
+        pooled = default_jobs(jobs) > 1 and len(todo) > 1
+        tr = current_tracer()
+        for _cell, delta, hits in shipped:
+            eval_store.merge(EvalStore.from_jsonl(delta))
+            eval_store.hits += hits
+            if pooled and tr is not None and hits:
+                tr.count("tune.store_hits", hits)
     for cell in computed:
         found[(cell.platform, cell.p, cell.n, cell.budget)] = cell
         if store is not None:
@@ -189,8 +240,18 @@ def run_grid(
     max_evaluations: int | None = None,
     store_dir: str | os.PathLike | None = None,
     progress: ProgressFn | None = None,
-) -> list[CellResult]:
+    eval_store_path: str | os.PathLike | None = None,
+) -> tuple[list[CellResult], EvalStore | None]:
     """CLI-facing wrapper: like :func:`evaluate_cells` with an optional
-    store directory instead of a store object."""
+    store directory (cell results) and eval-store path (shared
+    per-evaluation pool, loaded before and atomically merge-saved after)
+    instead of store objects.  Returns the cells and the loaded/updated
+    :class:`EvalStore` (``None`` when no path was given)."""
     store = ResultStore(store_dir) if store_dir is not None else None
-    return evaluate_cells(platform, cells, jobs, max_evaluations, store, progress)
+    evals = EvalStore.load(eval_store_path) if eval_store_path is not None else None
+    results = evaluate_cells(
+        platform, cells, jobs, max_evaluations, store, progress, evals
+    )
+    if evals is not None:
+        evals.save(eval_store_path)
+    return results, evals

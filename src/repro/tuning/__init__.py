@@ -2,6 +2,7 @@
 penalty / history / skip / log-reduction / initial-simplex techniques."""
 
 from .coordinate import CoordinateDescent
+from .evalstore import EvalRecord, EvalStore, ScopedEvalStore, eval_key
 from .gridsearch import exhaustive_search, sweep_parameter
 from .harmony import (
     Evaluation,
@@ -20,10 +21,14 @@ from .tuner import TuningResult, autotune, fftw_tuning_time
 __all__ = [
     "CoordinateDescent",
     "Dimension",
+    "EvalRecord",
+    "EvalStore",
     "Evaluation",
     "HarmonyClient",
     "HarmonyServer",
     "NelderMead",
+    "ScopedEvalStore",
+    "eval_key",
     "RandomSearchResult",
     "SearchSpace",
     "TuningResult",

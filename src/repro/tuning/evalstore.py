@@ -1,0 +1,290 @@
+"""Shared persistent evaluation store — every timed configuration, once.
+
+:class:`~repro.tuning.store.TuningStore` is winners-only wisdom: one
+record per setting.  :class:`EvalStore` is the *all-evaluations*
+analogue, the cross-strategy generalization of the paper's history-reuse
+technique (Section 4.4, technique 2): a map from ``(platform, variant,
+shape, objective mode, params)`` to the measured ``(objective, cost,
+executed)``.  Nelder-Mead, coordinate descent, random search, and
+exhaustive/grid sweeps all key their evaluations the same way, so a
+configuration timed by any strategy — in any process, in any past run —
+is a free hit for every other one, the way FFTW wisdom makes planner
+work done anywhere reusable everywhere.
+
+Persistence is JSONL with atomic replace (the ``save_cache`` pattern):
+``save`` merges with whatever is on disk before writing a temp file and
+``os.replace``-ing it into place, so concurrent grid workers and
+interrupted runs can never truncate the store and never lose each
+other's records.  Loading is tolerant: unparseable lines (a partial
+trailing line from a killed writer), records missing required fields,
+and unknown extra fields are all skipped or ignored — a store written by
+a future schema still yields every record this schema understands.
+
+Keys are opaque strings (see :func:`eval_key`), so merging is a plain
+dict union — first-wins per key, which is lossless because every value
+is a deterministic pure function of its key (the simulator is
+deterministic and the objective mode is part of the key).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.params import ProblemShape, TuningParams
+
+#: objective modes a record can be keyed under: ``tuned`` excludes the
+#: parameter-independent FFTz/Transpose steps (technique 3, the tuning
+#: objective), ``full`` is the end-to-end time (ablation sweeps).
+MODE_TUNED = "tuned"
+MODE_FULL = "full"
+
+
+def eval_key(
+    platform: str,
+    variant: str,
+    shape: ProblemShape,
+    params: TuningParams,
+    include_fixed_steps: bool = False,
+) -> str:
+    """Canonical key for one evaluation.
+
+    The objective mode is part of the key because the same configuration
+    has *different* objectives with and without the fixed steps; aliasing
+    them would corrupt every consumer.
+    """
+    mode = MODE_FULL if include_fixed_steps else MODE_TUNED
+    cfg = ",".join(f"{k}={v}" for k, v in params.as_dict().items())
+    return (
+        f"{platform}|{variant}|{shape.nx}x{shape.ny}x{shape.nz}"
+        f"|p{shape.p}|{mode}|{cfg}"
+    )
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One stored measurement."""
+
+    objective: float
+    cost: float          # simulated seconds spent running the target
+    executed: bool = True  # False would mark a derived/replayed record
+
+
+class EvalStore:
+    """Merge-safe map from evaluation keys to :class:`EvalRecord`.
+
+    Tracks which records were added after construction/loading
+    (:meth:`new_jsonl`) so pool workers can ship *only their deltas*
+    back to the parent, and counts hits/misses for reporting.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, EvalRecord] = {}
+        self._new: set[str] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    @property
+    def new_records(self) -> int:
+        """Records added since this store was constructed or loaded."""
+        return len(self._new)
+
+    # -- queries ---------------------------------------------------------
+
+    def get_key(self, key: str) -> EvalRecord | None:
+        """Record for an exact key, or ``None`` (counts hit/miss)."""
+        rec = self._records.get(key)
+        if rec is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return rec
+
+    def get(
+        self,
+        platform: str,
+        variant: str,
+        shape: ProblemShape,
+        params: TuningParams,
+        include_fixed_steps: bool = False,
+    ) -> EvalRecord | None:
+        """Stored measurement for a configuration, or ``None``."""
+        return self.get_key(
+            eval_key(platform, variant, shape, params, include_fixed_steps)
+        )
+
+    # -- updates ---------------------------------------------------------
+
+    def put_key(self, key: str, record: EvalRecord) -> None:
+        """Insert a record (first-wins: an existing key is kept)."""
+        if key in self._records:
+            return
+        self._records[key] = record
+        self._new.add(key)
+
+    def put(
+        self,
+        platform: str,
+        variant: str,
+        shape: ProblemShape,
+        params: TuningParams,
+        objective: float,
+        cost: float,
+        executed: bool = True,
+        include_fixed_steps: bool = False,
+    ) -> None:
+        """Store one measurement."""
+        self.put_key(
+            eval_key(platform, variant, shape, params, include_fixed_steps),
+            EvalRecord(objective, cost, executed),
+        )
+
+    def merge(self, other: "EvalStore", mark_new: bool = True) -> int:
+        """Union another store's records into this one (first-wins per
+        key — lossless, values are pure functions of their keys).
+        Returns the number of records actually added.  ``mark_new=False``
+        folds records in without counting them as this store's own work
+        (used when reconciling with a file another writer updated)."""
+        added = 0
+        for key, rec in other._records.items():
+            if key not in self._records:
+                self._records[key] = rec
+                if mark_new:
+                    self._new.add(key)
+                added += 1
+        return added
+
+    def scope(
+        self,
+        platform: str,
+        variant: str,
+        shape: ProblemShape,
+        include_fixed_steps: bool = False,
+    ) -> "ScopedEvalStore":
+        """Params-keyed view for one setting (what the tuning loop uses)."""
+        return ScopedEvalStore(self, platform, variant, shape, include_fixed_steps)
+
+    # -- persistence ------------------------------------------------------
+
+    def to_jsonl(self, keys: set[str] | None = None) -> str:
+        """Serialize (a subset of) the store, one record per line."""
+        lines = []
+        for key in sorted(self._records if keys is None else keys):
+            rec = self._records[key]
+            lines.append(json.dumps({
+                "key": key,
+                "objective": rec.objective,
+                "cost": rec.cost,
+                "executed": rec.executed,
+            }))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def new_jsonl(self) -> str:
+        """Only the records added since construction (worker deltas)."""
+        return self.to_jsonl(self._new)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EvalStore":
+        """Rebuild a store from JSONL; skips lines that do not parse
+        (e.g. a partial tail from an interrupted writer) and records
+        missing required fields; ignores unknown extra fields.  Loaded
+        records do not count as new."""
+        store = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                item = json.loads(line)
+                key = item["key"]
+                rec = EvalRecord(
+                    objective=float(item["objective"]),
+                    cost=float(item.get("cost", 0.0)),
+                    executed=bool(item.get("executed", True)),
+                )
+            except (ValueError, KeyError, TypeError):
+                continue
+            if not isinstance(key, str):
+                continue
+            if key not in store._records:
+                store._records[key] = rec
+        return store
+
+    def save(self, path: str | Path) -> int:
+        """Merge with the on-disk store and atomically replace it.
+
+        Read-merge-replace makes concurrent savers additive: whichever
+        writer loses the ``os.replace`` race has already folded the
+        other's records in (both read before writing), and a reader never
+        observes a truncated file because the rename is atomic.  Returns
+        the number of records written.
+        """
+        target = Path(path)
+        if target.exists():
+            try:
+                self.merge(EvalStore.from_jsonl(target.read_text()),
+                           mark_new=False)
+            except OSError:
+                pass
+        tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+        tmp.write_text(self.to_jsonl())
+        os.replace(tmp, target)
+        return len(self)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EvalStore":
+        """Load a store; a missing or unreadable file yields an empty one."""
+        file = Path(path)
+        try:
+            text = file.read_text()
+        except OSError:
+            return cls()
+        return cls.from_jsonl(text)
+
+
+class ScopedEvalStore:
+    """One setting's view of an :class:`EvalStore`, keyed by params.
+
+    This is the object the tuning loop and the search baselines hold: it
+    pins ``(platform, variant, shape, objective mode)`` so call sites
+    deal only in :class:`~repro.core.params.TuningParams`.
+    """
+
+    def __init__(
+        self,
+        store: EvalStore,
+        platform: str,
+        variant: str,
+        shape: ProblemShape,
+        include_fixed_steps: bool = False,
+    ) -> None:
+        self.store = store
+        self.platform = platform
+        self.variant = variant
+        self.shape = shape
+        self.include_fixed_steps = include_fixed_steps
+
+    def get(self, params: TuningParams) -> EvalRecord | None:
+        """Stored measurement for a configuration, or ``None``."""
+        return self.store.get(
+            self.platform, self.variant, self.shape, params,
+            self.include_fixed_steps,
+        )
+
+    def put(
+        self, params: TuningParams, objective: float, cost: float,
+        executed: bool = True,
+    ) -> None:
+        """Store one measurement under this scope's setting."""
+        self.store.put(
+            self.platform, self.variant, self.shape, params,
+            objective, cost, executed, self.include_fixed_steps,
+        )

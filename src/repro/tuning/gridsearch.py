@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from ..core.params import ProblemShape, TuningParams
 from ..core.variants import VariantSpec, baseline_params, get_variant
 from ..machine.platforms import Platform
+from ..obs.tracer import current_tracer
+from .evalstore import EvalStore
 from .space import SearchSpace
 
 
@@ -47,12 +49,16 @@ def sweep_parameter(
     include_fixed_steps: bool = True,
     jobs: int | None = None,
     progress=None,
+    eval_store: EvalStore | None = None,
 ) -> list[SweepPoint]:
     """Vary one parameter over its candidate list, others fixed at
     ``base``; skips infeasible combinations.  ``jobs`` shards the point
     evaluations over worker processes (see :mod:`repro.exec`) with
     order-preserving merging; ``progress`` receives one completion event
-    per evaluated point (``repro.exec.pool.ProgressFn``)."""
+    per evaluated point (``repro.exec.pool.ProgressFn``).
+
+    ``eval_store`` skips points the shared evaluation pool has already
+    timed (traced as ``tune.store_hits``) and records the rest."""
     from ..exec.pool import parallel_map
 
     spec = get_variant(variant) if isinstance(variant, str) else variant
@@ -64,13 +70,38 @@ def sweep_parameter(
         params = base.replace(**{name: value})
         if params.is_feasible(shape):
             points.append((value, params))
-    objectives = parallel_map(
+    scoped = (
+        eval_store.scope(platform.name, spec.name, shape, include_fixed_steps)
+        if eval_store is not None else None
+    )
+    known: dict[int, float] = {}
+    todo = list(range(len(points)))
+    if scoped is not None:
+        todo = []
+        for i, (_v, params) in enumerate(points):
+            rec = scoped.get(params)
+            if rec is not None:
+                known[i] = rec.objective
+            else:
+                todo.append(i)
+        tr = current_tracer()
+        if tr is not None and known:
+            tr.count("tune.store_hits", len(known))
+    computed = parallel_map(
         _time_point,
-        [(spec, platform, shape, p, include_fixed_steps) for _v, p in points],
+        [(spec, platform, shape, points[i][1], include_fixed_steps)
+         for i in todo],
         jobs,
-        labels=[f"{name}={v}" for v, _p in points],
+        labels=[f"{name}={points[i][0]}" for i in todo],
         progress=progress,
     )
+    objectives: list[float] = [0.0] * len(points)
+    for i, obj in zip(todo, computed):
+        objectives[i] = obj
+        if scoped is not None:
+            scoped.put(points[i][1], obj, obj)
+    for i, obj in known.items():
+        objectives[i] = obj
     return [
         SweepPoint(params=params, value=value, objective=obj)
         for (value, params), obj in zip(points, objectives)
@@ -83,11 +114,15 @@ def exhaustive_search(
     shape: ProblemShape,
     max_points: int = 20000,
     include_fixed_steps: bool = False,
+    eval_store: EvalStore | None = None,
 ) -> tuple[TuningParams, float, int]:
     """Evaluate every feasible grid point (small spaces only).
 
     Returns ``(best_params, best_objective, n_evaluated)``; raises
-    :class:`ValueError` if the grid exceeds ``max_points``.
+    :class:`ValueError` if the grid exceeds ``max_points``.  Points
+    already in ``eval_store`` are answered from the pool and do not
+    count as evaluated; new measurements are written through, so an
+    exhaustive pass fully warms the store for every other strategy.
     """
     from ..core.api import run_case
 
@@ -98,15 +133,30 @@ def exhaustive_search(
         raise ValueError(
             f"grid has {space.size()} points, over the {max_points} limit"
         )
+    scoped = (
+        eval_store.scope(platform.name, spec.name, shape, include_fixed_steps)
+        if eval_store is not None else None
+    )
+    tr = current_tracer()
     best_params, best_val, n = None, math.inf, 0
     for idx in itertools.product(*(range(len(d)) for d in space.dims)):
         params = space.params_at(idx, base)
         if not params.is_feasible(shape):
             continue
+        if scoped is not None:
+            rec = scoped.get(params)
+            if rec is not None:
+                if tr is not None:
+                    tr.count("tune.store_hits")
+                if rec.objective < best_val:
+                    best_params, best_val = params, rec.objective
+                continue
         res, _ = run_case(
             spec, platform, shape, params, include_fixed_steps=include_fixed_steps
         )
         n += 1
+        if scoped is not None:
+            scoped.put(params, res.elapsed, res.elapsed)
         if res.elapsed < best_val:
             best_params, best_val = params, res.elapsed
     return best_params, best_val, n

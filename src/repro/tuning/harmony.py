@@ -32,6 +32,7 @@ import numpy as np
 from ..core.params import ProblemShape, TuningParams
 from ..errors import InfeasibleConfigError, TuningError
 from ..obs.tracer import WALL, current_tracer
+from .evalstore import ScopedEvalStore
 from .neldermead import NelderMead
 from .space import SearchSpace
 
@@ -72,11 +73,17 @@ class TuningSession:
         return sum(1 for e in self.history if e.executed)
 
     def best(self) -> Evaluation:
-        """Best feasible evaluation seen so far."""
+        """Best feasible evaluation seen so far.
+
+        Objective ties are broken toward records that carry their
+        ``params`` (executed runs and store hits): a session-cache
+        replay records ``params=None``, and returning such a record
+        would hand the caller a winner it cannot re-run.
+        """
         finite = [e for e in self.history if math.isfinite(e.objective)]
         if not finite:
             raise TuningError("no feasible configuration was found")
-        return min(finite, key=lambda e: e.objective)
+        return min(finite, key=lambda e: (e.objective, e.params is None))
 
     def evals_to_reach(self, objective: float) -> int | None:
         """How many suggestions it took to first reach ``objective`` or
@@ -116,6 +123,13 @@ class HarmonyClient:
     ``measure`` maps a feasible :class:`TuningParams` to ``(objective,
     cost_seconds)`` — for the FFT target both are the simulated execution
     time of the parameter-dependent steps.
+
+    ``evals`` is an optional :class:`~repro.tuning.evalstore.ScopedEvalStore`
+    — the cross-session/cross-strategy generalization of technique 2.  A
+    configuration any strategy has already timed under the same setting
+    is answered from the store without running the target (free, like a
+    cache hit, traced as ``tune.store_hits``); every executed measurement
+    is written through so other strategies and future sessions reuse it.
     """
 
     def __init__(
@@ -125,12 +139,14 @@ class HarmonyClient:
         base: TuningParams,
         measure: Callable[[TuningParams], tuple[float, float]],
         session: TuningSession,
+        evals: ScopedEvalStore | None = None,
     ) -> None:
         self.space = space
         self.shape = shape
         self.base = base
         self.measure = measure
         self.session = session
+        self.evals = evals
 
     def evaluate(self, index: tuple[int, ...]) -> float:
         """Objective for a grid point, applying the paper's techniques."""
@@ -151,10 +167,22 @@ class HarmonyClient:
             s.history.append(Evaluation(index, None, math.inf, False, 0.0))
             self._trace_eval(tr, t0, index, None, math.inf, cache_hit=False)
             return math.inf
+        if self.evals is not None:
+            rec = self.evals.get(params)
+            if rec is not None:  # shared history: another strategy's work
+                s.cache[index] = rec.objective
+                s.history.append(
+                    Evaluation(index, params, rec.objective, False, 0.0)
+                )
+                self._trace_eval(tr, t0, index, params, rec.objective,
+                                 cache_hit=False, store_hit=True)
+                return rec.objective
         value, cost = self.measure(params)
         s.cache[index] = value
         s.tuning_time += cost + HARNESS_OVERHEAD
         s.history.append(Evaluation(index, params, value, True, cost))
+        if self.evals is not None:
+            self.evals.put(params, value, cost)
         self._trace_eval(tr, t0, index, params, value, cache_hit=False,
                          executed=True, cost=cost)
         return value
@@ -162,6 +190,7 @@ class HarmonyClient:
     def _trace_eval(
         self, tr, t0, index, params, value,
         cache_hit: bool, executed: bool = False, cost: float = 0.0,
+        store_hit: bool = False,
     ) -> None:
         """One wall-clock span + counters per tuning-loop evaluation."""
         if tr is None:
@@ -169,11 +198,14 @@ class HarmonyClient:
         tr.count("tune.evals")
         if cache_hit:
             tr.count("tune.cache_hits")
+        elif store_hit:
+            tr.count("tune.store_hits")
         elif not math.isfinite(value):
             tr.count("tune.infeasible")
         attrs = {
             "index": list(index),
             "cache_hit": cache_hit,
+            "store_hit": store_hit,
             "feasible": math.isfinite(value),
             "executed": executed,
             "objective": value if math.isfinite(value) else None,

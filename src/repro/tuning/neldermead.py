@@ -96,6 +96,13 @@ class NelderMead:
 
     def best(self) -> tuple[np.ndarray, float]:
         """Best vertex and its value seen so far."""
+        if bool(np.all(np.isnan(self.values))):
+            # np.nanargmin raises a bare ValueError on all-NaN input —
+            # surface the actual condition (no vertex evaluated yet).
+            raise TuningError(
+                "no vertex has been evaluated yet (init phase); "
+                "call ask()/tell() before best()"
+            )
         i = int(np.nanargmin(self.values))
         return self.simplex[i].copy(), float(self.values[i])
 

@@ -17,8 +17,15 @@ import numpy as np
 
 from ..core.params import ProblemShape, TuningParams
 from ..core.variants import VariantSpec, baseline_params, get_variant
+from ..errors import TuningError
 from ..machine.platforms import Platform
+from ..obs.tracer import current_tracer
+from .evalstore import EvalStore
 from .space import SearchSpace
+
+#: resampling bound for :func:`sample_params` — generous next to any
+#: realistic feasible fraction, small next to an infinite loop.
+MAX_SAMPLE_TRIES = 10_000
 
 
 @dataclass
@@ -40,16 +47,31 @@ class RandomSearchResult:
 
 
 def sample_params(
-    space: SearchSpace, shape: ProblemShape, base: TuningParams, rng: random.Random
+    space: SearchSpace,
+    shape: ProblemShape,
+    base: TuningParams,
+    rng: random.Random,
+    max_tries: int = MAX_SAMPLE_TRIES,
 ) -> TuningParams:
     """Draw one *feasible* configuration uniformly over the reduced grid
     (resampling constraint violations, so every draw is runnable — the
-    paper measured execution time for all 200 of its random configs)."""
-    while True:
+    paper measured execution time for all 200 of its random configs).
+
+    Raises :class:`~repro.errors.TuningError` after ``max_tries``
+    rejected draws: a reduced space with no feasible point (e.g. an
+    infeasible ``base`` in an untuned dimension) must fail loudly, not
+    loop forever.
+    """
+    for _ in range(max_tries):
         idx = tuple(rng.randrange(len(d)) for d in space.dims)
         params = space.params_at(idx, base)
         if params.is_feasible(shape):
             return params
+    raise TuningError(
+        f"no feasible configuration found in {max_tries} draws over "
+        f"{[d.name for d in space.dims]} for shape "
+        f"{shape.nx}x{shape.ny}x{shape.nz} p={shape.p} (base {base.as_dict()})"
+    )
 
 
 def _time_params(spec, platform, shape, params, include_fixed_steps):
@@ -70,6 +92,7 @@ def random_search(
     seed: int = 0,
     include_fixed_steps: bool = False,
     jobs: int | None = None,
+    eval_store: EvalStore | None = None,
 ) -> RandomSearchResult:
     """Measure ``n_samples`` random configurations (Figure 5).
 
@@ -81,6 +104,11 @@ def random_search(
     :mod:`repro.exec`); all draws come from the single seeded RNG up
     front, so the sample set — and hence the result — is identical for
     every worker count.
+
+    ``eval_store`` answers already-timed configurations from the shared
+    evaluation pool (traced as ``tune.store_hits``) and records the new
+    ones, so a CDF re-run — or a tuning session after it — is free where
+    the pool is warm.  The returned samples are identical either way.
     """
     from ..exec.pool import parallel_map  # local import to avoid cycles
 
@@ -91,9 +119,35 @@ def random_search(
     params_list = [
         sample_params(space, shape, base, rng) for _ in range(n_samples)
     ]
-    elapsed = parallel_map(
+    scoped = (
+        eval_store.scope(platform.name, spec.name, shape, include_fixed_steps)
+        if eval_store is not None else None
+    )
+    known: dict[int, float] = {}
+    todo: list[TuningParams] = []
+    if scoped is not None:
+        for i, p in enumerate(params_list):
+            rec = scoped.get(p)
+            if rec is not None:
+                known[i] = rec.objective
+            else:
+                todo.append(p)
+    else:
+        todo = list(params_list)
+    computed = parallel_map(
         _time_params,
-        [(spec, platform, shape, p, include_fixed_steps) for p in params_list],
+        [(spec, platform, shape, p, include_fixed_steps) for p in todo],
         jobs,
     )
+    if scoped is not None:
+        for p, t in zip(todo, computed):
+            scoped.put(p, t, t)
+        tr = current_tracer()
+        if tr is not None and known:
+            tr.count("tune.store_hits", len(known))
+    fresh = iter(computed)
+    elapsed = [
+        known[i] if i in known else next(fresh)
+        for i in range(len(params_list))
+    ]
     return RandomSearchResult(params=params_list, times=np.asarray(elapsed))

@@ -25,6 +25,7 @@ from ..core.params import ProblemShape, TuningParams
 from ..core.variants import VariantSpec, baseline_params, get_variant
 from ..errors import TuningError
 from ..machine.platforms import Platform
+from .evalstore import EvalStore
 from .harmony import HarmonyClient, HarmonyServer, TuningSession, run_tuning_loop
 from .initial import initial_simplex
 from .neldermead import NelderMead
@@ -66,12 +67,19 @@ def autotune(
     max_evaluations: int = 400,
     base: TuningParams | None = None,
     strategy: str = "nelder-mead",
+    eval_store: EvalStore | None = None,
 ) -> TuningResult:
     """Auto-tune a variant's parameters for one (platform, p, N) setting.
 
     ``strategy`` selects the search: ``"nelder-mead"`` (the paper's
     choice) or ``"coordinate"`` (cyclic coordinate descent — the kind of
     alternative §7 proposes to try).
+
+    ``eval_store`` shares timed configurations *across* strategies and
+    sessions (see :mod:`repro.tuning.evalstore`): evaluations found in
+    the store are free, and new ones are written through, so comparing
+    strategies against one warm store measures search policy instead of
+    redundant simulation.
     """
     spec = get_variant(variant) if isinstance(variant, str) else variant
     if not spec.tunable:
@@ -103,7 +111,12 @@ def autotune(
         )
         return res.elapsed, res.elapsed
 
-    client = HarmonyClient(space, shape, base, measure, session)
+    scoped = (
+        eval_store.scope(platform.name, spec.name, shape,
+                         include_fixed_steps=False)
+        if eval_store is not None else None
+    )
+    client = HarmonyClient(space, shape, base, measure, session, evals=scoped)
     if strategy == "nelder-mead":
         search = NelderMead(initial_simplex(space, shape, base))
     elif strategy == "coordinate":
@@ -121,12 +134,17 @@ def autotune(
     run_tuning_loop(server, client, max_evaluations)
 
     best = session.best()
-    full, _ = run_case(spec, platform, shape, best.params)
+    best_params = best.params
+    if best_params is None:
+        # A replayed record can win an objective tie without carrying its
+        # configuration; resolve it from the winning grid index.
+        best_params = space.params_at(best.index, base)
+    full, _ = run_case(spec, platform, shape, best_params)
     return TuningResult(
         variant=spec.name,
         platform=platform.name,
         shape=shape,
-        best_params=best.params,
+        best_params=best_params,
         best_objective=best.objective,
         full_run=full,
         session=session,

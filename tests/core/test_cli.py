@@ -129,6 +129,50 @@ class TestTracing:
         assert path.exists()
 
 
+class TestEvalStoreFlag:
+    def test_tune_warm_rerun_is_all_hits(self, capsys, tmp_path):
+        path = tmp_path / "evals.jsonl"
+        args = ["tune", "-n", "64", "-p", "4", "--eval-store", str(path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "eval store: 0 hits" in cold
+        assert path.exists()
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 new evaluations" in warm
+
+    def test_strategies_share_the_store(self, capsys, tmp_path):
+        path = tmp_path / "evals.jsonl"
+        base = ["tune", "-n", "64", "-p", "4", "--eval-store", str(path)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--strategy", "coordinate"]) == 0
+        out = capsys.readouterr().out
+        # Coordinate descent starts from Nelder-Mead's evaluations.
+        assert "eval store: 0 hits" not in out
+
+    def test_grid_persists_the_store(self, capsys, tmp_path):
+        from repro.bench import clear_cache
+
+        clear_cache()
+        path = tmp_path / "evals.jsonl"
+        rc = main(["grid", "--cells", "4:32", "--budget", "6",
+                   "--no-progress", "--eval-store", str(path)])
+        assert rc == 0
+        assert "eval store:" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_sweep_uses_the_store(self, capsys, tmp_path):
+        path = tmp_path / "evals.jsonl"
+        args = ["sweep", "W", "-n", "64", "-p", "4", "--no-progress",
+                "--eval-store", str(path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 new evaluations" in warm
+
+
 class TestExtensionCommands:
     def test_run_pencil(self, capsys):
         rc = main(["run", "-n", "32", "-p", "4", "--decomposition", "pencil"])

@@ -105,6 +105,29 @@ class TestSessionQueries:
         assert session.evals_to_reach(min(vals)) in (1, 2)
         assert session.evals_to_reach(-1.0) is None
 
+    def test_best_prefers_records_with_params_on_ties(self):
+        # A replayed cache-hit record carries params=None; if an
+        # objective tie puts it ahead of an executed record, best() must
+        # still return a winner the caller can re-run.
+        from repro.tuning import Evaluation
+
+        shape = small_shape()
+        session = TuningSession(space=SearchSpace(shape, NEW.tunable))
+        params = default_params(shape)
+        session.history = [
+            Evaluation((0,) * 10, None, 0.5, False, 0.0),    # replay first
+            Evaluation((1,) * 10, params, 0.5, True, 0.5),   # executed tie
+        ]
+        best = session.best()
+        assert best.params is params
+
+    def test_autotune_winner_always_has_params(self):
+        # End to end: the winner handed to run_case can never be None.
+        shape = small_shape()
+        result = autotune("NEW", UMD_CLUSTER, shape, max_evaluations=60)
+        assert result.best_params is not None
+        assert result.best_params.is_feasible(shape)
+
     def test_best_with_no_feasible_raises(self):
         shape = small_shape()
         session = TuningSession(space=SearchSpace(shape, NEW.tunable))

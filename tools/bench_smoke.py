@@ -10,6 +10,13 @@ from an earlier run in the same process.  Small enough for every CI run;
 the numbers give a commit-over-commit perf trajectory without the cost
 of the full benchmark suite.
 
+The run also exercises the shared evaluation store: one cold autotune
+fills a fresh :class:`~repro.tuning.EvalStore`, a warm rerun on the same
+store must answer every configuration for free, and the hit/executed
+counts land in BENCH_smoke.json (a regression here means the store key
+or read-through broke).  The store itself is written to ``--eval-store``
+so CI can upload it as an artifact.
+
 ``--trace`` additionally runs the grid under a :mod:`repro.obs` tracer
 and writes a Chrome trace-event JSON (Perfetto-viewable) that CI uploads
 as an artifact.
@@ -28,7 +35,10 @@ ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.bench import clear_cache  # noqa: E402
+from repro.core import ProblemShape  # noqa: E402
 from repro.exec import evaluate_cells  # noqa: E402
+from repro.machine import UMD_CLUSTER  # noqa: E402
+from repro.tuning import EvalStore, autotune  # noqa: E402
 from repro.obs import (  # noqa: E402
     Tracer,
     reset_sched_totals,
@@ -39,6 +49,28 @@ from repro.obs import (  # noqa: E402
 
 GRID = {"UMD-Cluster": [(4, 32), (8, 32)], "Hopper": [(4, 32)]}
 BUDGET = 6
+TUNE_SHAPE = ProblemShape(64, 64, 64, 4)
+
+
+def warm_vs_cold_tune(store_path: str) -> dict:
+    """Cold autotune fills the store; a warm rerun must be all hits."""
+    evals = EvalStore()
+    t0 = time.perf_counter()
+    cold = autotune("NEW", UMD_CLUSTER, TUNE_SHAPE, eval_store=evals)
+    cold_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = autotune("NEW", UMD_CLUSTER, TUNE_SHAPE, eval_store=evals)
+    warm_wall = time.perf_counter() - t0
+    evals.save(store_path)
+    return {
+        "shape": "64x64x64 p4",
+        "cold_executed": cold.session.executed_evaluations,
+        "warm_executed": warm.session.executed_evaluations,
+        "store_hits": evals.hits,
+        "store_records": len(evals),
+        "cold_wall_s": round(cold_wall, 3),
+        "warm_wall_s": round(warm_wall, 3),
+    }
 
 
 def main(argv=None) -> int:
@@ -46,6 +78,9 @@ def main(argv=None) -> int:
     ap.add_argument("--out", default=str(ROOT / "BENCH_smoke.json"))
     ap.add_argument("--trace", default=None, metavar="PATH",
                     help="also write a Chrome trace of the grid run")
+    ap.add_argument("--eval-store", default=str(ROOT / "smoke_evals.jsonl"),
+                    metavar="PATH",
+                    help="where the warm-vs-cold tune saves its eval store")
     args = ap.parse_args(argv)
 
     clear_cache()
@@ -59,6 +94,7 @@ def main(argv=None) -> int:
             evaluated += len(cells)
     wall = time.perf_counter() - t0
     totals = sched_totals()
+    tune = warm_vs_cold_tune(args.eval_store)
 
     payload = {
         "benchmark": "smoke grid (tasks backend, serial)",
@@ -69,12 +105,18 @@ def main(argv=None) -> int:
         "scheduler_probe_polls": totals.probe_polls,
         "scheduler_wakeups": totals.wakeups,
         "host_cores": os.cpu_count(),
+        "eval_store": tune,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     if args.trace:
         n = write_trace(tracer, args.trace)
         print(f"trace: {n} records -> {args.trace}")
+    if tune["warm_executed"] != 0:
+        print(f"FAIL: warm tune executed {tune['warm_executed']} "
+              "simulations; the eval store should have answered them all",
+              file=sys.stderr)
+        return 1
     return 0
 
 
