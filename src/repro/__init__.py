@@ -42,13 +42,17 @@ from .core import (
     parallel_ifft3d,
     run_case,
 )
+from .faults import FaultSpec, injected_faults, parse_faults
 from .machine import HOPPER, UMD_CLUSTER, Platform, get_platform
 from .tuning import TuningResult, autotune
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultSpec",
     "HOPPER",
+    "injected_faults",
+    "parse_faults",
     "ParallelFFT3D",
     "Platform",
     "ProblemShape",

@@ -21,6 +21,7 @@ from pathlib import Path
 
 from ..core.api import RunResult, run_case
 from ..core.params import ProblemShape, TuningParams
+from ..faults import current_faults
 from ..machine.platforms import Platform, get_platform
 from ..tuning.evalstore import EvalStore
 from ..tuning.tuner import TuningResult, autotune
@@ -43,13 +44,21 @@ class CellResult:
     #: (:func:`repro.obs.run_metrics`: overlap_efficiency_pct,
     #: exposed_comm_s, scheduler counters, ...)
     metrics: dict[str, dict] = field(default_factory=dict)
+    #: canonical fault-spec key the cell was evaluated under ("" =
+    #: fault-free); part of the memo/store key, so faulty and fault-free
+    #: results never alias
+    faults: str = ""
 
     def speedup(self, variant: str) -> float:
         """Speedup of ``variant`` over the FFTW baseline (Figure 7)."""
         return self.times["FFTW"] / self.times[variant]
 
+    def key(self) -> tuple[str, int, int, int, str]:
+        """This cell's full memo/store key."""
+        return (self.platform, self.p, self.n, self.budget, self.faults)
 
-_CACHE: dict[tuple[str, int, int, int], CellResult] = {}
+
+_CACHE: dict[tuple[str, int, int, int, str], CellResult] = {}
 
 
 def effective_budget(p: int, max_evaluations: int | None = None) -> int:
@@ -57,11 +66,21 @@ def effective_budget(p: int, max_evaluations: int | None = None) -> int:
     return max_evaluations if max_evaluations is not None else tuning_budget(p)
 
 
+def active_fault_key() -> str:
+    """Canonical key of the ambient fault spec ("" when fault-free)."""
+    spec = current_faults()
+    return spec.key() if spec is not None else ""
+
+
 def cell_key(
     platform: str, p: int, n: int, max_evaluations: int | None = None
-) -> tuple[str, int, int, int]:
-    """Memo/store key for one cell: (platform, p, n, effective budget)."""
-    return (platform, p, n, effective_budget(p, max_evaluations))
+) -> tuple[str, int, int, int, str]:
+    """Memo/store key for one cell:
+    (platform, p, n, effective budget, ambient fault key)."""
+    return (
+        platform, p, n, effective_budget(p, max_evaluations),
+        active_fault_key(),
+    )
 
 
 def evaluate_cell(
@@ -80,7 +99,8 @@ def evaluate_cell(
     """
     plat = get_platform(platform) if isinstance(platform, str) else platform
     budget = effective_budget(p, max_evaluations)
-    key = (plat.name, p, n, budget)
+    fault_key = active_fault_key()
+    key = (plat.name, p, n, budget, fault_key)
     if key in _CACHE:
         return _CACHE[key]
     shape = ProblemShape(n, n, n, p)
@@ -101,7 +121,7 @@ def evaluate_cell(
     cell = CellResult(
         platform=plat.name, p=p, n=n,
         times=times, tuning_times=tunings, params=params, evaluations=evals,
-        budget=budget, metrics=metrics,
+        budget=budget, metrics=metrics, faults=fault_key,
     )
     _CACHE[key] = cell
     return cell
@@ -110,7 +130,7 @@ def evaluate_cell(
 def prime_cache(cells: list[CellResult]) -> None:
     """Insert externally computed cells (parallel workers) into the memo."""
     for cell in cells:
-        _CACHE[(cell.platform, cell.p, cell.n, cell.budget)] = cell
+        _CACHE[cell.key()] = cell
 
 
 def run_breakdown(
@@ -162,6 +182,7 @@ def cell_to_dict(cell: CellResult) -> dict:
         "p": cell.p,
         "n": cell.n,
         "budget": cell.budget,
+        "faults": cell.faults,
         "times": cell.times,
         "tuning_times": cell.tuning_times,
         "evaluations": cell.evaluations,
@@ -184,6 +205,8 @@ def cell_from_dict(item: dict) -> CellResult:
         # pre-observability stores have no metrics section; an empty
         # dict keeps those cells loadable (summaries just omit them)
         metrics=item.get("metrics", {}),
+        # pre-fault-injection stores were all fault-free
+        faults=item.get("faults", ""),
     )
 
 
@@ -217,7 +240,7 @@ def load_cache(path: str | Path) -> int:
         if "budget" not in item:
             continue
         cell = cell_from_dict(item)
-        _CACHE[(cell.platform, cell.p, cell.n, cell.budget)] = cell
+        _CACHE[cell.key()] = cell
         restored += 1
     return restored
 

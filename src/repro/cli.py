@@ -80,6 +80,35 @@ def _add_trace_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_faults_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject deterministic faults into the simulated machine, "
+             "e.g. 'straggler:rank=3,slow=2.0;jitter:amp=2e-6;seed:42' "
+             "(kinds: straggler, degrade, jitter, spike, poll, seed)",
+    )
+
+
+@contextmanager
+def _maybe_faults(args):
+    """Install the ``--faults`` spec ambiently for the command body, so
+    every simulation it runs — including in pool workers — sees the
+    same degraded machine."""
+    text = getattr(args, "faults", None)
+    if not text:
+        yield None
+        return
+    from .errors import FaultSpecError
+    from .faults import injected_faults, parse_faults
+
+    try:
+        spec = parse_faults(text)
+    except FaultSpecError as exc:
+        raise SystemExit(f"error: {exc}")
+    with injected_faults(spec):
+        yield spec
+
+
 @contextmanager
 def _maybe_trace(args, rank_spans: bool):
     """Install a tracer for the command body when ``--trace`` was given,
@@ -156,13 +185,15 @@ def _print_overlap(sim) -> None:
     print(f"overlap: {m['overlap_efficiency_pct']:.1f}% of the exchange "
           f"window covered by compute; exposed comm "
           f"{m['exposed_comm_s']:.4f} s")
+    if m.get("faults"):
+        print(f"faults: {m['faults']}")
 
 
 def cmd_run(args) -> int:
     """``repro run``: simulate one FFT and print the breakdown."""
     platform = get_platform(args.machine)
     shape = _shape(args)
-    with _maybe_trace(args, rank_spans=True):
+    with _maybe_faults(args), _maybe_trace(args, rank_spans=True):
         if args.decomposition == "pencil":
             from .core.pencil import PencilFFT3D
             from .simmpi.spmd import run_spmd
@@ -254,7 +285,7 @@ def cmd_sweep(args) -> int:
 
     platform = get_platform(args.machine)
     evals = _load_eval_store(args)
-    with _maybe_trace(args, rank_spans=False):
+    with _maybe_faults(args), _maybe_trace(args, rank_spans=False):
         pts = sweep_parameter(
             args.variant, platform, _shape(args), args.name, jobs=args.jobs,
             progress=_progress(args), eval_store=evals,
@@ -302,12 +333,27 @@ def cmd_grid(args) -> int:
         print(f"error: bad --cells {args.cells!r}; expected 'p:N,N,...;p:N,...'"
               " (e.g. '16:256,384;32:256')", file=sys.stderr)
         return 2
-    with _maybe_trace(args, rank_spans=False):
-        results, evals = run_grid(
-            args.machine, cells,
-            jobs=args.jobs, max_evaluations=args.budget, store_dir=args.store,
-            progress=_progress(args), eval_store_path=args.eval_store,
-        )
+    from .errors import GridInterrupted
+
+    try:
+        with _maybe_faults(args) as spec, _maybe_trace(args, rank_spans=False):
+            results, evals = run_grid(
+                args.machine, cells,
+                jobs=args.jobs, max_evaluations=args.budget,
+                store_dir=args.store,
+                progress=_progress(args), eval_store_path=args.eval_store,
+            )
+    except GridInterrupted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for (p, n), err in sorted(exc.failures.items()):
+            print(f"  p{p} N{n}: {err}", file=sys.stderr)
+        if args.store:
+            print(f"{len(exc.completed)} completed cell(s) saved to "
+                  f"{args.store}; re-run the same command to resume",
+                  file=sys.stderr)
+        return 3
+    if spec is not None:
+        print(f"faults: {spec.key()}")
     if evals is not None:
         print(f"eval store: {evals.hits} hits, {evals.new_records} new "
               f"evaluations, {len(evals)} records -> {args.eval_store}")
@@ -425,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="real-to-complex transform (half spectrum, Section 2.3)",
     )
     _add_trace_arg(p_run)
+    _add_faults_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_multi = sub.add_parser(
@@ -451,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p_sweep)
     _add_trace_arg(p_sweep)
     _add_eval_store_arg(p_sweep)
+    _add_faults_arg(p_sweep)
     p_sweep.add_argument("name", help="parameter to sweep (T, W, Fy, ...)")
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -477,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_eval_store_arg(p_grid)
     _add_jobs_arg(p_grid)
     _add_trace_arg(p_grid)
+    _add_faults_arg(p_grid)
     p_grid.set_defaults(func=cmd_grid)
 
     p_trace = sub.add_parser(

@@ -47,3 +47,71 @@ class MPIUsageError(SimulationError):
 
 class TuningError(ReproError):
     """The auto-tuning machinery failed (empty space, bad objective...)."""
+
+
+class FaultSpecError(ReproError):
+    """A ``--faults`` specification string is malformed."""
+
+
+class ExecError(ReproError):
+    """The parallel execution layer failed (pool, retries, timeouts)."""
+
+
+class ItemFailedError(ExecError):
+    """One work item exhausted its attempts.
+
+    Carries the item's ``label`` and the worker-side ``traceback`` text
+    of the last attempt, so a failure deep inside a pool worker is
+    reported with the same context a serial run would give.
+    """
+
+    def __init__(self, label: str, cause: str, attempts: int = 1) -> None:
+        super().__init__(
+            f"item {label!r} failed after {attempts} attempt(s): {cause}"
+        )
+        self.label = label
+        self.cause = cause
+        self.attempts = attempts
+
+
+class ItemTimeoutError(ItemFailedError):
+    """One work item exceeded its per-item timeout on every attempt."""
+
+
+class ParallelMapError(ExecError):
+    """:func:`repro.exec.parallel_map` could not complete every item.
+
+    ``results`` holds the per-item outcomes in input order (``None``
+    where the item failed); ``failures`` maps input index to the
+    :class:`ItemFailedError` describing why.  Callers that can salvage
+    partial work (grids with a result store) read ``results``; callers
+    that cannot just see the exception message listing the failures.
+    """
+
+    def __init__(self, results: list, failures: dict) -> None:
+        lines = "; ".join(str(failures[i]) for i in sorted(failures))
+        super().__init__(
+            f"{len(failures)} of {len(results)} item(s) failed: {lines}"
+        )
+        self.results = results
+        self.failures = failures
+
+
+class GridInterrupted(ExecError):
+    """A grid run stopped early but completed cells were salvaged.
+
+    ``completed`` holds every :class:`~repro.bench.runner.CellResult`
+    that finished (already flushed to the result store when one was
+    given), so a re-run with the same store resumes via read-through and
+    executes only the missing cells.  ``failures`` maps the failed
+    ``(p, n)`` inputs to their :class:`ItemFailedError`.
+    """
+
+    def __init__(self, completed: list, failures: dict) -> None:
+        cells = ", ".join(f"p{p} N{n}" for (p, n) in sorted(failures))
+        super().__init__(
+            f"grid interrupted: {len(failures)} cell(s) failed ({cells}); "
+            f"{len(completed)} completed cell(s) salvaged"
+        )
+        self.completed = completed
+        self.failures = failures

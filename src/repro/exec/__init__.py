@@ -19,13 +19,33 @@ Determinism argument: a cell evaluation is a pure function of its key —
 the simulation engine is deterministic, the tuner seeds its own RNG,
 and workers start from a fresh memo — so *where* a cell runs cannot
 change its value, and merging by input order (never completion order)
-makes ``jobs=N`` byte-identical to ``jobs=1``.
+makes ``jobs=N`` byte-identical to ``jobs=1``.  Cell keys include the
+ambient fault spec (:mod:`repro.faults`), so fault-injected grids never
+alias fault-free ones.
+
+Fault tolerance (:class:`ExecPolicy`): items are retried with
+exponential backoff, per-item timeouts abandon hung workers, a dead
+pool is respawned and resubmits only unfinished items, and a pool that
+keeps dying degrades to serial execution.  A grid that still cannot
+finish salvages its completed cells into the store and raises
+:class:`~repro.errors.GridInterrupted`, so the next run resumes via
+read-through.
 """
 
-from .pool import default_jobs, evaluate_cells, parallel_map, run_grid
-from .store import ResultStore
+from .pool import (
+    DEFAULT_POLICY,
+    ExecPolicy,
+    default_jobs,
+    evaluate_cells,
+    parallel_map,
+    run_grid,
+)
+from .store import CorruptStoreWarning, ResultStore
 
 __all__ = [
+    "CorruptStoreWarning",
+    "DEFAULT_POLICY",
+    "ExecPolicy",
     "ResultStore",
     "default_jobs",
     "evaluate_cells",

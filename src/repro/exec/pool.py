@@ -1,34 +1,62 @@
-"""Process-pool sharding with deterministic merging.
+"""Process-pool sharding with deterministic merging and fault tolerance.
 
 :func:`parallel_map` is the one primitive: evaluate ``fn`` over a list
 of argument tuples on ``jobs`` worker processes, returning results in
 **input order** (never completion order).  Each worker is seeded with
-the parent's FFT wisdom at startup and ships its accumulated wisdom
-back with every result, so planner work done anywhere is reused
-everywhere.  ``jobs=1`` (the default) bypasses the pool entirely and
-runs in-process — the reference path the parallel one must match
-byte-for-byte.
+the parent's FFT wisdom (and the ambient fault spec, see
+:mod:`repro.faults`) at startup and ships its accumulated wisdom back
+with every result, so planner work done anywhere is reused everywhere.
+``jobs=1`` (the default) bypasses the pool entirely and runs in-process
+— the reference path the parallel one must match byte-for-byte.
+
+Failure handling is governed by an :class:`ExecPolicy`:
+
+* a raising item is retried with exponential backoff, up to
+  ``retries`` extra attempts, then reported as an
+  :class:`~repro.errors.ItemFailedError` carrying the item's label and
+  the worker-side traceback;
+* an item exceeding ``timeout_s`` is abandoned (its worker may be hung
+  — the process is terminated at pool shutdown) and retried the same
+  way, ending in :class:`~repro.errors.ItemTimeoutError`;
+* a dead worker (``BrokenProcessPool``) triggers a pool respawn that
+  resubmits only the unfinished items, up to ``pool_respawns`` times,
+  after which the remaining items degrade gracefully to in-process
+  serial execution;
+* whatever happens, every item is driven to success or a recorded
+  failure — :class:`~repro.errors.ParallelMapError` carries the partial
+  results so grid callers can salvage completed work.
 
 :func:`evaluate_cells` specializes this for benchmark grids, layering
 the in-process memo and an optional :class:`~repro.exec.store.ResultStore`
-in front of the pool.
+in front of the pool; on failure it flushes every completed cell to the
+store and raises :class:`~repro.errors.GridInterrupted`, so a re-run
+resumes via store read-through and executes only the missing cells.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..bench.runner import (
     CellResult,
     _CACHE,
     cell_key,
-    effective_budget,
     evaluate_cell,
     prime_cache,
 )
+from ..errors import (
+    GridInterrupted,
+    ItemFailedError,
+    ItemTimeoutError,
+    ParallelMapError,
+)
+from ..faults import current_faults, install_faults, parse_faults
 from ..fft.wisdom import GLOBAL_WISDOM
 from ..machine.platforms import Platform
 from ..obs.tracer import WALL, current_tracer
@@ -38,6 +66,41 @@ from .store import ResultStore
 #: completion callback: ``progress(done, total, label)`` — called once
 #: per finished item, in completion order (the CLI's live ticker)
 ProgressFn = Callable[[int, int, str], None]
+
+
+@dataclass(frozen=True)
+class ExecPolicy:
+    """Failure-handling policy for :func:`parallel_map`.
+
+    ``clock`` and ``sleep`` are injectable so the retry/backoff logic is
+    testable against a fake clock (no wall-clock waits in the suite).
+    ``timeout_s=None`` disables per-item timeouts; timeouts are only
+    enforceable on the pool path (a serial in-process item cannot be
+    interrupted).
+    """
+
+    #: per-item wall-clock timeout in seconds (None = no timeout)
+    timeout_s: float | None = None
+    #: extra attempts after the first failure/timeout
+    retries: int = 2
+    #: backoff before retry k (1-based): ``backoff_s * factor**(k-1)``,
+    #: capped at ``max_backoff_s``
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 10.0
+    #: pool respawns after BrokenProcessPool before degrading to serial
+    pool_respawns: int = 2
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, failures: int) -> float:
+        """Delay before the retry following the ``failures``-th failure."""
+        raw = self.backoff_s * self.backoff_factor ** (failures - 1)
+        return min(raw, self.max_backoff_s)
+
+
+#: the default policy every caller gets unless it passes its own
+DEFAULT_POLICY = ExecPolicy()
 
 
 def default_jobs(explicit: int | None = None) -> int:
@@ -53,15 +116,369 @@ def default_jobs(explicit: int | None = None) -> int:
     return max(1, explicit)
 
 
-def _worker_init(wisdom_json: str) -> None:
+def _chaos_maybe_kill(label: str) -> None:
+    """Test/bench hook: die abruptly once, like a real worker crash.
+
+    ``$REPRO_EXEC_CHAOS="kill-once:<substr>@<dir>"`` makes the first
+    worker whose item label contains ``<substr>`` hard-exit before doing
+    any work.  The "once" latch is an ``O_EXCL``-created sentinel file
+    in ``<dir>``, atomic across concurrent workers, so the retried item
+    succeeds — this is how the suite and ``bench_smoke`` exercise the
+    BrokenProcessPool recovery path end to end.
+    """
+    spec = os.environ.get("REPRO_EXEC_CHAOS", "")
+    if not spec.startswith("kill-once:"):
+        return
+    substr, _, where = spec[len("kill-once:"):].partition("@")
+    if substr and substr not in label:
+        return
+    sentinel = os.path.join(where or ".", "chaos-killed")
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os._exit(1)
+
+
+def _worker_init(wisdom_json: str, faults_text: str = "") -> None:
     if wisdom_json:
         GLOBAL_WISDOM.import_json(wisdom_json)
+    if faults_text:
+        # Mirror the parent's ambient fault spec (repro.faults): every
+        # simulation this worker runs sees the same injected machine.
+        install_faults(parse_faults(faults_text))
 
 
-def _invoke(fn: Callable[..., Any], args: tuple) -> tuple[Any, str, float]:
+def _invoke(fn: Callable[..., Any], args: tuple, label: str = "") -> tuple[Any, str, float]:
+    _chaos_maybe_kill(label)
     t0 = time.perf_counter()
     value = fn(*args)
     return value, GLOBAL_WISDOM.export_json(), time.perf_counter() - t0
+
+
+def _tb_text(exc: BaseException) -> str:
+    return "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    ).rstrip()
+
+
+class _Run:
+    """State of one :func:`parallel_map` invocation (pool path)."""
+
+    def __init__(self, fn, argtuples, labels, policy, progress, tr):
+        self.fn = fn
+        self.argtuples = argtuples
+        self.labels = labels
+        self.policy = policy
+        self.progress = progress
+        self.tr = tr
+        total = len(argtuples)
+        self.total = total
+        self.results: list[Any] = [None] * total
+        self.wisdoms: list[str] = [""] * total
+        self.failures: dict[int, ItemFailedError] = {}
+        self.attempts = [0] * total
+        self.finished = 0
+        #: items waiting out a backoff: index -> earliest resubmit time
+        self.retry_at: dict[int, float] = {}
+
+    # -- per-item outcomes -------------------------------------------------
+
+    def succeed(self, i: int, value: Any, wisdom: str, worker_s: float,
+                mode: str) -> None:
+        self.results[i] = value
+        self.wisdoms[i] = wisdom
+        self.finished += 1
+        if self.tr is not None:
+            t1 = self.tr.wall()
+            self.tr.count("pool.items")
+            self.tr.observe("pool.item_s", worker_s)
+            self.tr.add_span(
+                "pool", self.labels[i], max(t1 - worker_s, 0.0), t1, WALL,
+                {"mode": mode, "worker_s": worker_s},
+            )
+        if self.progress is not None:
+            self.progress(self.finished, self.total, self.labels[i])
+
+    def fail_attempt(self, i: int, cause: str, timed_out: bool) -> bool:
+        """Record one failed attempt; returns True if the item should be
+        retried (and schedules the backoff), False if it is now failed
+        for good."""
+        self.attempts[i] += 1
+        policy = self.policy
+        if self.tr is not None:
+            self.tr.count("pool.item_errors")
+            if timed_out:
+                self.tr.count("pool.timeouts")
+        if self.attempts[i] <= policy.retries:
+            if self.tr is not None:
+                self.tr.count("pool.retries")
+            self.retry_at[i] = policy.clock() + policy.backoff(self.attempts[i])
+            return True
+        cls = ItemTimeoutError if timed_out else ItemFailedError
+        self.failures[i] = cls(self.labels[i], cause, attempts=self.attempts[i])
+        self.finished += 1
+        if self.progress is not None:
+            self.progress(self.finished, self.total, self.labels[i])
+        return False
+
+    def outcome(self) -> list[Any]:
+        # Wisdom merges are first-wins per key and every entry is a pure
+        # function of its key, so import order cannot change the final
+        # store; input order keeps the merge reproducible regardless.
+        for wisdom_json in self.wisdoms:
+            if wisdom_json:
+                GLOBAL_WISDOM.import_json(wisdom_json)
+        if self.failures:
+            raise ParallelMapError(self.results, self.failures)
+        return self.results
+
+
+def _run_serial(run: _Run, items: Sequence[int]) -> None:
+    """Drive ``items`` to success or recorded failure in-process.
+
+    Both the ``jobs=1`` reference path and the pool's graceful
+    degradation land here, so the serial path emits the same progress
+    events, spans, and counters as the pool path (``worker_s`` measured
+    around the call, ``pool.item_s`` observed) — only the span's
+    ``mode`` attribute tells them apart.  Timeouts are not enforceable
+    in-process and are ignored.
+    """
+    policy = run.policy
+    for i in items:
+        while True:
+            t0 = time.perf_counter()
+            try:
+                value = run.fn(*run.argtuples[i])
+            except Exception as exc:
+                if run.fail_attempt(i, _tb_text(exc), timed_out=False):
+                    policy.sleep(policy.backoff(run.attempts[i]))
+                    continue
+                break
+            run.succeed(i, value, "", time.perf_counter() - t0, "serial")
+            break
+    run.retry_at.clear()
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting for hung or dead workers.
+
+    ``_processes`` is a private executor attribute, so everything here
+    is best-effort: if a future interpreter renames it we merely lose
+    the hard kill, not correctness.
+    """
+    procs = getattr(pool, "_processes", None)
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    if procs:
+        for proc in list(procs.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+
+
+def _run_pooled(run: _Run, jobs: int) -> None:
+    """Drive all items through a (respawnable) process pool."""
+    policy = run.policy
+    tr = run.tr
+    faults = current_faults()
+    faults_text = faults.key() if faults is not None else ""
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(jobs, run.total),
+            initializer=_worker_init,
+            initargs=(GLOBAL_WISDOM.export_json(), faults_text),
+        )
+
+    pool = make_pool()
+    dirty = False          # hung/killed workers may linger: hard-terminate
+    respawns = 0
+    tracked: dict[Future, int] = {}
+    deadlines: dict[Future, float] = {}
+
+    def submit(i: int) -> None:
+        fut = pool.submit(_invoke, run.fn, run.argtuples[i], run.labels[i])
+        tracked[fut] = i
+        if policy.timeout_s is not None:
+            deadlines[fut] = policy.clock() + policy.timeout_s
+
+    def unfinished_items() -> list[int]:
+        items = sorted(set(tracked.values()) | set(run.retry_at))
+        tracked.clear()
+        deadlines.clear()
+        run.retry_at.clear()
+        return items
+
+    try:
+        for i in range(run.total):
+            submit(i)
+        while tracked or run.retry_at:
+            now = policy.clock()
+            # resubmit items whose backoff has elapsed
+            ready = [i for i, t in run.retry_at.items() if t <= now]
+            try:
+                for i in sorted(ready):
+                    del run.retry_at[i]
+                    submit(i)
+            except (BrokenProcessPool, RuntimeError):
+                pending = unfinished_items() + sorted(ready)
+                raise _PoolBroken(sorted(set(pending)))
+            if not tracked:
+                # everything is waiting out a backoff
+                wake = min(run.retry_at.values())
+                policy.sleep(max(wake - policy.clock(), 0.0))
+                continue
+            horizon: list[float] = []
+            if deadlines:
+                horizon.append(min(deadlines.values()))
+            if run.retry_at:
+                horizon.append(min(run.retry_at.values()))
+            wait_s = max(min(horizon) - now, 0.0) if horizon else None
+            done, _ = wait(set(tracked), timeout=wait_s,
+                           return_when=FIRST_COMPLETED)
+            broken: list[int] | None = None
+            for fut in done:
+                i = tracked.pop(fut)
+                deadlines.pop(fut, None)
+                try:
+                    value, wisdom_json, worker_s = fut.result()
+                except BrokenProcessPool:
+                    # every sibling future is about to raise the same
+                    # thing: recover the whole in-flight set at once
+                    broken = sorted({i} | set(unfinished_items()))
+                    break
+                except Exception as exc:
+                    if not run.fail_attempt(i, _tb_text(exc), timed_out=False):
+                        pass  # failed for good; retry_at handles the rest
+                    continue
+                run.succeed(i, value, wisdom_json, worker_s, "pool")
+            if broken is not None:
+                raise _PoolBroken(broken)
+            # abandon items past their deadline (their worker may be
+            # hung; it is reclaimed when the pool is torn down)
+            if deadlines:
+                now = policy.clock()
+                expired = [f for f, t in deadlines.items() if t <= now]
+                for fut in expired:
+                    i = tracked.pop(fut)
+                    del deadlines[fut]
+                    dirty = True
+                    run.fail_attempt(
+                        i,
+                        f"exceeded per-item timeout of {policy.timeout_s}s",
+                        timed_out=True,
+                    )
+    except _PoolBroken as pb:
+        items = pb.items
+        dirty = True
+        while True:
+            respawns += 1
+            if tr is not None:
+                tr.count("pool.respawns")
+            if respawns > policy.pool_respawns:
+                # the pool keeps dying: degrade gracefully to serial
+                if tr is not None:
+                    tr.count("pool.serial_fallbacks")
+                _terminate_pool(pool)
+                _run_serial(run, items)
+                return
+            _terminate_pool(pool)
+            pool = make_pool()
+            try:
+                _run_pooled_resume(run, pool, items, tracked, deadlines)
+                return
+            except _PoolBroken as again:
+                items = again.items
+                tracked.clear()
+                deadlines.clear()
+    finally:
+        if dirty:
+            _terminate_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+
+
+class _PoolBroken(Exception):
+    """Internal: the pool died; ``items`` still need to run."""
+
+    def __init__(self, items: list[int]) -> None:
+        super().__init__(f"pool broken with {len(items)} unfinished item(s)")
+        self.items = items
+
+
+def _run_pooled_resume(run, pool, items, tracked, deadlines) -> None:
+    """Resubmit ``items`` on a fresh pool and drain them (respawn path).
+
+    Shares the main loop's bookkeeping dicts so an escaping
+    :class:`_PoolBroken` leaves them consistent for the next respawn.
+    """
+    policy = run.policy
+
+    def submit(i: int) -> None:
+        fut = pool.submit(_invoke, run.fn, run.argtuples[i], run.labels[i])
+        tracked[fut] = i
+        if policy.timeout_s is not None:
+            deadlines[fut] = policy.clock() + policy.timeout_s
+
+    def unfinished() -> list[int]:
+        out = sorted(set(tracked.values()) | set(run.retry_at))
+        tracked.clear()
+        deadlines.clear()
+        run.retry_at.clear()
+        return out
+
+    try:
+        for i in items:
+            submit(i)
+    except (BrokenProcessPool, RuntimeError):
+        raise _PoolBroken(sorted(set(unfinished()) | set(items)))
+    while tracked or run.retry_at:
+        now = policy.clock()
+        ready = [i for i, t in run.retry_at.items() if t <= now]
+        try:
+            for i in sorted(ready):
+                del run.retry_at[i]
+                submit(i)
+        except (BrokenProcessPool, RuntimeError):
+            raise _PoolBroken(sorted(set(unfinished()) | set(ready)))
+        if not tracked:
+            wake = min(run.retry_at.values())
+            policy.sleep(max(wake - policy.clock(), 0.0))
+            continue
+        horizon = []
+        if deadlines:
+            horizon.append(min(deadlines.values()))
+        if run.retry_at:
+            horizon.append(min(run.retry_at.values()))
+        wait_s = max(min(horizon) - now, 0.0) if horizon else None
+        done, _ = wait(set(tracked), timeout=wait_s,
+                       return_when=FIRST_COMPLETED)
+        for fut in done:
+            i = tracked.pop(fut)
+            deadlines.pop(fut, None)
+            try:
+                value, wisdom_json, worker_s = fut.result()
+            except BrokenProcessPool:
+                raise _PoolBroken(sorted({i} | set(unfinished())))
+            except Exception as exc:
+                run.fail_attempt(i, _tb_text(exc), timed_out=False)
+                continue
+            run.succeed(i, value, wisdom_json, worker_s, "pool")
+        if deadlines:
+            now = policy.clock()
+            for fut in [f for f, t in deadlines.items() if t <= now]:
+                i = tracked.pop(fut)
+                del deadlines[fut]
+                run.fail_attempt(
+                    i,
+                    f"exceeded per-item timeout of {policy.timeout_s}s",
+                    timed_out=True,
+                )
 
 
 def parallel_map(
@@ -70,6 +487,7 @@ def parallel_map(
     jobs: int | None = None,
     labels: Sequence[str] | None = None,
     progress: ProgressFn | None = None,
+    policy: ExecPolicy | None = None,
 ) -> list[Any]:
     """``[fn(*args) for args in argtuples]`` over a process pool.
 
@@ -79,62 +497,31 @@ def parallel_map(
 
     ``progress`` receives one completion event per finished item (in
     completion order — the live ticker's feed); ``labels`` names the
-    items for progress lines and trace spans.  When a :mod:`repro.obs`
-    tracer is installed, each item's busy interval is recorded as a
-    wall-clock span on the ``pool`` track — workers measure their own
-    duration and ship it back with the result.
+    items for progress lines, trace spans, and error reports.  When a
+    :mod:`repro.obs` tracer is installed, each item's busy interval is
+    recorded as a wall-clock span on the ``pool`` track — workers
+    measure their own duration and ship it back with the result.
+
+    ``policy`` (default :data:`DEFAULT_POLICY`) governs retries,
+    per-item timeouts, backoff, and pool-respawn budgets; see
+    :class:`ExecPolicy`.  Items that still fail after retries surface
+    as a single :class:`~repro.errors.ParallelMapError` raised after
+    every other item has been driven to completion — the exception
+    carries the partial results, so callers can salvage finished work.
     """
-    argtuples = list(argtuples)
+    argtuples = [tuple(a) for a in argtuples]
     jobs = default_jobs(jobs)
     total = len(argtuples)
     name = getattr(fn, "__name__", "item")
     if labels is None:
         labels = [f"{name}[{i}]" for i in range(total)]
-    tr = current_tracer()
+    run = _Run(fn, argtuples, list(labels), policy or DEFAULT_POLICY,
+               progress, current_tracer())
     if jobs <= 1 or total <= 1:
-        out: list[Any] = []
-        for i, args in enumerate(argtuples):
-            t0 = tr.wall() if tr is not None else 0.0
-            out.append(fn(*args))
-            if tr is not None:
-                tr.count("pool.items")
-                tr.add_span("pool", labels[i], t0, tr.wall(), WALL,
-                            {"mode": "serial"})
-            if progress is not None:
-                progress(i + 1, total, labels[i])
-        return out
-    results: list[Any] = [None] * total
-    wisdoms: list[str] = [""] * total
-    done = 0
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, total),
-        initializer=_worker_init,
-        initargs=(GLOBAL_WISDOM.export_json(),),
-    ) as pool:
-        futures = {
-            pool.submit(_invoke, fn, args): i
-            for i, args in enumerate(argtuples)
-        }
-        for fut in as_completed(futures):
-            i = futures[fut]
-            value, wisdom_json, worker_s = fut.result()
-            results[i] = value
-            wisdoms[i] = wisdom_json
-            done += 1
-            if tr is not None:
-                t1 = tr.wall()
-                tr.count("pool.items")
-                tr.observe("pool.item_s", worker_s)
-                tr.add_span("pool", labels[i], max(t1 - worker_s, 0.0), t1,
-                            WALL, {"mode": "pool", "worker_s": worker_s})
-            if progress is not None:
-                progress(done, total, labels[i])
-    # Wisdom merges are first-wins per key and every entry is a pure
-    # function of its key, so import order cannot change the final
-    # store; input order keeps the merge reproducible regardless.
-    for wisdom_json in wisdoms:
-        GLOBAL_WISDOM.import_json(wisdom_json)
-    return results
+        _run_serial(run, range(total))
+    else:
+        _run_pooled(run, jobs)
+    return run.outcome()
 
 
 def _cell_with_evals(
@@ -158,6 +545,7 @@ def evaluate_cells(
     store: ResultStore | None = None,
     progress: ProgressFn | None = None,
     eval_store: EvalStore | None = None,
+    policy: ExecPolicy | None = None,
 ) -> list[CellResult]:
     """Evaluate a grid of ``(p, n)`` cells, sharded over ``jobs`` workers.
 
@@ -167,6 +555,8 @@ def evaluate_cells(
     in-process memo → ``store`` (if given) → pool evaluation; computed
     cells are written back to the store.  ``progress`` sees one event
     per cell actually evaluated (memo/store hits are free and silent).
+    Cell keys include the ambient fault spec (:mod:`repro.faults`), so
+    fault-injected grids never alias fault-free ones.
 
     ``eval_store`` is the shared per-evaluation pool (see
     :mod:`repro.tuning.evalstore`): each worker starts from a snapshot
@@ -174,11 +564,17 @@ def evaluate_cells(
     new evaluations back with the cell result; deltas are merged into
     ``eval_store`` in input order (like FFT wisdom), so the outcome is
     independent of worker scheduling.
+
+    If cells still fail after ``policy``'s retries, every *completed*
+    cell is flushed to ``store`` (when given) and the memo first, then
+    :class:`~repro.errors.GridInterrupted` is raised carrying them — a
+    re-run with the same store resumes via read-through and evaluates
+    only the missing cells.
     """
     name = platform if isinstance(platform, str) else platform.name
     found: dict[tuple, CellResult] = {}
-    pending: set[tuple[str, int, int, int]] = set()
-    todo: list[tuple[str, int, int, int]] = []
+    pending: set[tuple] = set()
+    todo: list[tuple[str, int, int, int, str]] = []
     for p, n in cells:
         key = cell_key(name, p, n, max_evaluations)
         if key in found or key in pending:
@@ -193,42 +589,62 @@ def evaluate_cells(
                 continue
         todo.append(key)
         pending.add(key)
-    labels = [f"{plat} p{p} N{n}" for (plat, p, n, _b) in todo]
+    labels = [f"{plat} p{p} N{n}" for (plat, p, n, _b, _f) in todo]
+    pooled = default_jobs(jobs) > 1 and len(todo) > 1
+    tr = current_tracer()
+
+    def harvest(values: Sequence[Any]) -> None:
+        """Fold finished pool values (cells or cell+delta tuples) into
+        ``found``, the store, and the shared eval store.  ``None``
+        entries (failed items) are skipped — that is the salvage path."""
+        for value in values:
+            if value is None:
+                continue
+            if eval_store is None:
+                cell = value
+            else:
+                cell, delta, hits = value
+                # Input-order merge of worker deltas (first-wins per
+                # key, like the wisdom merge: every record is a pure
+                # function of its key).  In-process runs traced their
+                # store hits as they happened; pooled workers have no
+                # tracer, so their shipped hit counts are folded into
+                # the parent's trace here.
+                eval_store.merge(EvalStore.from_jsonl(delta))
+                eval_store.hits += hits
+                if pooled and tr is not None and hits:
+                    tr.count("tune.store_hits", hits)
+            found[cell.key()] = cell
+            if store is not None:
+                store.put(cell)
+
+    extra: dict[str, Any] = {}
+    if policy is not None:
+        extra["policy"] = policy
     if eval_store is None:
-        computed = parallel_map(
-            evaluate_cell,
-            [(plat, p, n, budget) for (plat, p, n, budget) in todo],
-            jobs,
-            labels=labels,
-            progress=progress,
-        )
+        worker_fn = evaluate_cell
+        argtuples = [(plat, p, n, budget) for (plat, p, n, budget, _f) in todo]
     else:
+        worker_fn = _cell_with_evals
         snapshot = eval_store.to_jsonl()
-        shipped = parallel_map(
-            _cell_with_evals,
-            [(plat, p, n, budget, snapshot)
-             for (plat, p, n, budget) in todo],
-            jobs,
-            labels=labels,
-            progress=progress,
+        argtuples = [
+            (plat, p, n, budget, snapshot)
+            for (plat, p, n, budget, _f) in todo
+        ]
+    try:
+        computed = parallel_map(
+            worker_fn, argtuples, jobs, labels=labels, progress=progress,
+            **extra,
         )
-        computed = [cell for cell, _delta, _hits in shipped]
-        # Input-order merge of worker deltas (first-wins per key, like
-        # the wisdom merge: every record is a pure function of its key).
-        # In-process runs (the pool bypass) traced their store hits as
-        # they happened; pooled workers have no tracer, so their shipped
-        # hit counts are folded into the parent's trace here.
-        pooled = default_jobs(jobs) > 1 and len(todo) > 1
-        tr = current_tracer()
-        for _cell, delta, hits in shipped:
-            eval_store.merge(EvalStore.from_jsonl(delta))
-            eval_store.hits += hits
-            if pooled and tr is not None and hits:
-                tr.count("tune.store_hits", hits)
-    for cell in computed:
-        found[(cell.platform, cell.p, cell.n, cell.budget)] = cell
-        if store is not None:
-            store.put(cell)
+    except ParallelMapError as err:
+        harvest(err.results)
+        prime_cache(list(found.values()))
+        failures = {
+            (todo[i][1], todo[i][2]): item_err
+            for i, item_err in err.failures.items()
+        }
+        raise GridInterrupted(list(found.values()), failures) from err
+    harvest(computed)
     prime_cache(list(found.values()))
     return [found[cell_key(name, p, n, max_evaluations)] for p, n in cells]
 
@@ -241,17 +657,26 @@ def run_grid(
     store_dir: str | os.PathLike | None = None,
     progress: ProgressFn | None = None,
     eval_store_path: str | os.PathLike | None = None,
+    policy: ExecPolicy | None = None,
 ) -> tuple[list[CellResult], EvalStore | None]:
     """CLI-facing wrapper: like :func:`evaluate_cells` with an optional
     store directory (cell results) and eval-store path (shared
     per-evaluation pool, loaded before and atomically merge-saved after)
     instead of store objects.  Returns the cells and the loaded/updated
-    :class:`EvalStore` (``None`` when no path was given)."""
+    :class:`EvalStore` (``None`` when no path was given).  On
+    :class:`~repro.errors.GridInterrupted` the eval store is still
+    saved — the salvaged evaluations survive for the resuming run."""
     store = ResultStore(store_dir) if store_dir is not None else None
     evals = EvalStore.load(eval_store_path) if eval_store_path is not None else None
-    results = evaluate_cells(
-        platform, cells, jobs, max_evaluations, store, progress, evals
-    )
+    try:
+        results = evaluate_cells(
+            platform, cells, jobs, max_evaluations, store, progress, evals,
+            policy,
+        )
+    except GridInterrupted:
+        if evals is not None:
+            evals.save(eval_store_path)
+        raise
     if evals is not None:
         evals.save(eval_store_path)
     return results, evals

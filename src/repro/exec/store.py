@@ -13,11 +13,23 @@ separate benchmark invocations share results without coordination.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 
 from ..bench.runner import CellResult, cell_from_dict, cell_to_dict
+
+
+class CorruptStoreWarning(UserWarning):
+    """A store file existed but could not be used (skipped, not fatal).
+
+    Crash-resilience policy: a truncated or foreign file in a store
+    directory is a *miss*, never an error — an interrupted writer or a
+    stray file must not take down the grid run that finds it.  The
+    warning keeps the skip observable.
+    """
 
 
 def _safe(token: str) -> str:
@@ -31,26 +43,69 @@ class ResultStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
-    def path_for(self, platform: str, p: int, n: int, budget: int) -> Path:
-        """File backing one cell key."""
-        return self.root / f"{_safe(platform)}__p{p}__n{n}__b{budget}.json"
+    def path_for(
+        self, platform: str, p: int, n: int, budget: int, faults: str = ""
+    ) -> Path:
+        """File backing one cell key.
 
-    def get(self, platform: str, p: int, n: int, budget: int) -> CellResult | None:
+        Fault-injected cells get a ``__f<digest>`` suffix (a short hash
+        of the canonical fault spec — specs are free-form text, file
+        names are not), so they never shadow the fault-free cell.
+        """
+        stem = f"{_safe(platform)}__p{p}__n{n}__b{budget}"
+        if faults:
+            digest = hashlib.sha1(faults.encode()).hexdigest()[:10]
+            stem += f"__f{digest}"
+        return self.root / f"{stem}.json"
+
+    def get(
+        self, platform: str, p: int, n: int, budget: int, faults: str = ""
+    ) -> CellResult | None:
         """Stored cell for the key, or ``None`` (missing or unreadable —
-        a foreign/corrupt file is treated as a miss, never an error)."""
-        file = self.path_for(platform, p, n, budget)
+        a foreign/corrupt file is treated as a warned miss, never an
+        error: the caller just recomputes the cell)."""
+        file = self.path_for(platform, p, n, budget, faults)
+        if not file.exists():
+            return None
         try:
             item = json.loads(file.read_text())
             cell = cell_from_dict(item)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            warnings.warn(
+                f"skipping corrupt result-store file {file.name}: {exc}",
+                CorruptStoreWarning,
+                stacklevel=2,
+            )
             return None
-        if (cell.platform, cell.p, cell.n, cell.budget) != (platform, p, n, budget):
-            return None  # file name does not match its contents
+        if cell.key() != (platform, p, n, budget, faults):
+            warnings.warn(
+                f"skipping result-store file {file.name}: name does not "
+                f"match its contents (claims {cell.key()})",
+                CorruptStoreWarning,
+                stacklevel=2,
+            )
+            return None
         return cell
+
+    def cells(self) -> list[CellResult]:
+        """Every readable cell in the store (corrupt files are skipped
+        with a :class:`CorruptStoreWarning`), sorted by key."""
+        out: list[CellResult] = []
+        for file in sorted(self.root.glob("*.json")):
+            try:
+                out.append(cell_from_dict(json.loads(file.read_text())))
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                warnings.warn(
+                    f"skipping corrupt result-store file {file.name}: {exc}",
+                    CorruptStoreWarning,
+                    stacklevel=2,
+                )
+        out.sort(key=lambda c: c.key())
+        return out
 
     def put(self, cell: CellResult) -> Path:
         """Persist one cell atomically; returns its file path."""
-        target = self.path_for(cell.platform, cell.p, cell.n, cell.budget)
+        target = self.path_for(*cell.key())
         tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(cell_to_dict(cell), indent=1))
         os.replace(tmp, target)

@@ -43,6 +43,11 @@ def run_metrics(sim) -> dict:
         "overlap_efficiency_pct": 100.0 * overlap / window if window > 0 else 0.0,
         "test_time_s": bd.get("Test", 0.0),
     }
+    faults = getattr(sim, "faults", "")
+    if faults:
+        # overlap-efficiency-under-faults: the spec rides with the
+        # summary so reports can tell degraded machines from clean ones
+        out["faults"] = faults
     test_overhead = sim.platform.cpu.test_overhead
     if test_overhead > 0:
         # by_label averages across ranks, so this is mean tests per rank.

@@ -33,22 +33,29 @@ def overlap_table(cells) -> str:
     Consumes :class:`~repro.bench.runner.CellResult.metrics` (the
     :func:`repro.obs.run_metrics` summaries attached when the cells were
     tuned); cells evaluated before the observability layer existed have
-    no metrics and are skipped.
+    no metrics and are skipped.  When any cell was evaluated under
+    injected faults (:mod:`repro.faults`), a ``faults`` column shows the
+    spec — overlap efficiency under a degraded machine next to the
+    clean rows.
     """
     rows = []
+    any_faults = any(cell.faults for cell in cells)
     for cell in cells:
         for variant in sorted(cell.metrics):
             m = cell.metrics[variant]
-            rows.append([
+            row = [
                 cell.p, cell.n, variant,
                 m["overlap_efficiency_pct"],
                 m["exposed_comm_s"],
                 m.get("test_calls_per_rank", 0),
-            ])
+            ]
+            if any_faults:
+                row.append(cell.faults or "—")
+            rows.append(row)
     if not rows:
         return "*(no overlap metrics recorded for these cells)*"
-    return md_table(
-        ["p", "N", "variant", "overlap eff %", "exposed comm (s)",
-         "tests/rank"],
-        rows,
-    )
+    headers = ["p", "N", "variant", "overlap eff %", "exposed comm (s)",
+               "tests/rank"]
+    if any_faults:
+        headers.append("faults")
+    return md_table(headers, rows)

@@ -89,14 +89,29 @@ class SimContext:
         charged on top of ``seconds`` and traced under ``"Test"``.
 
         Never suspends, so it is safe in both SPMD spellings.
+
+        Injected faults act here: a straggler's segment stretches by its
+        CPU slowdown (the test epochs spread over the stretched window,
+        matching what :meth:`Engine.advance` charges), and a poll-delay
+        fault thins the *progression* epochs to ``ntests / factor`` — a
+        descheduled process enters the MPI library late and irregularly.
+        Test-call overhead stays charged at the requested count: the CPU
+        time is burned either way, so a poll fault can only slow a run.
         """
         t0 = self.now
+        faults = self.engine.faults
+        duration = seconds
+        if faults is not None and faults.has_cpu_faults:
+            duration = seconds * faults.cpu_scale_of(self.rank)
         total_tests = 0
         for req, ntests in tests:
             if ntests < 0:
                 raise MPIUsageError(f"negative test count {ntests}")
             if req is not None and ntests > 0:
-                req.progress_segment(t0, seconds, ntests)
+                eff = ntests
+                if faults is not None and faults.has_poll_faults:
+                    eff = faults.effective_tests(self.rank, ntests)
+                req.progress_segment(t0, duration, eff)
                 total_tests += ntests
         self.engine.advance(self.rank, seconds, label, attrs)
         if total_tests:

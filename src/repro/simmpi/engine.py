@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import DeadlockError, SimulationError
+from ..faults import FaultSpec, current_faults, parse_faults
 from ..machine.platforms import Platform
 from .fabric import Fabric
 
@@ -174,11 +175,18 @@ class Engine:
         record_events: bool = False,
         backend: str = "auto",
         tracer=None,
+        faults: "FaultSpec | str | None" = None,
     ) -> None:
         """``tracer`` (a :class:`repro.obs.Tracer`, or ``None``) receives
         the run's scheduler counters; instrumented callers check it to
         decide whether to build per-event attributes.  It never
-        influences a scheduling decision or a virtual clock."""
+        influences a scheduling decision or a virtual clock.
+
+        ``faults`` is a :class:`~repro.faults.FaultSpec` (or grammar
+        string) perturbing the simulated machine; ``None`` (the default)
+        picks up the ambient spec installed with
+        :func:`repro.faults.injected_faults`.  Pass an empty spec to
+        force a fault-free run inside an injected scope."""
         if backend not in ("auto", "threads", "tasks"):
             raise SimulationError(
                 f"unknown backend {backend!r}; use 'auto', 'threads' or 'tasks'"
@@ -187,7 +195,19 @@ class Engine:
         self.platform = platform
         self.backend = backend
         self.tracer = tracer
-        self.fabric = Fabric(platform, nprocs)
+        if faults is None:
+            faults = current_faults()
+        elif isinstance(faults, str):
+            faults = parse_faults(faults)
+        self.faults = faults.model(nprocs) if faults is not None else None
+        #: per-rank CPU slowdown factors, or None (the no-faults fast path
+        #: pays one `is None` check per advance and nothing else)
+        self._cpu_scale: list[float] | None = (
+            [float(s) for s in self.faults.cpu_scale]
+            if self.faults is not None and self.faults.has_cpu_faults
+            else None
+        )
+        self.fabric = Fabric(platform, nprocs, faults=self.faults)
         self.ranks = [_Rank(i, record_events) for i in range(nprocs)]
         self.stats = SchedStats()
         self._active_backend = "threads"
@@ -224,15 +244,25 @@ class Engine:
         """Virtual clock of ``rank``."""
         return self.ranks[rank].clock
 
+    def cpu_scale_of(self, rank: int) -> float:
+        """CPU slowdown factor applied to ``rank`` (1.0 without faults)."""
+        return self._cpu_scale[rank] if self._cpu_scale is not None else 1.0
+
     def advance(
         self, rank: int, dt: float, label: str, attrs: dict | None = None
     ) -> None:
         """Advance ``rank``'s clock by ``dt`` seconds (keeps the token:
         local work cannot affect peers except through timestamped posts,
         so no reschedule is needed until the rank blocks).  ``attrs``
-        annotates the traced event (recorded runs only)."""
+        annotates the traced event (recorded runs only).
+
+        Under an injected straggler fault, CPU time charged on a slowed
+        rank is stretched by its slowdown factor here — the single choke
+        point through which all modeled CPU work flows."""
         if dt < 0:
             raise SimulationError(f"negative time advance {dt} ({label})")
+        if self._cpu_scale is not None:
+            dt *= self._cpu_scale[rank]
         r = self.ranks[rank]
         r.trace.add(r.clock, r.clock + dt, label, attrs)
         r.clock += dt
@@ -349,6 +379,11 @@ class Engine:
                 self.tracer.count("sched.handoffs", self.stats.handoffs)
                 self.tracer.count("sched.probe_polls", self.stats.probe_polls)
                 self.tracer.count("sched.wakeups", self.stats.wakeups)
+                if self.faults is not None:
+                    self.tracer.count("faults.runs")
+                    for name, value in self.faults.counters().items():
+                        if value:
+                            self.tracer.count(name, value)
 
     def _collect(self) -> list[Any]:
         for r in self.ranks:

@@ -99,7 +99,7 @@ class P2PMessage:
 class Fabric:
     """Shared network state: NIC schedules, collectives, p2p mailboxes."""
 
-    def __init__(self, platform: Platform, nprocs: int) -> None:
+    def __init__(self, platform: Platform, nprocs: int, faults=None) -> None:
         if nprocs < 1:
             raise MPIUsageError(f"need at least 1 process, got {nprocs}")
         self.platform = platform
@@ -109,6 +109,22 @@ class Fabric:
         self.nic_free = np.zeros(nprocs)
         #: effective sustained per-rank injection rate during dense exchange
         self.rank_rate = self.net.rank_rate(nprocs)
+        #: injected faults (a :class:`repro.faults.FaultModel`, or None).
+        #: Link degradation becomes per-rank rates; latency jitter/spikes
+        #: become the ``lat_draw``/``lat_draw_batch`` hooks the hot send
+        #: paths apply per message (None = fault-free fast path).
+        self.faults = faults
+        self._rates: list[float] | None = None
+        self.lat_draw = None
+        self.lat_draw_batch = None
+        if faults is not None:
+            if (faults.rate_scale != 1.0).any():
+                self._rates = [
+                    float(self.rank_rate * s) for s in faults.rate_scale
+                ]
+            if faults.has_latency_faults:
+                self.lat_draw = faults.draw_extra_latency
+                self.lat_draw_batch = faults.draw_extra_latency_batch
         self._colls: dict[tuple[Any, ...], CollOp] = {}
         self._p2p: dict[tuple[int, int], list[P2PMessage]] = {}
         self._p2p_seq = 0
@@ -117,6 +133,10 @@ class Fabric:
         self.notify_rank = None
         #: bytes ever injected, per rank (observability / tests)
         self.bytes_injected = np.zeros(nprocs)
+
+    def rate_for(self, rank: int) -> float:
+        """Effective injection rate of ``rank`` (fault-degraded links)."""
+        return self._rates[rank] if self._rates is not None else self.rank_rate
 
     # -- collectives -------------------------------------------------------
 
@@ -165,16 +185,20 @@ class Fabric:
         ``postable`` entries equal to ``t_post``.
         """
         nic = float(self.nic_free[rank])
-        rate = self.rank_rate
+        rate = self.rate_for(rank)
         lat = self.net.latency
         thr = self.net.eager_threshold
         rdv = 2.0 * lat + 0.5 * epoch_gap
+        draw = self.lat_draw
         arrivals: list[float] = []
         total = 0
         for sz in sizes:
             start = nic if nic > t_post else t_post
             nic = start + sz / rate
-            arrivals.append(nic + lat + (rdv if sz > thr else 0.0))
+            a = nic + lat + (rdv if sz > thr else 0.0)
+            if draw is not None:
+                a += draw(rank)
+            arrivals.append(a)
             total += sz
         self.nic_free[rank] = nic
         self.bytes_injected[rank] += total
@@ -200,7 +224,7 @@ class Fabric:
         if len(sizes) == 0:
             return np.empty(0)
         sizes = np.asarray(sizes, dtype=np.float64)
-        durs = sizes / self.rank_rate
+        durs = sizes / self.rate_for(rank)
         cum = np.cumsum(durs)
         # finish_j = max_{k<=j}(postable_k - cum_{k-1}) + cum_j, also
         # bounded below by the NIC's previous backlog.
@@ -214,7 +238,10 @@ class Fabric:
             0.0,
         )
         del t  # postable already encodes the entry times
-        return finish + self.net.latency + rdv
+        arrivals = finish + self.net.latency + rdv
+        if self.lat_draw_batch is not None:
+            arrivals = arrivals + self.lat_draw_batch(rank, len(sizes))
+        return arrivals
 
     # -- point-to-point ------------------------------------------------------
 

@@ -146,8 +146,9 @@ class AlltoallRequest(Request):
                 w = waiters.pop(d, None)
                 if w is not None and notify is not None:
                     notify(w)
-        if arrivals[-1] > self._own_finish:
-            self._own_finish = arrivals[-1]
+        round_max = max(arrivals)  # jitter can reorder within a round
+        if round_max > self._own_finish:
+            self._own_finish = round_max
         #: a new round may be posted at the first library entry at or
         #: after this time (the LibNBC round barrier)
         self._round_ready = self._own_finish
@@ -183,7 +184,8 @@ class AlltoallRequest(Request):
         fabric = self.fabric
         net = fabric.net
         rank_w = self.group[self.rank]
-        rate = fabric.rank_rate
+        rate = fabric.rate_for(rank_w)
+        jdraw = fabric.lat_draw
         lat = net.latency
         thr = net.eager_threshold
         infl = net.max_inflight
@@ -214,12 +216,14 @@ class AlltoallRequest(Request):
             if t_post > nic:
                 nic = t_post
             stop = min(self._next + infl, n)
-            last_arrival = 0.0
+            round_max = 0.0
             for j in range(self._next, stop):
                 d = pending[j]
                 sz = sc[d]
                 nic += sz / rate
                 a = nic + lat + (rdv if sz > thr else 0.0)
+                if jdraw is not None:
+                    a += jdraw(rank_w)
                 row[d] = a
                 counts[d] += 1
                 if counts[d] >= p and waiters:
@@ -227,10 +231,11 @@ class AlltoallRequest(Request):
                     if w is not None and notify is not None:
                         notify(w)
                 total_bytes += sz
-                last_arrival = a
+                if a > round_max:
+                    round_max = a
             self._next = stop
-            if last_arrival > own:
-                own = last_arrival
+            if round_max > own:
+                own = round_max
             ready = own
         fabric.nic_free[rank_w] = nic
         fabric.bytes_injected[rank_w] += total_bytes
@@ -265,7 +270,10 @@ class AlltoallRequest(Request):
         sc = self._sendcounts_list
         dests = self._pending[self._next :]
         sizes = [sc[d] for d in dests]
-        if len(set(sizes)) != 1:
+        if len(set(sizes)) != 1 or self.fabric.lat_draw is not None:
+            # Mixed sizes (alltoallv), or latency faults — the per-round
+            # loop keeps round barriers consistent with jittered
+            # arrivals the way the progress_segment path sees them.
             while self.remaining_sends():
                 self._post_round(max(t0, self._round_ready), 0.0)
             return
@@ -275,7 +283,7 @@ class AlltoallRequest(Request):
         infl = net.max_inflight
         n = len(dests)
         rank = self.group[self.rank]
-        dur = m / fabric.rank_rate
+        dur = m / fabric.rate_for(rank)
         rdv = 2.0 * net.latency if m > net.eager_threshold else 0.0
         barrier = net.latency + rdv  # delivery gap between rounds
         start0 = max(t0, float(fabric.nic_free[rank]))
@@ -298,7 +306,7 @@ class AlltoallRequest(Request):
                     notify(w)
         fabric.nic_free[rank] = float(finish[-1])
         fabric.bytes_injected[rank] += m * n
-        self._own_finish = max(self._own_finish, float(arrivals[-1]))
+        self._own_finish = max(self._own_finish, float(arrivals.max()))
         self._round_ready = self._own_finish
         self._next += n
 

@@ -25,6 +25,8 @@ class SimResult:
     nprocs: int
     platform: Platform
     stats: SchedStats | None = None
+    #: canonical fault-spec key the run executed under ("" = fault-free)
+    faults: str = ""
 
     def breakdown(self, labels: list[str] | None = None) -> dict[str, float]:
         """Average per-rank virtual seconds by step label.
@@ -95,6 +97,7 @@ def run_spmd(
         nprocs=nprocs,
         platform=platform,
         stats=engine.stats,
+        faults=engine.faults.spec.key() if engine.faults is not None else "",
     )
     if want_rank_spans:
         from ..obs.export import emit_rank_spans

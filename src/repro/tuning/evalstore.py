@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.params import ProblemShape, TuningParams
+from ..faults import current_faults
 
 #: objective modes a record can be keyed under: ``tuned`` excludes the
 #: parameter-independent FFTz/Transpose steps (technique 3, the tuning
@@ -53,14 +54,20 @@ def eval_key(
 
     The objective mode is part of the key because the same configuration
     has *different* objectives with and without the fixed steps; aliasing
-    them would corrupt every consumer.
+    them would corrupt every consumer.  So is the ambient fault spec
+    (:mod:`repro.faults`): a measurement taken on a degraded simulated
+    machine must never answer a fault-free query, or vice versa.
     """
     mode = MODE_FULL if include_fixed_steps else MODE_TUNED
     cfg = ",".join(f"{k}={v}" for k, v in params.as_dict().items())
-    return (
+    key = (
         f"{platform}|{variant}|{shape.nx}x{shape.ny}x{shape.nz}"
         f"|p{shape.p}|{mode}|{cfg}"
     )
+    spec = current_faults()
+    if spec is not None:
+        key += f"|faults={spec.key()}"
+    return key
 
 
 @dataclass(frozen=True)

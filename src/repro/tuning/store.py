@@ -16,6 +16,7 @@ mechanism — the ten-parameter analogue of FFTW's wisdom files:
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -106,9 +107,43 @@ class TuningStore:
 
     @classmethod
     def from_json(cls, text: str) -> "TuningStore":
-        """Rebuild a store from :meth:`to_json` output."""
+        """Rebuild a store from :meth:`to_json` output.
+
+        Loading is tolerant the way :class:`~repro.tuning.evalstore.
+        EvalStore` is: a file truncated by a killed writer yields an
+        empty store, and individual entries that do not decode into a
+        usable configuration are skipped — in both cases with a
+        warning, never an exception, so one bad wisdom file cannot take
+        down the run that opens it.
+        """
         store = cls()
-        store._entries = json.loads(text)
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            warnings.warn(
+                f"unreadable tuning store (starting empty): {exc}",
+                UserWarning,
+                stacklevel=2,
+            )
+            return store
+        if not isinstance(raw, dict):
+            warnings.warn(
+                "unreadable tuning store (not a JSON object); starting empty",
+                UserWarning,
+                stacklevel=2,
+            )
+            return store
+        for key, entry in raw.items():
+            try:
+                TuningParams(**entry["params"])  # must round-trip
+            except (KeyError, TypeError, ValueError) as exc:
+                warnings.warn(
+                    f"skipping corrupt tuning-store entry {key!r}: {exc}",
+                    UserWarning,
+                    stacklevel=2,
+                )
+                continue
+            store._entries[key] = entry
         return store
 
     def save(self, path: str | Path) -> None:
@@ -117,8 +152,11 @@ class TuningStore:
 
     @classmethod
     def load(cls, path: str | Path) -> "TuningStore":
-        """Load a store; a missing file yields an empty store."""
+        """Load a store; a missing or unreadable file yields an empty
+        store (with a warning when the file existed but was corrupt)."""
         file = Path(path)
-        if not file.exists():
+        try:
+            text = file.read_text()
+        except OSError:
             return cls()
-        return cls.from_json(file.read_text())
+        return cls.from_json(text)

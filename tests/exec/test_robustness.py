@@ -1,0 +1,423 @@
+"""Fault tolerance of the execution layer.
+
+The contracts under test are ISSUE's acceptance checks: a raising item
+is retried with exponential backoff and ends in an
+:class:`~repro.errors.ItemFailedError` carrying its label and the
+worker-side traceback; a timed-out item ends in
+:class:`~repro.errors.ItemTimeoutError`; a dead worker triggers a pool
+respawn that resubmits only unfinished items (then degrades to serial
+when the pool keeps dying); and an interrupted grid salvages every
+completed cell so a re-run resumes via store read-through, executing
+only the missing ones.  Backoff timing is tested against a fake clock —
+no wall-clock waits in the suite.
+"""
+
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.bench import clear_cache
+from repro.errors import (
+    GridInterrupted,
+    ItemFailedError,
+    ItemTimeoutError,
+    ParallelMapError,
+)
+from repro.exec import (
+    CorruptStoreWarning,
+    ExecPolicy,
+    ResultStore,
+    evaluate_cells,
+    parallel_map,
+)
+from repro.obs.tracer import Tracer, tracing
+
+BUDGET = 4
+GRID = [(4, 32), (8, 32)]
+BAD_CELL = (64, 8)  # p > N: evaluate_cell raises ParameterError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+# -- module-level workers (pool items must pickle) --------------------------
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _square_or_boom(x):
+    if x < 0:
+        raise ValueError(f"boom {x}")
+    return x * x
+
+
+def _flaky(counter_dir, x, fail_times):
+    """Fail the first ``fail_times`` attempts, then succeed.
+
+    The attempt counter is a file so it survives crossing process
+    boundaries — retried pool items may land on a different worker.
+    """
+    path = os.path.join(counter_dir, f"attempts-{x}")
+    with open(path, "a") as f:
+        f.write("x\n")
+    with open(path) as f:
+        attempt = sum(1 for _ in f)
+    if attempt <= fail_times:
+        raise RuntimeError(f"flaky failure #{attempt}")
+    return x * x
+
+
+class FakeClock:
+    """Deterministic clock + sleep recorder for backoff tests."""
+
+    def __init__(self):
+        self.t = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.t
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.t += seconds
+
+
+def _policy(clk, **kw):
+    kw.setdefault("retries", 2)
+    kw.setdefault("backoff_s", 0.25)
+    kw.setdefault("backoff_factor", 2.0)
+    return ExecPolicy(clock=clk.clock, sleep=clk.sleep, **kw)
+
+
+class TestBackoff:
+    def test_exponential_schedule(self):
+        policy = ExecPolicy(backoff_s=0.25, backoff_factor=2.0,
+                            max_backoff_s=10.0)
+        assert policy.backoff(1) == 0.25
+        assert policy.backoff(2) == 0.5
+        assert policy.backoff(3) == 1.0
+
+    def test_capped_at_max(self):
+        policy = ExecPolicy(backoff_s=0.25, backoff_factor=2.0,
+                            max_backoff_s=10.0)
+        assert policy.backoff(20) == 10.0
+
+    def test_serial_retry_sleeps_the_backoff_sequence(self):
+        clk = FakeClock()
+        attempts = []
+
+        def fails_twice(x):
+            attempts.append(x)
+            if len(attempts) <= 2:
+                raise RuntimeError("transient")
+            return x * x
+
+        out = parallel_map(fails_twice, [(3,)], jobs=1,
+                           policy=_policy(clk, retries=3))
+        assert out == [9]
+        assert len(attempts) == 3
+        assert clk.sleeps == [0.25, 0.5]  # backoff(1), backoff(2)
+
+
+class TestRetriesExhausted:
+    def test_failure_carries_label_and_traceback(self):
+        clk = FakeClock()
+        with tracing(Tracer(rank_spans=False)) as tr:
+            with pytest.raises(ParallelMapError) as ei:
+                parallel_map(_boom, [(7,)], jobs=1, labels=["the-bad-one"],
+                             policy=_policy(clk, retries=2))
+        err = ei.value
+        assert err.results == [None]
+        failure = err.failures[0]
+        assert isinstance(failure, ItemFailedError)
+        assert not isinstance(failure, ItemTimeoutError)
+        assert failure.label == "the-bad-one"
+        assert failure.attempts == 3  # first try + 2 retries
+        assert "ValueError: boom 7" in failure.cause
+        assert "Traceback" in failure.cause
+        assert tr.counters["pool.item_errors"] == 3
+        assert tr.counters["pool.retries"] == 2
+
+    def test_good_items_survive_a_bad_sibling(self):
+        clk = FakeClock()
+        with pytest.raises(ParallelMapError) as ei:
+            parallel_map(_square_or_boom, [(2,), (-1,), (3,)], jobs=1,
+                         policy=_policy(clk, retries=1))
+        err = ei.value
+        assert err.results == [4, None, 9]  # partial results salvageable
+        assert list(err.failures) == [1]
+
+    def test_pool_path_reports_worker_traceback(self):
+        with pytest.raises(ParallelMapError) as ei:
+            parallel_map(_square_or_boom, [(2,), (-1,)], jobs=2,
+                         policy=ExecPolicy(retries=1, backoff_s=0.0))
+        failure = ei.value.failures[1]
+        assert failure.attempts == 2
+        assert "ValueError: boom -1" in failure.cause
+
+    def test_flaky_worker_recovers_on_the_pool_path(self, tmp_path):
+        args = [(str(tmp_path), i, 2) for i in range(3)]
+        with tracing(Tracer(rank_spans=False)) as tr:
+            out = parallel_map(_flaky, args, jobs=2,
+                               policy=ExecPolicy(retries=3, backoff_s=0.0))
+        assert out == [0, 1, 4]
+        assert tr.counters["pool.item_errors"] == 6  # 2 failures x 3 items
+        assert tr.counters["pool.retries"] == 6
+
+
+class TestTimeouts:
+    def test_hung_worker_times_out(self):
+        # two items: a single item bypasses the pool, and timeouts are
+        # only enforceable on the pool path
+        with tracing(Tracer(rank_spans=False)) as tr:
+            with pytest.raises(ParallelMapError) as ei:
+                parallel_map(
+                    _square_or_hang, [(-1,), (3,)], jobs=2,
+                    labels=["hung", "quick"],
+                    policy=ExecPolicy(timeout_s=0.2, retries=1,
+                                      backoff_s=0.0),
+                )
+        err = ei.value
+        assert err.results == [None, 9]
+        failure = err.failures[0]
+        assert isinstance(failure, ItemTimeoutError)
+        assert failure.label == "hung"
+        assert failure.attempts == 2
+        assert "timeout" in failure.cause
+        assert tr.counters["pool.timeouts"] == 2
+
+    def test_quick_siblings_finish_despite_a_hung_item(self):
+        with pytest.raises(ParallelMapError) as ei:
+            parallel_map(
+                _square_or_hang, [(3,), (-1,)], jobs=2,
+                policy=ExecPolicy(timeout_s=0.3, retries=0),
+            )
+        err = ei.value
+        assert err.results == [9, None]
+        assert isinstance(err.failures[1], ItemTimeoutError)
+
+
+def _square_or_hang(x):
+    if x < 0:
+        time.sleep(60)
+    return x * x
+
+
+class TestPoolRecovery:
+    def test_killed_worker_respawns_and_completes(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_CHAOS", f"kill-once:[1]@{tmp_path}")
+        args = [(i,) for i in range(4)]
+        with tracing(Tracer(rank_spans=False)) as tr:
+            out = parallel_map(_square, args, jobs=2)
+        assert out == [0, 1, 4, 9]  # the killed item was resubmitted
+        assert tr.counters["pool.respawns"] >= 1
+        assert (tmp_path / "chaos-killed").exists()  # chaos fired exactly once
+
+    def test_crashed_grid_matches_fault_free_serial(self, tmp_path,
+                                                    monkeypatch):
+        # ISSUE acceptance: a grid with an injected worker crash
+        # completes after retry with results byte-identical to a
+        # fault-free serial run.
+        serial = evaluate_cells("UMD-Cluster", GRID, jobs=1,
+                                max_evaluations=BUDGET)
+        clear_cache()
+        monkeypatch.setenv("REPRO_EXEC_CHAOS", f"kill-once:@{tmp_path}")
+        crashed = evaluate_cells("UMD-Cluster", GRID, jobs=2,
+                                 max_evaluations=BUDGET)
+        assert (tmp_path / "chaos-killed").exists()
+        assert crashed == serial  # same cells, same order, same numbers
+
+    def test_exhausted_respawns_degrade_to_serial(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_CHAOS", f"kill-once:[0]@{tmp_path}")
+        with tracing(Tracer(rank_spans=False)) as tr:
+            out = parallel_map(_square, [(i,) for i in range(3)], jobs=2,
+                               policy=ExecPolicy(pool_respawns=0))
+        assert out == [0, 1, 4]
+        assert tr.counters["pool.serial_fallbacks"] == 1
+
+
+class TestSerialPoolParity:
+    """Satellite 6: the serial fallback emits the same telemetry as the
+    pool path — same progress events, same counters, same span attrs."""
+
+    def _telemetry(self, jobs):
+        events = []
+        with tracing(Tracer(rank_spans=False)) as tr:
+            parallel_map(_square, [(1,), (2,), (3,)], jobs=jobs,
+                         progress=lambda d, t, lbl: events.append((d, t)))
+        spans = [s for s in tr.spans if s.track == "pool"]
+        return tr, spans, events
+
+    def test_same_progress_and_counters(self):
+        tr_s, spans_s, events_s = self._telemetry(jobs=1)
+        tr_p, spans_p, events_p = self._telemetry(jobs=2)
+        assert events_s == events_p == [(1, 3), (2, 3), (3, 3)]
+        assert tr_s.counters["pool.items"] == tr_p.counters["pool.items"] == 3
+        assert len(tr_s.histograms["pool.item_s"]) == 3
+        assert len(tr_p.histograms["pool.item_s"]) == 3
+
+    def test_same_span_attrs_except_mode(self):
+        _, spans_s, _ = self._telemetry(jobs=1)
+        _, spans_p, _ = self._telemetry(jobs=2)
+        assert len(spans_s) == len(spans_p) == 3
+        for span in spans_s + spans_p:
+            assert set(span.attrs) == {"mode", "worker_s"}
+            assert span.clock == "wall"
+        assert {s.attrs["mode"] for s in spans_s} == {"serial"}
+        assert {s.attrs["mode"] for s in spans_p} == {"pool"}
+
+
+class TestGridSalvage:
+    def test_interrupt_carries_completed_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(GridInterrupted) as ei:
+            evaluate_cells(
+                "UMD-Cluster", GRID + [BAD_CELL], jobs=1,
+                max_evaluations=BUDGET, store=store,
+                policy=ExecPolicy(retries=0, backoff_s=0.0),
+            )
+        err = ei.value
+        assert {(c.p, c.n) for c in err.completed} == set(GRID)
+        assert set(err.failures) == {BAD_CELL}
+        assert isinstance(err.failures[BAD_CELL], ItemFailedError)
+        assert "ParameterError" in err.failures[BAD_CELL].cause
+        # the salvaged cells were flushed to the store before raising
+        assert len(store) == len(GRID)
+
+    def test_rerun_resumes_via_read_through(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        with pytest.raises(GridInterrupted) as ei:
+            evaluate_cells(
+                "UMD-Cluster", GRID + [BAD_CELL], jobs=1,
+                max_evaluations=BUDGET, store=store,
+                policy=ExecPolicy(retries=0, backoff_s=0.0),
+            )
+        salvaged = {(c.p, c.n): c for c in ei.value.completed}
+        clear_cache()  # a fresh process: only the store survives
+
+        submitted = []
+        import repro.exec.pool as pool_mod
+        real = pool_mod.parallel_map
+
+        def spy(fn, argtuples, jobs=None, labels=None, progress=None, **kw):
+            submitted.extend(argtuples)
+            return real(fn, argtuples, jobs, labels=labels,
+                        progress=progress, **kw)
+
+        monkeypatch.setattr("repro.exec.pool.parallel_map", spy)
+        again = evaluate_cells(
+            "UMD-Cluster", GRID, jobs=1, max_evaluations=BUDGET, store=store
+        )
+        assert submitted == []  # zero re-simulated cells: pure read-through
+        assert [(c.p, c.n) for c in again] == GRID
+        for cell in again:
+            assert cell == salvaged[(cell.p, cell.n)]
+
+
+class TestStoreCorruption:
+    """Satellite 2: a truncated or foreign store file is a warned miss."""
+
+    def _filled_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cells = evaluate_cells(
+            "UMD-Cluster", GRID, jobs=1, max_evaluations=BUDGET, store=store
+        )
+        return store, cells
+
+    def test_truncated_file_is_a_warned_miss(self, tmp_path):
+        store, cells = self._filled_store(tmp_path)
+        path = store.path_for(*cells[0].key())
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # killed mid-record
+        with pytest.warns(CorruptStoreWarning, match="corrupt"):
+            assert store.get(*cells[0].key()) is None
+        # the intact sibling is unaffected
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get(*cells[1].key()) == cells[1]
+
+    def test_grid_recomputes_through_the_corruption(self, tmp_path):
+        store, cells = self._filled_store(tmp_path)
+        path = store.path_for(*cells[0].key())
+        path.write_text(path.read_text()[:40])
+        clear_cache()
+        with pytest.warns(CorruptStoreWarning):
+            again = evaluate_cells(
+                "UMD-Cluster", GRID, jobs=1, max_evaluations=BUDGET,
+                store=store,
+            )
+        assert again == cells  # deterministic recompute, same numbers
+        # and the recompute repaired the file on disk
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get(*cells[0].key()) == cells[0]
+
+    def test_mismatched_name_is_a_warned_miss(self, tmp_path):
+        store, cells = self._filled_store(tmp_path)
+        a = store.path_for(*cells[0].key())
+        b = store.path_for(*cells[1].key())
+        b.write_text(a.read_text())  # file claims a different cell
+        with pytest.warns(CorruptStoreWarning, match="does not match"):
+            assert store.get(*cells[1].key()) is None
+
+    def test_cells_listing_skips_corrupt_files(self, tmp_path):
+        store, cells = self._filled_store(tmp_path)
+        path = store.path_for(*cells[0].key())
+        path.write_text("{not json")
+        with pytest.warns(CorruptStoreWarning):
+            readable = store.cells()
+        assert [c.key() for c in readable] == [cells[1].key()]
+
+
+class TestTuningStoreCorruption:
+    """Satellite 2, tuning-wisdom side: bad files never take down a run."""
+
+    def _store(self):
+        from repro.core.params import ProblemShape, default_params
+        from repro.tuning import TuningStore
+
+        shape = ProblemShape(64, 64, 64, 8)
+        store = TuningStore()
+        store.record("Hopper", "NEW", shape, default_params(shape),
+                     fft_time=1.0)
+        return store
+
+    def test_truncated_json_yields_empty_store(self, tmp_path):
+        from repro.tuning import TuningStore
+
+        path = tmp_path / "wisdom.json"
+        path.write_text(self._store().to_json()[:25])
+        with pytest.warns(UserWarning, match="unreadable tuning store"):
+            assert len(TuningStore.load(path)) == 0
+
+    def test_bad_entry_is_skipped_good_ones_kept(self):
+        import json
+
+        from repro.tuning import TuningStore
+
+        raw = json.loads(self._store().to_json())
+        raw["Hopper|NEW|32x32x32|p4"] = {"params": {"no_such_field": 1}}
+        with pytest.warns(UserWarning, match="skipping corrupt"):
+            loaded = TuningStore.from_json(json.dumps(raw))
+        assert len(loaded) == 1
+        assert loaded.settings() == ["Hopper|NEW|64x64x64|p8"]
+
+    def test_missing_file_is_silently_empty(self, tmp_path):
+        from repro.tuning import TuningStore
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(TuningStore.load(tmp_path / "nope.json")) == 0

@@ -1,0 +1,147 @@
+"""FaultSpec grammar: parsing, validation, canonical keys, models."""
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.faults import (
+    ALL_RANKS,
+    FaultSpec,
+    current_faults,
+    injected_faults,
+    install_faults,
+    parse_faults,
+    uninstall_faults,
+)
+
+
+class TestParsing:
+    def test_full_grammar(self):
+        spec = parse_faults(
+            "straggler:rank=3,slow=2.0;degrade:rank=1,bw=0.5;"
+            "jitter:amp=2e-6;spike:prob=0.01,extra=5e-4;"
+            "poll:rank=2,factor=4.0;seed:42"
+        )
+        assert spec.stragglers == ((3, 2.0),)
+        assert spec.degrade == ((1, 0.5),)
+        assert spec.jitter_amp == 2e-6
+        assert spec.spike_prob == 0.01 and spec.spike_s == 5e-4
+        assert spec.poll == ((2, 4.0),)
+        assert spec.seed == 42
+
+    def test_rank_all(self):
+        spec = parse_faults("degrade:rank=all,bw=0.5")
+        assert spec.degrade == ((ALL_RANKS, 0.5),)
+
+    def test_multiple_clauses_of_same_kind_compose(self):
+        spec = parse_faults("straggler:rank=0,slow=2;straggler:rank=3,slow=4")
+        assert set(spec.stragglers) == {(0, 2.0), (3, 4.0)}
+
+    def test_empty_text_is_empty_spec(self):
+        assert not parse_faults("")
+        assert not parse_faults("  ;  ; ")
+
+    def test_key_round_trips(self):
+        text = "straggler:rank=3,slow=2;jitter:amp=1e-06;seed:7"
+        spec = parse_faults(text)
+        assert parse_faults(spec.key()) == spec
+
+    def test_key_is_order_independent(self):
+        a = parse_faults("jitter:amp=1e-6;straggler:rank=2,slow=3;seed:5")
+        b = parse_faults("seed:5;straggler:rank=2,slow=3;jitter:amp=1e-6")
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_empty_spec_is_falsy_and_has_no_model(self):
+        spec = FaultSpec()
+        assert not spec
+        assert spec.key() == ""
+        assert spec.model(4) is None
+
+    def test_seed_alone_is_still_empty(self):
+        # a seed without any fault kind injects nothing
+        assert not parse_faults("seed:42")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        "wobble:rank=1",                 # unknown kind
+        "straggler:rank=1,slow=0.5",     # slowdown below 1 is a speedup
+        "straggler:slow=2.0",            # straggler needs an explicit rank
+        "degrade:rank=1,bw=0.0",         # zero bandwidth never delivers
+        "degrade:rank=1,bw=1.5",         # >1 would be an upgrade
+        "jitter:amp=-1e-6",              # negative amplitude
+        "spike:prob=1.5,extra=1e-4",     # probability out of [0, 1]
+        "poll:rank=1,factor=0.5",        # factor below 1 is a speedup
+        "straggler:rank=1,slow=2,mass=9",  # unknown field
+        "straggler:rank=nope,slow=2",    # unparseable rank
+        "seed:notanumber",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_faults(bad)
+
+
+class TestModel:
+    def test_per_rank_factors(self):
+        model = parse_faults(
+            "straggler:rank=1,slow=2;degrade:rank=0,bw=0.5;poll:rank=2,factor=4"
+        ).model(4)
+        assert list(model.cpu_scale) == [1.0, 2.0, 1.0, 1.0]
+        assert list(model.rate_scale) == [0.5, 1.0, 1.0, 1.0]
+        assert list(model.poll_factor) == [1.0, 1.0, 4.0, 1.0]
+
+    def test_rank_all_applies_everywhere(self):
+        model = parse_faults("degrade:rank=all,bw=0.25").model(3)
+        assert list(model.rate_scale) == [0.25, 0.25, 0.25]
+
+    def test_ranks_beyond_job_size_are_inert(self):
+        # one spec can drive a whole grid of job sizes: a p=2 run simply
+        # has no rank 7 to slow down
+        model = parse_faults("straggler:rank=7,slow=2").model(2)
+        assert model is None or not model.has_cpu_faults
+
+    def test_effective_tests_floor_is_one(self):
+        model = parse_faults("poll:rank=0,factor=100").model(1)
+        assert model.effective_tests(0, 8) == 1
+        assert model.tests_suppressed == 7
+
+    def test_draws_are_deterministic_and_seed_keyed(self):
+        m1 = parse_faults("jitter:amp=1e-6;seed:1").model(2)
+        m2 = parse_faults("jitter:amp=1e-6;seed:1").model(2)
+        m3 = parse_faults("jitter:amp=1e-6;seed:2").model(2)
+        seq1 = [m1.draw_extra_latency(0) for _ in range(8)]
+        seq2 = [m2.draw_extra_latency(0) for _ in range(8)]
+        seq3 = [m3.draw_extra_latency(0) for _ in range(8)]
+        assert seq1 == seq2
+        assert seq1 != seq3
+        assert all(0.0 <= v < 1e-6 for v in seq1)
+
+
+class TestAmbientInstall:
+    def test_injected_faults_scopes_the_spec(self):
+        spec = parse_faults("straggler:rank=0,slow=2")
+        assert current_faults() is None
+        with injected_faults(spec):
+            assert current_faults() == spec
+        assert current_faults() is None
+
+    def test_nesting_restores_the_outer_spec(self):
+        outer = parse_faults("straggler:rank=0,slow=2")
+        inner = parse_faults("jitter:amp=1e-6")
+        with injected_faults(outer):
+            with injected_faults(inner):
+                assert current_faults() == inner
+            assert current_faults() == outer
+
+    def test_empty_spec_reads_as_no_faults(self):
+        with injected_faults(FaultSpec()):
+            assert current_faults() is None
+
+    def test_install_uninstall_pair(self):
+        spec = parse_faults("degrade:rank=all,bw=0.5")
+        install_faults(spec)
+        try:
+            assert current_faults() == spec
+        finally:
+            uninstall_faults(spec)
+        assert current_faults() is None

@@ -20,6 +20,14 @@ so CI can upload it as an artifact.
 ``--trace`` additionally runs the grid under a :mod:`repro.obs` tracer
 and writes a Chrome trace-event JSON (Perfetto-viewable) that CI uploads
 as an artifact.
+
+Finally the run exercises the fault-tolerant execution path end to end:
+a pooled grid is started with the ``REPRO_EXEC_CHAOS`` kill-once hook
+armed, so the first worker hard-exits mid-grid; the pool must respawn
+and complete the grid anyway, and a resumed run against the same result
+store must finish with **zero** re-simulated cells (pure store
+read-through).  Both counts land in BENCH_smoke.json — a nonzero
+re-simulation count means salvage or resume broke.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -36,7 +45,7 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.bench import clear_cache  # noqa: E402
 from repro.core import ProblemShape  # noqa: E402
-from repro.exec import evaluate_cells  # noqa: E402
+from repro.exec import ResultStore, evaluate_cells  # noqa: E402
 from repro.machine import UMD_CLUSTER  # noqa: E402
 from repro.tuning import EvalStore, autotune  # noqa: E402
 from repro.obs import (  # noqa: E402
@@ -73,6 +82,43 @@ def warm_vs_cold_tune(store_path: str) -> dict:
     }
 
 
+def chaos_resume_check() -> dict:
+    """Kill a worker mid-grid, finish anyway, resume with zero re-sims.
+
+    The kill is the ``REPRO_EXEC_CHAOS`` kill-once hook (one worker
+    hard-exits before its first item); the pool must respawn, resubmit
+    the lost items, and complete the grid.  A second run against the
+    same result store is the crash-resume path: it must be answered
+    entirely by read-through — ``pool.items == 0``.
+    """
+    cells = [(4, 32), (8, 32)]
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "store")
+        clear_cache()
+        os.environ["REPRO_EXEC_CHAOS"] = f"kill-once:@{tmp}"
+        try:
+            killed = Tracer(rank_spans=False)
+            with tracing(killed):
+                evaluate_cells("UMD-Cluster", cells, jobs=2,
+                               max_evaluations=BUDGET, store=store)
+        finally:
+            del os.environ["REPRO_EXEC_CHAOS"]
+        chaos_fired = (Path(tmp) / "chaos-killed").exists()
+
+        clear_cache()  # simulate a fresh process: only the store survives
+        resumed = Tracer(rank_spans=False)
+        with tracing(resumed):
+            evaluate_cells("UMD-Cluster", cells, jobs=2,
+                           max_evaluations=BUDGET, store=store)
+    clear_cache()
+    return {
+        "worker_killed": chaos_fired,
+        "pool_respawns": int(killed.counters.get("pool.respawns", 0)),
+        "cells_after_kill": int(killed.counters.get("pool.items", 0)),
+        "resume_resimulated_cells": int(resumed.counters.get("pool.items", 0)),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=str(ROOT / "BENCH_smoke.json"))
@@ -95,6 +141,7 @@ def main(argv=None) -> int:
     wall = time.perf_counter() - t0
     totals = sched_totals()
     tune = warm_vs_cold_tune(args.eval_store)
+    chaos = chaos_resume_check()
 
     payload = {
         "benchmark": "smoke grid (tasks backend, serial)",
@@ -106,6 +153,7 @@ def main(argv=None) -> int:
         "scheduler_wakeups": totals.wakeups,
         "host_cores": os.cpu_count(),
         "eval_store": tune,
+        "fault_tolerance": chaos,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
@@ -116,6 +164,15 @@ def main(argv=None) -> int:
         print(f"FAIL: warm tune executed {tune['warm_executed']} "
               "simulations; the eval store should have answered them all",
               file=sys.stderr)
+        return 1
+    if not chaos["worker_killed"]:
+        print("FAIL: the chaos hook never killed a worker; the recovery "
+              "path went unexercised", file=sys.stderr)
+        return 1
+    if chaos["resume_resimulated_cells"] != 0:
+        print(f"FAIL: resuming after the worker kill re-simulated "
+              f"{chaos['resume_resimulated_cells']} cell(s); the result "
+              "store should have answered them all", file=sys.stderr)
         return 1
     return 0
 
