@@ -14,7 +14,13 @@ Commands
     Figure-5-style random-configuration CDF.
 ``grid``
     Evaluate a Table-2 style benchmark grid, optionally sharded over
-    worker processes (``--jobs``) with an on-disk result store.
+    worker processes (``--jobs``) with an on-disk result store — or
+    distributed: ``--serve [HOST:PORT]`` starts a coordinator and
+    ``--workers local,local`` (or ssh hosts) launches a fleet against
+    it; stores come out byte-identical to a local run.
+``worker``
+    Join a ``grid --serve`` coordinator as a worker: lease cells,
+    evaluate them on a local pool, ship results back.
 ``trace``
     Replay a saved trace (JSONL or Chrome JSON) as an ASCII gantt.
 ``calibrate``
@@ -199,7 +205,8 @@ def cmd_run(args) -> int:
             from .simmpi.spmd import run_spmd
 
             def prog(ctx):
-                PencilFFT3D(ctx, (args.size, args.size, args.size)).execute(None)
+                plan = PencilFFT3D(ctx, (args.size, args.size, args.size))
+                yield from plan.steps(None)
 
             sim = run_spmd(args.procs, prog, platform)
             print(f"pencil FFT on {platform.name}: N={args.size}^3, p={args.procs}")
@@ -335,21 +342,48 @@ def cmd_grid(args) -> int:
         return 2
     from .errors import GridInterrupted
 
+    dispatch, dist_cfg = "local", None
+    if args.serve is not None or args.workers:
+        from .dist import DistConfig
+
+        dispatch = "dist"
+        addr = args.serve if args.serve is not None else "127.0.0.1:0"
+        host, _, port_str = addr.partition(":")
+        try:
+            port = int(port_str) if port_str else 0
+        except ValueError:
+            print(f"error: bad --serve address {addr!r}; expected HOST[:PORT]",
+                  file=sys.stderr)
+            return 2
+        dist_cfg = DistConfig(
+            host=host or "127.0.0.1", port=port,
+            workers=args.workers or "", worker_jobs=args.worker_jobs,
+            lease_ttl=args.lease_ttl,
+            announce=lambda url: print(f"coordinator serving at {url}",
+                                       file=sys.stderr, flush=True),
+        )
+    line = _progress(args)
     try:
         with _maybe_faults(args) as spec, _maybe_trace(args, rank_spans=False):
             results, evals = run_grid(
                 args.machine, cells,
                 jobs=args.jobs, max_evaluations=args.budget,
                 store_dir=args.store,
-                progress=_progress(args), eval_store_path=args.eval_store,
+                progress=line, eval_store_path=args.eval_store,
+                dispatch=dispatch, dist=dist_cfg,
+                note=None if line is None else line.set_note,
             )
     except GridInterrupted as exc:
+        if line is not None:
+            line.close()
         print(f"error: {exc}", file=sys.stderr)
         for (p, n), err in sorted(exc.failures.items()):
             print(f"  p{p} N{n}: {err}", file=sys.stderr)
         if args.store:
-            print(f"{len(exc.completed)} completed cell(s) saved to "
-                  f"{args.store}; re-run the same command to resume",
+            already = len(exc.completed) - len(exc.salvaged)
+            resumed = f" ({already} were already stored)" if already else ""
+            print(f"{len(exc.salvaged)} newly completed cell(s) saved to "
+                  f"{args.store}{resumed}; re-run the same command to resume",
                   file=sys.stderr)
         return 3
     if spec is not None:
@@ -390,6 +424,31 @@ def cmd_grid(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    """``repro worker``: serve a ``grid --serve`` coordinator."""
+    from .dist import run_worker
+    from .errors import DistError
+
+    try:
+        stats = run_worker(
+            args.coordinator,
+            jobs=args.jobs,
+            max_cells=args.max_cells,
+            poll_s=args.poll,
+            progress=_progress(args),
+        )
+    except DistError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    except KeyboardInterrupt:
+        print("worker interrupted; leased cells will expire and requeue",
+              file=sys.stderr)
+        return 130
+    print(f"worker {stats.worker}: {stats.cells_done} cell(s) evaluated, "
+          f"{stats.cells_failed} failed, over {stats.leases} lease(s)")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """``repro trace``: replay a saved trace as an ASCII gantt."""
     from .obs import load_trace, rank_timelines
@@ -417,6 +476,12 @@ def cmd_trace(args) -> int:
         print(format_table(
             ["track", "spans"], sorted(by_track.items()),
         ))
+    from .report.markdown import tile_heatmap, tile_step_durations
+
+    if tile_step_durations(tracer):
+        print()
+        print("per-tile step durations (mean across ranks):")
+        print(tile_heatmap(tracer))
     summary = tracer.summary()
     if summary:
         rows = [[k, v] for k, v in sorted(summary.items())
@@ -526,7 +591,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p_grid)
     _add_trace_arg(p_grid)
     _add_faults_arg(p_grid)
+    p_grid.add_argument(
+        "--serve", metavar="HOST[:PORT]", nargs="?", const="127.0.0.1:0",
+        default=None,
+        help="distributed dispatch: start a coordinator on HOST:PORT "
+             "(default 127.0.0.1 with an ephemeral port; bind 0.0.0.0 "
+             "for remote workers) and serve cells to `repro worker`s",
+    )
+    p_grid.add_argument(
+        "--workers", metavar="LIST", default=None,
+        help="comma-separated worker launch spec for --serve: 'local' "
+             "spawns a worker subprocess here, anything else is an ssh "
+             "host (e.g. 'local,local' or 'node1,node2'); implies --serve",
+    )
+    p_grid.add_argument(
+        "--worker-jobs", type=int, default=1, metavar="N",
+        help="--jobs forwarded to each spawned worker (default 1)",
+    )
+    p_grid.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECS",
+        help="seconds an unrenewed worker lease survives before its "
+             "cells requeue (default 15)",
+    )
     p_grid.set_defaults(func=cmd_grid)
+
+    p_worker = sub.add_parser(
+        "worker", help="join a `grid --serve` coordinator as a worker"
+    )
+    p_worker.add_argument(
+        "--coordinator", metavar="URL", required=True,
+        help="coordinator base URL (printed by `grid --serve`)",
+    )
+    _add_jobs_arg(p_worker)
+    p_worker.add_argument(
+        "--max-cells", type=int, default=None, metavar="K",
+        help="cells per lease (default: max(coordinator batch, --jobs))",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECS",
+        help="idle poll interval while waiting for pending cells",
+    )
+    p_worker.set_defaults(func=cmd_worker)
 
     p_trace = sub.add_parser(
         "trace", help="replay a saved trace file as an ASCII gantt"

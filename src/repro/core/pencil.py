@@ -12,6 +12,15 @@ instead of ``N``.
 The exchange stages run either blocking or with the window/progression
 overlap machinery applied to the second (x-gathering) exchange, tiled
 along z — a direct transplant of the 1-D method's Algorithm 1.
+
+Like :class:`~repro.core.plan.ParallelFFT3D`, the pipeline is written in
+the ``co_*`` coroutine spelling (:meth:`PencilFFT3D.steps`), so a
+generator SPMD program runs it on the fast tasks backend with
+``yield from``; :meth:`PencilFFT3D.execute` drives the same generator on
+the thread backend via ``ctx.drive`` — bit-identical either way.  The
+row/column sub-communicators are created lazily by the first step (a
+``split`` is collective, and the tasks backend needs its coroutine
+form), not in ``__init__``.
 """
 
 from __future__ import annotations
@@ -63,10 +72,11 @@ class PencilFFT3D:
                 f"grid {self.pr}x{self.pc} too large for shape {shape}"
             )
         self.r, self.c = divmod(self.world.rank, self.pc)
-        # Row communicator: same r, ranks across c (first exchange).
-        self.row_comm = self.world.split(color=self.r, key=self.c)
-        # Column communicator: same c, ranks across r (second exchange).
-        self.col_comm = self.world.split(color=self.pr + self.c, key=self.r)
+        # Sub-communicators are created collectively by the first
+        # pipeline step (see _co_connect); eager splits here would make
+        # plain construction impossible inside generator SPMD programs.
+        self.row_comm = None
+        self.col_comm = None
         # Slab tables for the three distribution stages.
         self.x_counts = slab_counts(self.nx, self.pr)
         self.y_counts = slab_counts(self.ny, self.pc)
@@ -93,8 +103,28 @@ class PencilFFT3D:
 
     # -- execution ----------------------------------------------------------
 
+    def _co_connect(self):
+        """Create the row/column sub-communicators (collective, once).
+
+        Row communicator: same ``r``, ranks across ``c`` (first
+        exchange).  Column communicator: same ``c``, ranks across ``r``
+        (second exchange).
+        """
+        if self.row_comm is None:
+            self.row_comm = yield from self.world.co_split(
+                color=self.r, key=self.c
+            )
+            self.col_comm = yield from self.world.co_split(
+                color=self.pr + self.c, key=self.r
+            )
+
     def execute(self, local: np.ndarray | None = None) -> np.ndarray | None:
-        """Run the transform.  ``local`` is the rank's
+        """Blocking spelling of :meth:`steps` (thread backend)."""
+        return self.ctx.drive(self.steps(local))
+
+    def steps(self, local: np.ndarray | None = None):
+        """Run the transform as a ``co_*`` coroutine (``yield from`` it
+        in a generator SPMD program).  ``local`` is the rank's
         ``(nxl, nyl, nz)`` block (real mode) or ``None`` (virtual)."""
         real = local is not None
         if real and tuple(local.shape) != (self.nxl, self.nyl, self.nz):
@@ -103,6 +133,7 @@ class PencilFFT3D:
                 f"got {tuple(local.shape)}"
             )
         ctx = self.ctx
+        yield from self._co_connect()
 
         # ---- FFTz ------------------------------------------------------
         data = None
@@ -124,7 +155,9 @@ class PencilFFT3D:
                 z0, z1 = slab_range(self.nz, self.pc, d)
                 payload_a.append(np.ascontiguousarray(data[:, :, z0:z1]))
         ctx.compute(self._copy_cost(self.nxl * self.nyl * self.nz), "Pack")
-        chunks_a = self.row_comm.alltoall(send_a, recv_a, payload=payload_a)
+        chunks_a = yield from self.row_comm.co_alltoall(
+            send_a, recv_a, payload=payload_a
+        )
         local1 = None
         if real:
             local1 = np.empty((self.nxl, self.ny, self.nzl), dtype=np.complex128)
@@ -152,7 +185,9 @@ class PencilFFT3D:
                 y0, y1 = slab_range(self.ny, self.pr, d)
                 payload_b.append(np.ascontiguousarray(local1[:, y0:y1, :]))
         ctx.compute(self._copy_cost(self.nxl * self.ny * self.nzl), "Pack")
-        chunks_b = self.col_comm.alltoall(send_b, recv_b, payload=payload_b)
+        chunks_b = yield from self.col_comm.co_alltoall(
+            send_b, recv_b, payload=payload_b
+        )
         local2 = None
         if real:
             local2 = np.empty(
@@ -217,8 +252,9 @@ def parallel_fft3d_pencil(
     blocks = scatter_pencils(arr, pr, pc)
 
     def prog(ctx):
+        # Generator SPMD program: auto-selects the fast tasks backend.
         plan = PencilFFT3D(ctx, arr.shape, (pr, pc))
-        return plan.execute(blocks[ctx.rank])
+        return (yield from plan.steps(blocks[ctx.rank]))
 
     sim = run_spmd(p, prog, platform)
     spectrum = gather_spectrum(sim.results, arr.shape, pr, pc)

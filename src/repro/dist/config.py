@@ -1,0 +1,44 @@
+"""Configuration for distributed grid dispatch."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class DistConfig:
+    """Knobs for one distributed grid run (see :func:`repro.dist.dist_map`).
+
+    ``clock`` and ``sleep`` are injectable the way
+    :class:`~repro.exec.ExecPolicy`'s are, so lease expiry and the
+    coordinator wait loop are testable against a fake clock.
+    """
+
+    #: address the coordinator binds; port 0 picks an ephemeral port
+    #: (the chosen URL is printed / available as ``Coordinator.url``).
+    #: Bind a non-loopback host (e.g. ``0.0.0.0``) for remote workers.
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: comma-separated worker launch spec: ``local`` spawns a
+    #: ``repro worker`` subprocess on this machine, anything else is
+    #: treated as an ssh host (best effort).  Empty = serve only and
+    #: wait for externally started workers.
+    workers: str = ""
+    #: ``--jobs`` forwarded to each spawned worker's local pool
+    worker_jobs: int = 1
+    #: seconds a lease may go unrenewed before its cells requeue
+    lease_ttl: float = 15.0
+    #: cells granted per lease (workers may ask for less)
+    batch: int = 1
+    #: coordinator wait-loop tick (lease expiry / fleet liveness cadence)
+    poll_s: float = 0.2
+    #: overall grid deadline; pending cells time out past it (None = wait
+    #: forever for workers)
+    timeout_s: float | None = None
+    #: called with the coordinator URL once it is serving (the CLI
+    #: prints it so externally started workers know where to connect)
+    announce: Callable[[str], None] | None = None
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep

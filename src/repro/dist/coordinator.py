@@ -1,0 +1,457 @@
+"""Grid coordinator: serve cells over HTTP, merge results in input order.
+
+The coordinator is the distributed twin of the pool driver in
+:mod:`repro.exec.pool`: it owns the grid's ``todo`` list, hands cells to
+workers via leases (:mod:`repro.dist.queue`), and folds accepted
+completions into a ``results`` list indexed exactly like
+:func:`~repro.exec.parallel_map`'s — so :func:`dist_map` can return (or
+raise) in the same shape and ``evaluate_cells`` harvests both dispatch
+modes with the same code.
+
+Durability: every accepted completion is flushed to the shared
+:class:`~repro.exec.ResultStore` *immediately* (atomic per-cell files),
+so a coordinator killed mid-grid loses nothing — a restart re-reads the
+store, serves only the missing cells, and re-simulates zero of the
+completed ones.
+
+Trust boundary: completions are validated, not believed.  A payload's
+reconstructed :meth:`CellResult.key` must equal the key the coordinator
+itself computed for that index, or the completion is rejected — a
+worker with a different ambient fault spec (or a stale snapshot of the
+grid) cannot poison the store.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Sequence
+
+from ..bench.runner import CellResult, cell_from_dict
+from ..errors import (
+    DistWorkersLost,
+    ItemFailedError,
+    ItemTimeoutError,
+    ParallelMapError,
+)
+from ..exec.store import ResultStore
+from ..fft.wisdom import GLOBAL_WISDOM
+from ..obs.tracer import current_tracer
+from .config import DistConfig
+from .fleet import launch_workers
+from .protocol import PROTOCOL_VERSION, decode, encode
+from .queue import WorkQueue
+
+#: ``note(text)`` — one-line fleet status for the live progress ticker
+NoteFn = Callable[[str], None]
+
+
+@dataclass
+class GridJob:
+    """Everything a worker needs to evaluate this grid's cells.
+
+    ``todo`` holds full 5-tuple cell keys
+    ``(platform, p, n, budget, faults)`` in input order;
+    ``evals_snapshot`` is the eval-store JSONL taken once before
+    dispatch (``None`` when no eval store is in play) — every worker
+    starts every cell from this same snapshot, mirroring the local
+    pool's semantics so results are byte-identical across dispatch
+    modes.
+    """
+
+    platform: str
+    todo: list[tuple[str, int, int, int, str]]
+    labels: list[str]
+    evals_snapshot: str | None = None
+    faults: str = ""
+    lease_ttl: float = 15.0
+    batch: int = 1
+
+    def descriptor(self) -> dict:
+        """The /config response body."""
+        return {
+            "version": PROTOCOL_VERSION,
+            "platform": self.platform,
+            "faults": self.faults,
+            "evals": self.evals_snapshot,
+            "lease_ttl": self.lease_ttl,
+            "batch": self.batch,
+            "total": len(self.todo),
+            "cells": [
+                {"index": i, "p": p, "n": n, "budget": b}
+                for i, (_plat, p, n, b, _f) in enumerate(self.todo)
+            ],
+        }
+
+
+@dataclass
+class _WorkerNote:
+    """Last heartbeat from one worker (for the aggregated ticker)."""
+
+    done: int = 0
+    total: int = 0
+    label: str = ""
+    last_seen: float = 0.0
+
+
+class Coordinator:
+    """One grid's coordinator: HTTP server + lease queue + result merge."""
+
+    def __init__(
+        self,
+        job: GridJob,
+        config: DistConfig = DistConfig(),
+        store: ResultStore | None = None,
+        progress: Callable[[int, int, str], None] | None = None,
+        note: NoteFn | None = None,
+    ) -> None:
+        self.job = job
+        self.config = config
+        self.store = store
+        self.progress = progress
+        self.note = note
+        self.queue = WorkQueue(
+            len(job.todo), lease_ttl=job.lease_ttl, clock=config.clock
+        )
+        self.results: list[Any] = [None] * len(job.todo)
+        self.failures: dict[int, ItemFailedError] = {}
+        self.workers_seen: set[str] = set()
+        self._notes: dict[str, _WorkerNote] = {}
+        self._finished_events = 0
+        self._lock = threading.Lock()
+        self._tr = current_tracer()
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> str:
+        """Bind and start serving in a daemon thread; returns the URL."""
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-dist-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.url
+
+    @property
+    def url(self) -> str:
+        if self._server is None:
+            raise RuntimeError("coordinator not started")
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    # -- endpoint logic (called from handler threads) ----------------------
+
+    def handle_lease(self, body: dict) -> dict:
+        worker = str(body.get("worker", "?"))
+        self.workers_seen.add(worker)
+        lease, indices = self.queue.lease(
+            worker, int(body.get("max_cells", self.job.batch))
+        )
+        if indices and self._tr is not None:
+            self._tr.count("dist.leases")
+        return {
+            "lease": lease,
+            "cells": [
+                {
+                    "index": i,
+                    "p": self.job.todo[i][1],
+                    "n": self.job.todo[i][2],
+                    "budget": self.job.todo[i][3],
+                }
+                for i in indices
+            ],
+            "finished": self.queue.finished,
+        }
+
+    def handle_renew(self, body: dict) -> dict:
+        worker = str(body.get("worker", "?"))
+        ok = self.queue.renew(str(body.get("lease", "")))
+        with self._lock:
+            self._notes[worker] = _WorkerNote(
+                done=int(body.get("done", 0)),
+                total=int(body.get("total", 0)),
+                label=str(body.get("label", "")),
+                last_seen=self.config.clock(),
+            )
+        if self._tr is not None:
+            self._tr.count("dist.heartbeats")
+        return {"ok": ok, "finished": self.queue.finished}
+
+    def handle_complete(self, body: dict) -> dict:
+        worker = str(body.get("worker", "?"))
+        self.workers_seen.add(worker)
+        accepted = 0
+        for item in body.get("cells", []):
+            index = int(item["index"])
+            if not 0 <= index < len(self.job.todo):
+                raise ValueError(f"cell index {index} out of range")
+            cell = cell_from_dict(item["cell"])
+            if cell.key() != self.job.todo[index]:
+                raise ValueError(
+                    f"cell key mismatch at index {index}: worker sent "
+                    f"{cell.key()!r}, expected {self.job.todo[index]!r}"
+                )
+            if not self.queue.complete(index):
+                continue  # idempotent: a requeued twin already landed
+            self._accept(index, cell, item)
+            accepted += 1
+        wisdom = body.get("wisdom", "")
+        if wisdom:
+            with self._lock:
+                # first-wins per key and every entry is a pure function
+                # of its key (same argument as the pool's wisdom merge),
+                # so arrival order cannot change the final store
+                GLOBAL_WISDOM.import_json(wisdom)
+        return {"accepted": accepted, "finished": self.queue.finished}
+
+    def handle_fail(self, body: dict) -> dict:
+        accepted = 0
+        for item in body.get("failures", []):
+            index = int(item["index"])
+            if not 0 <= index < len(self.job.todo):
+                raise ValueError(f"failure index {index} out of range")
+            if not self.queue.fail(index):
+                continue
+            cls = ItemTimeoutError if item.get("timed_out") else ItemFailedError
+            err = cls(
+                str(item.get("label", self.job.labels[index])),
+                str(item.get("cause", "worker reported failure")),
+                attempts=int(item.get("attempts", 1)),
+            )
+            with self._lock:
+                self.failures[index] = err
+            self._bump_finished(index)
+            accepted += 1
+        return {"accepted": accepted, "finished": self.queue.finished}
+
+    def handle_status(self) -> dict:
+        counts = self.queue.counts()
+        with self._lock:
+            counts["workers"] = {
+                w: {"done": n.done, "total": n.total, "label": n.label}
+                for w, n in self._notes.items()
+            }
+        counts["finished"] = self.queue.finished
+        return counts
+
+    def _accept(self, index: int, cell: CellResult, item: dict) -> None:
+        """Record one first-wins completion: result slot, store, ticker."""
+        if self.job.evals_snapshot is None:
+            value: Any = cell
+        else:
+            value = (cell, str(item.get("evals", "")), int(item.get("hits", 0)))
+        with self._lock:
+            self.results[index] = value
+            if self.store is not None:
+                self.store.put(cell)
+        if self._tr is not None:
+            self._tr.count("dist.completions")
+        self._bump_finished(index)
+
+    def _bump_finished(self, index: int) -> None:
+        with self._lock:
+            self._finished_events += 1
+            done = self._finished_events
+        if self.progress is not None:
+            self.progress(done, len(self.job.todo), self.job.labels[index])
+
+    # -- wait-loop helpers -------------------------------------------------
+
+    def tick(self) -> None:
+        """One coordinator heartbeat: expire stale leases, refresh note."""
+        requeued = self.queue.expire()
+        if requeued and self._tr is not None:
+            self._tr.count("dist.requeues", len(requeued))
+        if self.note is not None:
+            self.note(self._note_text())
+
+    def _note_text(self) -> str:
+        now = self.config.clock()
+        with self._lock:
+            live = [
+                (w, n)
+                for w, n in sorted(self._notes.items())
+                if now - n.last_seen <= 2 * self.job.lease_ttl
+            ]
+        if not live:
+            return f"{len(self.workers_seen)} worker(s) seen"
+        parts = [
+            f"{w}:{n.done}/{n.total}" + (f" {n.label}" if n.label else "")
+            for w, n in live[:3]
+        ]
+        if len(live) > 3:
+            parts.append(f"+{len(live) - 3} more")
+        return f"{len(live)} worker(s) " + " | ".join(parts)
+
+    def fail_pending(self, cause: str, timed_out: bool = False) -> int:
+        """Convert every non-terminal cell into a recorded failure.
+
+        Used when the grid can no longer make progress (fleet lost, grid
+        deadline): the standard :class:`~repro.errors.ParallelMapError`
+        /salvage path then applies, exactly as for local pool failures.
+        """
+        failed = 0
+        cls = ItemTimeoutError if timed_out else ItemFailedError
+        for index in range(len(self.job.todo)):
+            if not self.queue.fail(index):
+                continue
+            with self._lock:
+                self.failures[index] = cls(self.job.labels[index], cause)
+            self._bump_finished(index)
+            failed += 1
+        return failed
+
+    def outcome(self) -> list[Any]:
+        """Results in input order; raises
+        :class:`~repro.errors.ParallelMapError` carrying the partial
+        results when any cell failed (same contract as
+        :func:`~repro.exec.parallel_map`)."""
+        if self.failures:
+            raise ParallelMapError(self.results, dict(self.failures))
+        return self.results
+
+
+def _make_handler(coord: Coordinator) -> type[BaseHTTPRequestHandler]:
+    """A handler class closed over one coordinator instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # the progress ticker is the UI; no per-request spam
+
+        def _reply(self, payload: dict, code: int = 200) -> None:
+            raw = encode(payload)
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            try:
+                if self.path == "/config":
+                    self._reply(coord.job.descriptor())
+                elif self.path == "/status":
+                    self._reply(coord.handle_status())
+                else:
+                    self._reply({"error": f"unknown path {self.path}"}, 404)
+            except Exception as exc:
+                self._reply({"error": str(exc)}, 500)
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                body = decode(self.rfile.read(length)) if length else {}
+                routes = {
+                    "/lease": coord.handle_lease,
+                    "/renew": coord.handle_renew,
+                    "/complete": coord.handle_complete,
+                    "/fail": coord.handle_fail,
+                }
+                handler = routes.get(self.path)
+                if handler is None:
+                    self._reply({"error": f"unknown path {self.path}"}, 404)
+                    return
+                self._reply(handler(body))
+            except ValueError as exc:
+                self._reply({"error": str(exc)}, 400)
+            except Exception as exc:
+                self._reply({"error": str(exc)}, 500)
+
+    return Handler
+
+
+def dist_map(
+    platform: str,
+    todo: Sequence[tuple[str, int, int, int, str]],
+    labels: Sequence[str],
+    evals_snapshot: str | None,
+    config: DistConfig,
+    store: ResultStore | None = None,
+    progress: Callable[[int, int, str], None] | None = None,
+    note: NoteFn | None = None,
+    faults: str = "",
+) -> list[Any]:
+    """Distributed twin of :func:`~repro.exec.parallel_map` for grids.
+
+    Serves ``todo`` from a coordinator, optionally launches a worker
+    fleet per ``config.workers``, and blocks until every cell reaches a
+    terminal state.  Returns values in the exact shape the local pool
+    produces (:class:`CellResult`, or ``(cell, evals_delta, hits)``
+    tuples when ``evals_snapshot`` is given) so ``evaluate_cells``
+    harvests both dispatch modes identically; failures raise
+    :class:`~repro.errors.ParallelMapError` with partial results.
+
+    Raises :class:`~repro.errors.DistWorkersLost` only when a spawned
+    fleet dies before *any* worker manages to connect — a configuration
+    error with nothing to salvage.  A fleet that connects and then dies
+    converts the remaining cells to recorded failures instead, so the
+    standard salvage/resume path applies.
+    """
+    job = GridJob(
+        platform=platform,
+        todo=list(todo),
+        labels=list(labels),
+        evals_snapshot=evals_snapshot,
+        faults=faults,
+        lease_ttl=config.lease_ttl,
+        batch=config.batch,
+    )
+    coord = Coordinator(job, config, store=store, progress=progress, note=note)
+    url = coord.start()
+    if config.announce is not None:
+        config.announce(url)
+    fleet = (
+        launch_workers(url, config.workers, config.worker_jobs)
+        if config.workers
+        else None
+    )
+    deadline = (
+        None if config.timeout_s is None
+        else config.clock() + config.timeout_s
+    )
+    try:
+        while not coord.queue.finished:
+            config.sleep(config.poll_s)
+            coord.tick()
+            if fleet is not None:
+                fleet.reap()
+                if fleet.spawned and fleet.alive() == 0:
+                    if not coord.workers_seen:
+                        raise DistWorkersLost(
+                            f"all {fleet.spawned} spawned worker(s) exited "
+                            f"before connecting to {url}"
+                            + fleet.stderr_tail()
+                        )
+                    coord.fail_pending(
+                        f"all {fleet.spawned} spawned worker(s) exited with "
+                        f"cells still pending" + fleet.stderr_tail()
+                    )
+                    break
+            if deadline is not None and config.clock() >= deadline:
+                coord.fail_pending(
+                    f"grid deadline of {config.timeout_s}s exceeded",
+                    timed_out=True,
+                )
+                break
+    finally:
+        if fleet is not None:
+            fleet.terminate()
+        coord.stop()
+    return coord.outcome()

@@ -1,0 +1,116 @@
+"""Spawning and watching a fleet of worker processes.
+
+``launch_workers(url, "local,local")`` starts two ``repro worker``
+subprocesses on this machine, each pointed at the coordinator; any
+other entry is treated as an ssh host and launched best-effort with the
+same command line.  The fleet object only *watches* — liveness feeds
+the coordinator's wait loop (all-dead detection) and the chaos tests
+kill members directly — while the work-queue lease TTL, not process
+management, is what recovers a dead worker's cells.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+
+def _worker_argv(url: str, worker_jobs: int) -> list[str]:
+    return [
+        "-m", "repro", "worker",
+        "--coordinator", url,
+        "--jobs", str(worker_jobs),
+        "--no-progress",
+    ]
+
+
+def _src_dir() -> str:
+    """The directory holding the ``repro`` package (for PYTHONPATH)."""
+    return str(Path(__file__).resolve().parent.parent.parent)
+
+
+class WorkerFleet:
+    """Handles to the spawned worker processes."""
+
+    def __init__(self) -> None:
+        self.procs: list[subprocess.Popen] = []
+        self.spawned = 0
+        self._stderr: dict[int, str] = {}
+
+    def add(self, proc: subprocess.Popen) -> None:
+        self.procs.append(proc)
+        self.spawned += 1
+
+    def reap(self) -> None:
+        """Collect exit status (and stderr tails) of finished workers."""
+        for i, proc in enumerate(self.procs):
+            if proc.poll() is None or i in self._stderr:
+                continue
+            tail = ""
+            if proc.stderr is not None:
+                try:
+                    tail = proc.stderr.read().decode(errors="replace")[-2000:]
+                except Exception:
+                    pass
+            self._stderr[i] = tail
+
+    def alive(self) -> int:
+        return sum(1 for proc in self.procs if proc.poll() is None)
+
+    def stderr_tail(self) -> str:
+        """Formatted stderr of dead workers, for error messages."""
+        parts = [
+            f"\n-- worker[{i}] (exit {self.procs[i].returncode}) stderr --\n{t}"
+            for i, t in sorted(self._stderr.items()) if t.strip()
+        ]
+        return "".join(parts)
+
+    def terminate(self) -> None:
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+            if proc.stderr is not None:
+                try:
+                    proc.stderr.close()
+                except Exception:
+                    pass
+
+
+def launch_workers(url: str, spec: str, worker_jobs: int = 1) -> WorkerFleet:
+    """Spawn one worker per comma-separated entry in ``spec``.
+
+    ``local`` entries run ``sys.executable -m repro worker ...`` with
+    this package's source directory prepended to ``PYTHONPATH`` (so an
+    uninstalled checkout works); anything else becomes
+    ``ssh <host> python3 -m repro worker ...``, which assumes the remote
+    host has the package importable and can reach the coordinator URL —
+    bind a routable host (``--serve 0.0.0.0:PORT``) for that.
+    """
+    fleet = WorkerFleet()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_dir() + os.pathsep + env.get("PYTHONPATH", "")
+    for entry in [e.strip() for e in spec.split(",") if e.strip()]:
+        if entry == "local":
+            argv = [sys.executable] + _worker_argv(url, worker_jobs)
+            proc = subprocess.Popen(
+                argv, env=env,
+                stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            )
+        else:
+            remote = "python3 " + " ".join(
+                shlex.quote(a) for a in _worker_argv(url, worker_jobs)
+            )
+            proc = subprocess.Popen(
+                ["ssh", "-o", "BatchMode=yes", entry, remote],
+                stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            )
+        fleet.add(proc)
+    return fleet

@@ -1,0 +1,103 @@
+"""JSON-over-HTTP wire helpers shared by coordinator and worker.
+
+The protocol is deliberately tiny — five endpoints, JSON bodies, no
+dependencies beyond :mod:`urllib` — because the hard guarantees
+(determinism, idempotent completion, lease expiry) live in
+:mod:`repro.dist.queue` and the stores, not in the transport.
+
+Endpoints (all responses are JSON objects):
+
+========  ======  ==============================================------
+path      method  body -> response
+========  ======  ==============================================------
+/config   GET     -> grid descriptor: platform, faults key, eval-store
+                  snapshot, per-cell (index, p, n, budget), lease_ttl,
+                  batch
+/lease    POST    {worker, max_cells} -> {lease, cells, finished}
+/renew    POST    {worker, lease, done, total, label} -> {ok, finished}
+/complete POST    {worker, lease, cells: [{index, cell, evals, hits}],
+                  wisdom} -> {accepted, finished}
+/fail     POST    {worker, lease, failures: [{index, label, cause,
+                  attempts, timed_out}]} -> {accepted, finished}
+/status   GET     -> queue counters + per-worker heartbeat notes
+========  ======  ==============================================------
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable
+
+from ..errors import DistProtocolError
+
+#: bumped on incompatible wire changes; both sides check it
+PROTOCOL_VERSION = 1
+
+
+def encode(payload: dict) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+def decode(raw: bytes) -> dict:
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise DistProtocolError(f"malformed JSON body: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise DistProtocolError(
+            f"expected a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def call(
+    base_url: str,
+    path: str,
+    payload: dict | None = None,
+    timeout: float = 10.0,
+    retries: int = 3,
+    backoff_s: float = 0.2,
+    sleep: Callable[[float], None] = time.sleep,
+) -> dict:
+    """One request against the coordinator; GET when ``payload`` is None.
+
+    Transport-level failures (connection refused mid-restart, dropped
+    sockets, 5xx) are retried with linear backoff — the coordinator's
+    endpoints are idempotent, so a retried request is always safe.
+    Protocol-level rejections (4xx with a JSON ``error``) raise
+    :class:`~repro.errors.DistProtocolError` immediately.
+    """
+    url = base_url.rstrip("/") + path
+    body = None if payload is None else encode(payload)
+    last: Exception | None = None
+    for attempt in range(retries + 1):
+        req = urllib.request.Request(
+            url,
+            data=body,
+            method="GET" if body is None else "POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return decode(resp.read())
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = decode(exc.read()).get("error", "")
+            except Exception:
+                pass
+            if exc.code < 500:
+                raise DistProtocolError(
+                    f"{path} rejected ({exc.code}): {detail or exc.reason}"
+                ) from exc
+            last = exc
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+            last = exc
+        if attempt < retries:
+            sleep(backoff_s * (attempt + 1))
+    raise DistProtocolError(
+        f"coordinator unreachable at {url} after {retries + 1} attempt(s): {last}"
+    ) from last

@@ -1,0 +1,163 @@
+"""In-memory lease queue over a fixed set of work indices.
+
+The coordinator owns one :class:`WorkQueue` per grid.  Cells are
+identified by their **input index** into the grid's ``todo`` list — the
+same index :func:`~repro.exec.parallel_map` merges results by — and move
+through ``pending -> leased -> done | failed``.  Leases expire when a
+worker stops renewing them (:meth:`WorkQueue.expire` requeues their
+cells), and completion is **idempotent first-wins**: a slow twin of a
+requeued cell finishing later is recorded as a duplicate, not a second
+result.  All methods are thread-safe (HTTP handler threads call in
+concurrently); the clock is injectable so expiry is testable without
+wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Callable
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+class WorkQueue:
+    """Lease bookkeeping for ``total`` work items."""
+
+    def __init__(
+        self,
+        total: int,
+        lease_ttl: float = 15.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.lease_ttl = lease_ttl
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = [PENDING] * total
+        #: lease id -> {"worker": str, "indices": set[int], "expires": float}
+        self._leases: dict[str, dict] = {}
+        self._seq = itertools.count(1)
+        # counters (exported via /status and the obs tracer)
+        self.leases_granted = 0
+        self.requeues = 0
+        self.completions = 0
+        self.duplicates = 0
+
+    # -- granting ----------------------------------------------------------
+
+    def lease(self, worker: str, max_cells: int = 1) -> tuple[str, list[int]]:
+        """Grant up to ``max_cells`` pending indices (lowest first).
+
+        Returns ``(lease_id, indices)``; ``("", [])`` when nothing is
+        pending right now (the worker should poll again unless
+        :attr:`finished`).
+        """
+        with self._lock:
+            grant = [
+                i for i in range(self.total) if self._state[i] == PENDING
+            ][: max(1, max_cells)]
+            if not grant:
+                return "", []
+            lease_id = f"L{next(self._seq)}"
+            for i in grant:
+                self._state[i] = LEASED
+            self._leases[lease_id] = {
+                "worker": worker,
+                "indices": set(grant),
+                "expires": self.clock() + self.lease_ttl,
+            }
+            self.leases_granted += 1
+            return lease_id, grant
+
+    def renew(self, lease_id: str) -> bool:
+        """Push a lease's expiry out by one TTL; False if the lease is
+        gone (expired and requeued, or fully completed)."""
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                return False
+            lease["expires"] = self.clock() + self.lease_ttl
+            return True
+
+    # -- outcomes ----------------------------------------------------------
+
+    def _release(self, index: int) -> None:
+        """Drop ``index`` from whatever lease holds it (lock held)."""
+        for lease_id, lease in list(self._leases.items()):
+            lease["indices"].discard(index)
+            if not lease["indices"]:
+                del self._leases[lease_id]
+
+    def complete(self, index: int) -> bool:
+        """Mark ``index`` done; first-wins.  Returns False (and counts a
+        duplicate) when the index already reached a terminal state —
+        completions are accepted from expired or foreign leases, because
+        the result of a deterministic cell is the same wherever it ran.
+        """
+        with self._lock:
+            if self._state[index] in (DONE, FAILED):
+                self.duplicates += 1
+                return False
+            self._state[index] = DONE
+            self.completions += 1
+            self._release(index)
+            return True
+
+    def fail(self, index: int) -> bool:
+        """Mark ``index`` failed for good (the worker already exhausted
+        its :class:`~repro.exec.ExecPolicy` retries); first-wins."""
+        with self._lock:
+            if self._state[index] in (DONE, FAILED):
+                self.duplicates += 1
+                return False
+            self._state[index] = FAILED
+            self._release(index)
+            return True
+
+    def expire(self) -> list[int]:
+        """Requeue every cell held by a lease past its TTL.
+
+        Returns the requeued indices (a dead worker's abandoned cells —
+        the next :meth:`lease` hands them out again).
+        """
+        now = self.clock()
+        requeued: list[int] = []
+        with self._lock:
+            for lease_id, lease in list(self._leases.items()):
+                if lease["expires"] > now:
+                    continue
+                for i in sorted(lease["indices"]):
+                    if self._state[i] == LEASED:
+                        self._state[i] = PENDING
+                        requeued.append(i)
+                del self._leases[lease_id]
+            self.requeues += len(requeued)
+        return sorted(requeued)
+
+    # -- introspection -----------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            done = self._state.count(DONE)
+            failed = self._state.count(FAILED)
+            return {
+                "total": self.total,
+                "done": done,
+                "failed": failed,
+                "pending": self._state.count(PENDING),
+                "leased": self._state.count(LEASED),
+                "leases": self.leases_granted,
+                "requeues": self.requeues,
+                "duplicates": self.duplicates,
+            }
+
+    @property
+    def finished(self) -> bool:
+        """Every index reached a terminal state (done or failed)."""
+        with self._lock:
+            return all(s in (DONE, FAILED) for s in self._state)

@@ -105,13 +105,39 @@ class GridInterrupted(ExecError):
     given), so a re-run with the same store resumes via read-through and
     executes only the missing cells.  ``failures`` maps the failed
     ``(p, n)`` inputs to their :class:`ItemFailedError`.
+
+    ``salvaged`` is the subset of ``completed`` that was *newly* flushed
+    by this run — cells the result store already held (read-through
+    hits from an earlier, also-interrupted run) are deduped out, so the
+    salvage count reported to the user matches the files the run
+    actually added to disk.
     """
 
-    def __init__(self, completed: list, failures: dict) -> None:
+    def __init__(
+        self, completed: list, failures: dict, salvaged: list | None = None
+    ) -> None:
         cells = ", ".join(f"p{p} N{n}" for (p, n) in sorted(failures))
-        super().__init__(
+        salvaged = list(completed) if salvaged is None else salvaged
+        already = len(completed) - len(salvaged)
+        msg = (
             f"grid interrupted: {len(failures)} cell(s) failed ({cells}); "
-            f"{len(completed)} completed cell(s) salvaged"
+            f"{len(salvaged)} newly completed cell(s) salvaged"
         )
+        if already:
+            msg += f" ({already} already stored)"
+        super().__init__(msg)
         self.completed = completed
         self.failures = failures
+        self.salvaged = salvaged
+
+
+class DistError(ExecError):
+    """The distributed work-queue layer failed (coordinator or worker)."""
+
+
+class DistProtocolError(DistError):
+    """A coordinator/worker exchange could not be completed or parsed."""
+
+
+class DistWorkersLost(DistError):
+    """Every spawned worker exited while grid cells were still pending."""

@@ -46,6 +46,7 @@ from typing import Any, Callable, Sequence
 from ..bench.runner import (
     CellResult,
     _CACHE,
+    active_fault_key,
     cell_key,
     evaluate_cell,
     prime_cache,
@@ -546,6 +547,9 @@ def evaluate_cells(
     progress: ProgressFn | None = None,
     eval_store: EvalStore | None = None,
     policy: ExecPolicy | None = None,
+    dispatch: str = "local",
+    dist: "Any | None" = None,
+    note: Callable[[str], None] | None = None,
 ) -> list[CellResult]:
     """Evaluate a grid of ``(p, n)`` cells, sharded over ``jobs`` workers.
 
@@ -569,10 +573,25 @@ def evaluate_cells(
     cell is flushed to ``store`` (when given) and the memo first, then
     :class:`~repro.errors.GridInterrupted` is raised carrying them — a
     re-run with the same store resumes via read-through and evaluates
-    only the missing cells.
+    only the missing cells.  ``GridInterrupted.salvaged`` dedupes
+    against cells the store already held before this run (read-through
+    hits), so the reported salvage count matches the files the run
+    actually added to disk.
+
+    ``dispatch`` selects where the ``todo`` cells run: ``"local"`` uses
+    the in-process pool, ``"dist"`` serves them from a coordinator to
+    ``repro worker`` processes (:func:`repro.dist.dist_map`, configured
+    by ``dist``, a :class:`~repro.dist.DistConfig`).  Both modes share
+    the memo/store read-through layering, the per-cell eval-store
+    snapshot, and this function's input-order harvest — which is why
+    they produce byte-identical stores.  ``note`` (dist only) receives
+    one-line fleet status strings for the live ticker.
     """
+    if dispatch not in ("local", "dist"):
+        raise ValueError(f"unknown dispatch mode {dispatch!r}")
     name = platform if isinstance(platform, str) else platform.name
     found: dict[tuple, CellResult] = {}
+    from_disk: set[tuple] = set()
     pending: set[tuple] = set()
     todo: list[tuple[str, int, int, int, str]] = []
     for p, n in cells:
@@ -586,11 +605,14 @@ def evaluate_cells(
             cached = store.get(*key)
             if cached is not None:
                 found[key] = cached
+                from_disk.add(key)
                 continue
         todo.append(key)
         pending.add(key)
     labels = [f"{plat} p{p} N{n}" for (plat, p, n, _b, _f) in todo]
-    pooled = default_jobs(jobs) > 1 and len(todo) > 1
+    # out-of-process evaluation ships eval-store hit counts back instead
+    # of tracing them live; dist workers always count as out-of-process
+    pooled = dispatch == "dist" or (default_jobs(jobs) > 1 and len(todo) > 1)
     tr = current_tracer()
 
     def harvest(values: Sequence[Any]) -> None:
@@ -621,29 +643,53 @@ def evaluate_cells(
     extra: dict[str, Any] = {}
     if policy is not None:
         extra["policy"] = policy
+    snapshot = None if eval_store is None else eval_store.to_jsonl()
     if eval_store is None:
         worker_fn = evaluate_cell
         argtuples = [(plat, p, n, budget) for (plat, p, n, budget, _f) in todo]
     else:
         worker_fn = _cell_with_evals
-        snapshot = eval_store.to_jsonl()
         argtuples = [
             (plat, p, n, budget, snapshot)
             for (plat, p, n, budget, _f) in todo
         ]
     try:
-        computed = parallel_map(
-            worker_fn, argtuples, jobs, labels=labels, progress=progress,
-            **extra,
-        )
+        if dispatch == "dist" and todo:
+            # Imported lazily: repro.dist's worker loop imports this
+            # module, so a top-level import would be circular.
+            from ..dist import DistConfig, dist_map
+
+            computed = dist_map(
+                name, todo, labels, snapshot,
+                dist if dist is not None else DistConfig(),
+                store=store, progress=progress, note=note,
+                faults=active_fault_key(),
+            )
+        else:
+            computed = parallel_map(
+                worker_fn, argtuples, jobs, labels=labels, progress=progress,
+                **extra,
+            )
     except ParallelMapError as err:
         harvest(err.results)
+        # Flush *every* completed cell — memo hits included, which the
+        # success path leaves disk-lazy — so the store matches what the
+        # salvage message claims survived.
+        if store is not None:
+            for key, cell in found.items():
+                if key not in from_disk:
+                    store.put(cell)
         prime_cache(list(found.values()))
         failures = {
             (todo[i][1], todo[i][2]): item_err
             for i, item_err in err.failures.items()
         }
-        raise GridInterrupted(list(found.values()), failures) from err
+        salvaged = [
+            cell for key, cell in found.items() if key not in from_disk
+        ]
+        raise GridInterrupted(
+            list(found.values()), failures, salvaged=salvaged
+        ) from err
     harvest(computed)
     prime_cache(list(found.values()))
     return [found[cell_key(name, p, n, max_evaluations)] for p, n in cells]
@@ -658,6 +704,9 @@ def run_grid(
     progress: ProgressFn | None = None,
     eval_store_path: str | os.PathLike | None = None,
     policy: ExecPolicy | None = None,
+    dispatch: str = "local",
+    dist: "Any | None" = None,
+    note: Callable[[str], None] | None = None,
 ) -> tuple[list[CellResult], EvalStore | None]:
     """CLI-facing wrapper: like :func:`evaluate_cells` with an optional
     store directory (cell results) and eval-store path (shared
@@ -671,7 +720,7 @@ def run_grid(
     try:
         results = evaluate_cells(
             platform, cells, jobs, max_evaluations, store, progress, evals,
-            policy,
+            policy, dispatch=dispatch, dist=dist, note=note,
         )
     except GridInterrupted:
         if evals is not None:

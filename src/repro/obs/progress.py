@@ -45,12 +45,28 @@ class ProgressLine:
         self._t0 = clock()
         self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
         self._open = False
+        self._last: tuple[int, int, str] | None = None
         self.updates = 0
+        self.note = ""
+
+    def set_note(self, text: str) -> None:
+        """Attach a side note (e.g. distributed fleet status) to the line.
+
+        On a TTY the current line is redrawn immediately so the note
+        stays live between completion events; on a pipe the note simply
+        rides along with the next regular update (a line per heartbeat
+        would drown CI logs).
+        """
+        changed = text != self.note
+        self.note = text
+        if changed and self._tty and self.enabled and self._last is not None:
+            self(*self._last)
 
     def __call__(self, done: int, total: int, label: str = "") -> None:
         if not self.enabled or total <= 0:
             return
         self.updates += 1
+        self._last = (done, total, label)
         elapsed = self.clock() - self._t0
         pct = 100.0 * done / total
         line = f"[{done}/{total}] {pct:3.0f}% elapsed {_fmt_secs(elapsed)}"
@@ -59,6 +75,8 @@ class ProgressLine:
             line += f" eta {_fmt_secs(eta)}"
         if label:
             line += f" — {label}"
+        if self.note:
+            line += f" [{self.note}]"
         if self._tty:
             self.stream.write("\r\x1b[K" + line)
             if done >= total:

@@ -4,6 +4,11 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+#: pipeline steps that carry per-tile attrs, in pipeline order
+TILE_STEPS = ("FFTy", "Pack", "Unpack", "FFTx")
+
+_SHADE = "▁▂▃▄▅▆▇█"
+
 
 def md_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     """GitHub-flavored markdown table; floats get 3 decimals."""
@@ -25,6 +30,75 @@ def md_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
 def md_section(title: str, body: str, level: int = 2) -> str:
     """A heading plus body with blank-line separation."""
     return f"{'#' * level} {title}\n\n{body}\n"
+
+
+def tile_step_durations(
+    trace, steps: Sequence[str] = TILE_STEPS
+) -> dict[int, dict[str, float]]:
+    """Mean per-tile step durations from a trace's rank spans.
+
+    ``trace`` is a :class:`~repro.obs.Tracer` or a span iterable; only
+    spans carrying a ``tile`` attr contribute (the pipeline records one
+    on every FFTy/Pack/Unpack/FFTx span when tracing is on).  Returns
+    ``{tile: {step: mean_seconds}}`` — the mean is across ranks (and
+    across repeats, for multi-run traces), because the question this
+    view answers is *which tile* is slow, not which rank.
+    """
+    spans = getattr(trace, "spans", trace)
+    sums: dict[int, dict[str, list[float]]] = {}
+    for span in spans:
+        tile = span.attrs.get("tile")
+        if tile is None or span.name not in steps:
+            continue
+        sums.setdefault(int(tile), {}).setdefault(span.name, []).append(
+            span.duration
+        )
+    return {
+        tile: {step: sum(vals) / len(vals) for step, vals in by_step.items()}
+        for tile, by_step in sums.items()
+    }
+
+
+def tile_heatmap(trace, steps: Sequence[str] = TILE_STEPS) -> str:
+    """Tile × step duration heatmap as a markdown table.
+
+    Each cell shows the mean duration plus a shade glyph normalized
+    *within its step column*, so a straggling tile stands out per step —
+    the pipeline imbalance that per-step averages (Figure-8 style
+    breakdowns) wash out.  The last column shades each tile's total
+    against the heaviest tile.
+    """
+    per_tile = tile_step_durations(trace, steps)
+    if not per_tile:
+        return ("*(no per-tile spans in this trace — record one with rank "
+                "timelines, e.g. `repro run --trace`)*")
+
+    def shade(value: float, peak: float) -> str:
+        if peak <= 0.0:
+            return _SHADE[0]
+        idx = round(value / peak * (len(_SHADE) - 1))
+        return _SHADE[max(0, min(idx, len(_SHADE) - 1))]
+
+    present = [
+        s for s in steps if any(s in by for by in per_tile.values())
+    ]
+    peaks = {
+        s: max(per_tile[t].get(s, 0.0) for t in per_tile) for s in present
+    }
+    totals = {
+        t: sum(per_tile[t].get(s, 0.0) for s in present) for t in per_tile
+    }
+    peak_total = max(totals.values())
+    rows = []
+    for tile in sorted(per_tile):
+        row: list[object] = [tile]
+        for s in present:
+            v = per_tile[tile].get(s)
+            row.append("—" if v is None else f"{v:.4f} {shade(v, peaks[s])}")
+        row.append(f"{totals[tile]:.4f} {shade(totals[tile], peak_total)}")
+        rows.append(row)
+    return md_table(["tile"] + [f"{s} (s)" for s in present] + ["total (s)"],
+                    rows)
 
 
 def overlap_table(cells) -> str:

@@ -1,0 +1,111 @@
+"""CLI coverage for distributed dispatch: grid --serve / repro worker."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import clear_cache
+from repro.cli import main
+from repro.dist import Coordinator, DistConfig, GridJob
+from repro.bench.runner import cell_key
+
+BUDGET = 4
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def grid_args(store, extra):
+    return [
+        "grid", "--cells", "4:32;8:32", "--budget", str(BUDGET),
+        "--no-progress", "--store", str(store),
+    ] + extra
+
+
+def store_bytes(path) -> dict[str, bytes]:
+    return {f.name: f.read_bytes() for f in Path(path).iterdir()}
+
+
+class TestGridServe:
+    def test_serve_with_local_fleet_matches_local_run(
+        self, capsys, tmp_path
+    ):
+        assert main(grid_args(tmp_path / "local", [])) == 0
+        capsys.readouterr()
+        clear_cache()
+        rc = main(grid_args(
+            tmp_path / "dist", ["--serve", "--workers", "local,local"],
+        ))
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "coordinator serving at http://127.0.0.1:" in captured.err
+        assert "overlap summary" in captured.out
+        assert store_bytes(tmp_path / "dist") == store_bytes(
+            tmp_path / "local"
+        )
+
+    def test_workers_flag_implies_serve(self, capsys, tmp_path):
+        rc = main(grid_args(tmp_path / "s", ["--workers", "local"]))
+        assert rc == 0
+        assert "coordinator serving at" in capsys.readouterr().err
+
+    def test_bad_serve_address_exits_2(self, capsys, tmp_path):
+        rc = main(grid_args(
+            tmp_path / "s", ["--serve", "localhost:not-a-port",
+                             "--workers", "local"],
+        ))
+        assert rc == 2
+        assert "bad --serve address" in capsys.readouterr().err
+
+    def test_rerun_resumes_from_store_without_serving(self, capsys, tmp_path):
+        # warm the store locally, then ask for dist dispatch: everything
+        # is resumed from disk, so no coordinator is ever started
+        assert main(grid_args(tmp_path / "s", [])) == 0
+        capsys.readouterr()
+        clear_cache()
+        rc = main(grid_args(
+            tmp_path / "s", ["--serve", "--workers", "local,local"],
+        ))
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "coordinator serving at" not in captured.err
+        assert "overlap summary" in captured.out
+
+
+class TestWorkerCommand:
+    def test_worker_serves_a_coordinator_and_reports_stats(self, capsys):
+        cells = [(4, 32), (8, 32)]
+        job = GridJob(
+            platform="UMD-Cluster",
+            todo=[cell_key("UMD-Cluster", p, n, BUDGET) for p, n in cells],
+            labels=[f"p{p} N{n}" for p, n in cells],
+        )
+        coord = Coordinator(job, DistConfig())
+        url = coord.start()
+        try:
+            rc = main([
+                "worker", "--coordinator", url,
+                "--no-progress", "--poll", "0.05",
+            ])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "2 cell(s) evaluated, 0 failed" in out
+            assert coord.queue.finished
+        finally:
+            coord.stop()
+
+    def test_worker_unreachable_coordinator_exits_4(self, capsys):
+        rc = main([
+            "worker", "--coordinator", "http://127.0.0.1:9",
+            "--no-progress",
+        ])
+        assert rc == 4
+        assert "error: coordinator unreachable" in capsys.readouterr().err
+
+    def test_worker_requires_coordinator_flag(self):
+        with pytest.raises(SystemExit):
+            main(["worker"])

@@ -1,0 +1,125 @@
+"""WorkQueue lease lifecycle against a fake clock (no wall waits)."""
+
+import pytest
+
+from repro.dist import WorkQueue
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clk():
+    return FakeClock()
+
+
+class TestLeasing:
+    def test_grants_lowest_pending_first(self, clk):
+        q = WorkQueue(5, lease_ttl=10.0, clock=clk)
+        lease, cells = q.lease("w1", 2)
+        assert lease and cells == [0, 1]
+        _, more = q.lease("w2", 2)
+        assert more == [2, 3]
+
+    def test_empty_grant_when_nothing_pending(self, clk):
+        q = WorkQueue(1, lease_ttl=10.0, clock=clk)
+        q.lease("w1", 1)
+        lease, cells = q.lease("w2", 1)
+        assert lease == "" and cells == []
+
+    def test_max_cells_is_at_least_one(self, clk):
+        q = WorkQueue(3, lease_ttl=10.0, clock=clk)
+        _, cells = q.lease("w1", 0)
+        assert cells == [0]
+
+    def test_counts(self, clk):
+        q = WorkQueue(3, lease_ttl=10.0, clock=clk)
+        q.lease("w1", 2)
+        c = q.counts()
+        assert c["total"] == 3 and c["leased"] == 2 and c["pending"] == 1
+        assert c["leases"] == 1
+
+
+class TestExpiry:
+    def test_expired_lease_requeues_its_cells(self, clk):
+        q = WorkQueue(3, lease_ttl=5.0, clock=clk)
+        q.lease("w1", 2)
+        clk.t = 5.5
+        assert q.expire() == [0, 1]
+        assert q.counts()["pending"] == 3
+        assert q.counts()["requeues"] == 2
+        # the cells are leasable again
+        _, cells = q.lease("w2", 3)
+        assert cells == [0, 1, 2]
+
+    def test_renew_keeps_a_lease_alive(self, clk):
+        q = WorkQueue(2, lease_ttl=5.0, clock=clk)
+        lease, _ = q.lease("w1", 2)
+        clk.t = 4.0
+        assert q.renew(lease)
+        clk.t = 8.0  # past the original expiry, within the renewed one
+        assert q.expire() == []
+        clk.t = 9.5
+        assert q.expire() == [0, 1]
+
+    def test_renew_unknown_lease_is_false(self, clk):
+        q = WorkQueue(1, lease_ttl=5.0, clock=clk)
+        assert not q.renew("L999")
+
+    def test_unexpired_leases_untouched(self, clk):
+        q = WorkQueue(4, lease_ttl=5.0, clock=clk)
+        q.lease("w1", 2)
+        clk.t = 3.0
+        q.lease("w2", 2)  # fresh lease
+        clk.t = 5.5  # w1 expired, w2 not
+        assert q.expire() == [0, 1]
+        assert q.counts()["leased"] == 2
+
+
+class TestCompletion:
+    def test_complete_is_first_wins(self, clk):
+        q = WorkQueue(2, lease_ttl=10.0, clock=clk)
+        q.lease("w1", 2)
+        assert q.complete(0)
+        assert not q.complete(0)
+        c = q.counts()
+        assert c["done"] == 1 and c["duplicates"] == 1
+
+    def test_complete_accepted_from_expired_lease(self, clk):
+        # a slow worker finishing after its lease was requeued is a
+        # harmless duplicate-or-first-win, never an error
+        q = WorkQueue(1, lease_ttl=5.0, clock=clk)
+        q.lease("w1", 1)
+        clk.t = 6.0
+        assert q.expire() == [0]
+        q.lease("w2", 1)
+        assert q.complete(0)  # w1's late completion still lands first
+        assert not q.complete(0)  # w2's twin is the duplicate
+
+    def test_completed_cell_never_requeues(self, clk):
+        q = WorkQueue(1, lease_ttl=5.0, clock=clk)
+        lease, _ = q.lease("w1", 1)
+        q.complete(0)
+        clk.t = 10.0
+        assert q.expire() == []
+        assert not q.renew(lease)  # fully-completed lease is dropped
+
+    def test_fail_is_terminal_and_first_wins(self, clk):
+        q = WorkQueue(2, lease_ttl=10.0, clock=clk)
+        q.lease("w1", 2)
+        assert q.fail(0)
+        assert not q.complete(0)
+        assert q.counts()["failed"] == 1
+
+    def test_finished_when_all_terminal(self, clk):
+        q = WorkQueue(2, lease_ttl=10.0, clock=clk)
+        q.lease("w1", 2)
+        assert not q.finished
+        q.complete(0)
+        q.fail(1)
+        assert q.finished

@@ -327,6 +327,49 @@ class TestGridSalvage:
             assert cell == salvaged[(cell.p, cell.n)]
 
 
+class TestSalvageDedupe:
+    """An interrupted resume separates *newly* salvaged cells from ones
+    that were already on disk — the salvage message must not re-claim
+    old work as saved."""
+
+    def _interrupt(self, cells, store):
+        with pytest.raises(GridInterrupted) as ei:
+            evaluate_cells(
+                "UMD-Cluster", cells, jobs=1, max_evaluations=BUDGET,
+                store=store, policy=ExecPolicy(retries=0, backoff_s=0.0),
+            )
+        return ei.value
+
+    def test_already_stored_cells_are_not_salvaged_again(self, tmp_path):
+        store = ResultStore(tmp_path)
+        evaluate_cells("UMD-Cluster", GRID, jobs=1,
+                       max_evaluations=BUDGET, store=store)
+        clear_cache()
+        extra = (4, 48)
+        err = self._interrupt(GRID + [extra, BAD_CELL], store)
+        # completed reports everything available; salvaged only the news
+        assert {(c.p, c.n) for c in err.completed} == set(GRID) | {extra}
+        assert {(c.p, c.n) for c in err.salvaged} == {extra}
+        assert "1 newly completed cell(s) salvaged" in str(err)
+        assert "(2 already stored)" in str(err)
+        assert len(store) == len(GRID) + 1
+
+    def test_memo_hits_are_flushed_and_count_as_salvaged(self, tmp_path):
+        # warm the in-process memo only; the store starts empty, so the
+        # interrupt flush must persist memo hits too
+        evaluate_cells("UMD-Cluster", GRID, jobs=1, max_evaluations=BUDGET)
+        store = ResultStore(tmp_path)
+        err = self._interrupt(GRID + [BAD_CELL], store)
+        assert {(c.p, c.n) for c in err.salvaged} == set(GRID)
+        assert len(store) == len(GRID)
+        assert "already stored" not in str(err)
+
+    def test_salvaged_defaults_to_completed(self):
+        sentinel = [object()]
+        err = GridInterrupted(sentinel, {})
+        assert err.salvaged == sentinel
+
+
 class TestStoreCorruption:
     """Satellite 2: a truncated or foreign store file is a warned miss."""
 

@@ -1,0 +1,76 @@
+"""Faulted and clean grid results never cross-contaminate the store.
+
+The cell key's fifth element is the canonical ambient fault key, so a
+grid evaluated under ``--faults`` writes store entries that can never
+satisfy a fault-free lookup (and vice versa) — in both dispatch modes.
+"""
+
+import pytest
+
+from repro.bench import clear_cache
+from repro.bench.runner import cell_key
+from repro.exec import ResultStore, evaluate_cells
+from repro.faults import injected_faults, parse_faults
+
+from tests.dist.test_dist_grid import dist_run
+
+BUDGET = 4
+GRID = [(4, 32), (8, 32)]
+SPEC = parse_faults("straggler:rank=0,slow=2.0;seed:3")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def run(dispatch, store, faults=None):
+    if dispatch == "dist":
+        results, raised = dist_run(GRID, store=store, faults=faults)
+        assert raised is None
+        return results
+    if faults is not None:
+        with injected_faults(faults):
+            return evaluate_cells(
+                "UMD-Cluster", GRID, max_evaluations=BUDGET, store=store,
+            )
+    return evaluate_cells(
+        "UMD-Cluster", GRID, max_evaluations=BUDGET, store=store,
+    )
+
+
+@pytest.mark.parametrize("dispatch", ["local", "dist"])
+class TestStoreIsolation:
+    def test_faulted_entries_never_satisfy_clean_lookups(
+        self, dispatch, tmp_path
+    ):
+        store = ResultStore(tmp_path / "store")
+        faulted = run(dispatch, store, faults=SPEC)
+        assert all(c.faults == SPEC.key() for c in faulted)
+        assert len(store) == len(GRID)
+        # the clean keys are absent from the store...
+        for p, n in GRID:
+            plat, p_, n_, b, _f = cell_key("UMD-Cluster", p, n, BUDGET)
+            assert store.get(plat, p_, n_, b, "") is None
+            assert store.get(plat, p_, n_, b, SPEC.key()) is not None
+        # ...so a clean run computes fresh cells instead of resuming
+        clear_cache()
+        clean = run(dispatch, store)
+        assert all(c.faults == "" for c in clean)
+        assert len(store) == 2 * len(GRID)
+        # the injected straggler must actually show in the numbers
+        for f, c in zip(faulted, clean):
+            assert f.times["NEW"] > c.times["NEW"]
+
+    def test_clean_entries_never_satisfy_faulted_lookups(
+        self, dispatch, tmp_path
+    ):
+        store = ResultStore(tmp_path / "store")
+        run(dispatch, store)
+        assert len(store) == len(GRID)
+        clear_cache()
+        faulted = run(dispatch, store, faults=SPEC)
+        assert all(c.faults == SPEC.key() for c in faulted)
+        assert len(store) == 2 * len(GRID)

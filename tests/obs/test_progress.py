@@ -79,6 +79,49 @@ class TestProgressLine:
         assert "elapsed 1.5h" in stream.getvalue()
 
 
+class TestNotes:
+    def test_note_rides_along_with_updates(self):
+        progress, stream, clock = make(tty=False)
+        progress.set_note("2 worker(s) a:1/2")
+        clock.t = 2.0
+        progress(1, 4, "cell a")
+        assert "cell a [2 worker(s) a:1/2]" in stream.getvalue()
+
+    def test_no_note_no_brackets(self):
+        progress, stream, _ = make(tty=False)
+        progress(1, 4, "cell a")
+        assert "[1/4]" in stream.getvalue()
+        assert "] [" not in stream.getvalue()
+
+    def test_tty_note_change_redraws_immediately(self):
+        progress, stream, _ = make(tty=True)
+        progress(1, 4, "cell a")
+        before = progress.updates
+        progress.set_note("fleet alive")
+        assert progress.updates == before + 1
+        assert stream.getvalue().endswith("cell a [fleet alive]")
+
+    def test_unchanged_note_does_not_redraw(self):
+        progress, stream, _ = make(tty=True)
+        progress(1, 4, "cell a")
+        progress.set_note("same")
+        before = progress.updates
+        progress.set_note("same")
+        assert progress.updates == before
+
+    def test_note_before_first_update_is_safe_on_pipe(self):
+        # on a pipe (no redraw) a note set before any completion event
+        # must not write anything by itself
+        progress, stream, _ = make(tty=False)
+        progress.set_note("early")
+        assert stream.getvalue() == ""
+
+    def test_note_before_first_update_is_safe_on_tty(self):
+        progress, stream, _ = make(tty=True)
+        progress.set_note("early")
+        assert stream.getvalue() == ""  # nothing to redraw yet
+
+
 def _double(x):
     return 2 * x
 

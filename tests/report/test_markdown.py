@@ -1,7 +1,9 @@
-"""overlap_table: CellResult.metrics -> markdown."""
+"""overlap_table and the per-tile heatmap: traces/metrics -> markdown."""
 
 from repro.bench.runner import CellResult
+from repro.obs.tracer import Span
 from repro.report import overlap_table
+from repro.report.markdown import tile_heatmap, tile_step_durations
 
 
 def make_cell(metrics):
@@ -28,3 +30,86 @@ def test_renders_one_row_per_variant():
 
 def test_pre_observability_cells_skipped():
     assert "no overlap metrics" in overlap_table([make_cell({})])
+
+
+# -- per-tile heatmap ---------------------------------------------------------
+
+def tile_span(rank, name, tile, duration, t0=0.0):
+    return Span(track=f"rank{rank}", name=name, t0=t0, t1=t0 + duration,
+                attrs={"tile": tile, "tz": 8, "bytes": 4096})
+
+
+class TestTileStepDurations:
+    def test_means_across_ranks(self):
+        spans = [
+            tile_span(0, "FFTy", 0, 1.0),
+            tile_span(1, "FFTy", 0, 3.0),
+            tile_span(0, "Pack", 1, 0.5),
+        ]
+        per_tile = tile_step_durations(spans)
+        assert per_tile[0]["FFTy"] == 2.0  # mean of ranks 0 and 1
+        assert per_tile[1] == {"Pack": 0.5}
+
+    def test_spans_without_tile_attr_ignored(self):
+        spans = [
+            Span(track="rank0", name="FFTy", t0=0.0, t1=1.0),
+            Span(track="rank0", name="Wait", t0=0.0, t1=1.0,
+                 attrs={"tile": 0}),  # not a tile step
+        ]
+        assert tile_step_durations(spans) == {}
+
+    def test_accepts_a_tracer(self):
+        from repro.obs.tracer import Tracer
+
+        tr = Tracer(rank_spans=True)
+        tr.spans.append(tile_span(0, "FFTx", 2, 1.5))
+        assert tile_step_durations(tr) == {2: {"FFTx": 1.5}}
+
+
+class TestTileHeatmap:
+    def test_renders_rows_per_tile_with_shades(self):
+        spans = [
+            tile_span(0, "FFTy", 0, 0.1),
+            tile_span(0, "FFTy", 1, 0.4),  # 4x slower: the straggler
+            tile_span(0, "Pack", 0, 0.2),
+            tile_span(0, "Pack", 1, 0.2),
+        ]
+        text = tile_heatmap(spans)
+        lines = text.splitlines()
+        assert lines[0] == "| tile | FFTy (s) | Pack (s) | total (s) |"
+        assert len(lines) == 4  # header + rule + 2 tiles
+        # the straggling tile shades full within the FFTy column
+        assert "0.4000 █" in lines[3]
+        # equal Pack times both shade full (peak-normalized)
+        assert lines[2].count("0.2000 █") == 1
+        assert lines[3].count("0.2000 █") == 1
+
+    def test_missing_step_renders_dash(self):
+        spans = [
+            tile_span(0, "FFTy", 0, 0.1),
+            tile_span(0, "FFTy", 1, 0.2),
+            tile_span(0, "Unpack", 1, 0.3),
+        ]
+        text = tile_heatmap(spans)
+        row0 = next(l for l in text.splitlines() if l.startswith("| 0 |"))
+        assert "—" in row0
+
+    def test_empty_trace_explains_itself(self):
+        assert "no per-tile spans" in tile_heatmap([])
+
+    def test_real_run_produces_tile_spans(self):
+        # end-to-end: a traced NEW-variant run emits per-tile spans the
+        # heatmap can render
+        from repro.core.api import run_case
+        from repro.core.params import ProblemShape
+        from repro.machine import UMD_CLUSTER
+        from repro.obs.tracer import Tracer, tracing
+
+        with tracing(Tracer(rank_spans=True)) as tr:
+            run_case("NEW", UMD_CLUSTER, ProblemShape(32, 32, 32, 4))
+        per_tile = tile_step_durations(tr)
+        assert len(per_tile) >= 2  # tiled pipeline: multiple tiles
+        text = tile_heatmap(tr)
+        assert text.startswith("| tile |")
+        for step in ("FFTy", "Pack", "Unpack", "FFTx"):
+            assert step in text
