@@ -39,6 +39,11 @@ executed under a :mod:`repro.obs` tracer and the result written as a
 Chrome trace-event JSON (``.json``, Perfetto-viewable) or a JSONL event
 log (``.jsonl``, replayable with ``repro trace``).  ``grid``/``sweep``
 render a live per-cell progress line with ETA on stderr.
+
+``run`` and ``grid`` accept ``--profile [FILE]``: the command body runs
+under cProfile and the top-25 cumulative functions are printed to
+stderr (host time, complementing ``--trace``'s virtual time); with a
+``FILE`` the full pstats dump is written there too.
 """
 
 from __future__ import annotations
@@ -132,6 +137,47 @@ def _maybe_trace(args, rank_spans: bool):
     print(f"trace: {n} records -> {path}")
 
 
+def _add_profile_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--profile", metavar="FILE", nargs="?", const="-", default=None,
+        help="profile the command under cProfile and print the top 25 "
+             "functions by cumulative host time to stderr; with FILE, "
+             "also write the full pstats dump there (parent process "
+             "only — pool workers are not profiled)",
+    )
+
+
+@contextmanager
+def _maybe_profile(args):
+    """Run the command body under cProfile when ``--profile`` was given.
+
+    Prints the top-25 cumulative functions to stderr — the host-time
+    view of where a simulation spends itself (the virtual-time view is
+    ``--trace``).  Never wraps the report printing, so profiling cannot
+    change command output.
+    """
+    target = getattr(args, "profile", None)
+    if target is None:
+        yield None
+        return
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield prof
+    finally:
+        prof.disable()
+        if target != "-":
+            prof.dump_stats(target)
+            print(f"profile: full pstats dump -> {target}", file=sys.stderr)
+        buf = io.StringIO()
+        pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(25)
+        print(buf.getvalue(), file=sys.stderr, end="")
+
+
 def _progress(args):
     """The live per-cell progress renderer (None when suppressed)."""
     if getattr(args, "no_progress", False):
@@ -199,7 +245,8 @@ def cmd_run(args) -> int:
     """``repro run``: simulate one FFT and print the breakdown."""
     platform = get_platform(args.machine)
     shape = _shape(args)
-    with _maybe_faults(args), _maybe_trace(args, rank_spans=True):
+    with _maybe_faults(args), _maybe_trace(args, rank_spans=True), \
+            _maybe_profile(args):
         if args.decomposition == "pencil":
             from .core.pencil import PencilFFT3D
             from .simmpi.spmd import run_spmd
@@ -364,7 +411,8 @@ def cmd_grid(args) -> int:
         )
     line = _progress(args)
     try:
-        with _maybe_faults(args) as spec, _maybe_trace(args, rank_spans=False):
+        with _maybe_faults(args) as spec, \
+                _maybe_trace(args, rank_spans=False), _maybe_profile(args):
             results, evals = run_grid(
                 args.machine, cells,
                 jobs=args.jobs, max_evaluations=args.budget,
@@ -537,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_arg(p_run)
     _add_faults_arg(p_run)
+    _add_profile_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_multi = sub.add_parser(
@@ -591,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p_grid)
     _add_trace_arg(p_grid)
     _add_faults_arg(p_grid)
+    _add_profile_arg(p_grid)
     p_grid.add_argument(
         "--serve", metavar="HOST[:PORT]", nargs="?", const="127.0.0.1:0",
         default=None,

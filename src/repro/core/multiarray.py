@@ -21,6 +21,12 @@ the whole spectrum so the comparison is runnable:
 
 All modes share the machine-model costs of :class:`ParallelFFT3D`; real
 payloads are supported (each array verified against numpy in the tests).
+
+Like the single-array pipelines, the executor is written in the ``co_*``
+coroutine spelling (:meth:`MultiArrayFFT3D.steps`), so a generator SPMD
+program runs every mode on the fast tasks backend; :meth:`execute`
+drives the same generator on the thread backend — bit-identical either
+way (``tests/core/test_multiarray.py::TestBackendBitIdentity``).
 """
 
 from __future__ import annotations
@@ -74,29 +80,36 @@ class MultiArrayFFT3D:
     def execute(
         self, locals_: list[np.ndarray] | None = None
     ) -> list[np.ndarray] | None:
-        """Transform all arrays; returns per-array local outputs (real
-        mode) or ``None``."""
+        """Blocking spelling of :meth:`steps` (thread backend)."""
+        return self.ctx.drive(self.steps(locals_))
+
+    def steps(self, locals_: list[np.ndarray] | None = None):
+        """Transform all arrays as a ``co_*`` coroutine; returns per-array
+        local outputs (real mode) or ``None``.  ``yield from`` it in a
+        generator SPMD program — bit-identical to :meth:`execute`."""
         if locals_ is not None and len(locals_) != self.n_arrays:
             raise ParameterError(
                 f"expected {self.n_arrays} local blocks, got {len(locals_)}"
             )
-        if self.mode == "sequential":
-            return self._run_sequential(locals_)
-        if self.mode == "intra":
-            return self._run_sequential(locals_)  # NEW plans overlap inside
+        if self.mode in ("sequential", "intra"):
+            # NEW plans overlap inside each array.
+            return (yield from self._co_sequential(locals_))
         if self.mode == "inter":
-            return self._run_inter(locals_)
-        return self._run_both(locals_)
+            return (yield from self._co_inter(locals_))
+        return (yield from self._co_both(locals_))
 
-    def _run_sequential(self, locals_):
+    def _co_sequential(self, locals_):
         outs = []
         for a, plan in enumerate(self.plans):
-            outs.append(plan.execute(None if locals_ is None else locals_[a]))
+            out = yield from plan.steps(
+                None if locals_ is None else locals_[a]
+            )
+            outs.append(out)
         return None if locals_ is None else outs
 
     # -- inter-array (Kandalla-style) --------------------------------------
 
-    def _run_inter(self, locals_):
+    def _co_inter(self, locals_):
         """Whole-slab exchanges pipelined across arrays with depth 1."""
         ctx, shape = self.ctx, self.shape
         plans = self.plans
@@ -143,7 +156,7 @@ class MultiArrayFFT3D:
             # Drain the previous array's exchange, then post this one.
             if pending:
                 pa, preq, _ = pending.pop(0)
-                recv = self.ctx.comm.wait(preq, label="Wait")
+                recv = yield from ctx.comm.co_wait(preq, label="Wait")
                 outs[pa] = self._whole_slab_unpack_fftx(
                     plans[pa], recv, tests(p.Fu)
                 )
@@ -157,7 +170,7 @@ class MultiArrayFFT3D:
         # Tail: drain the last exchange.
         while pending:
             pa, preq, _ = pending.pop(0)
-            recv = self.ctx.comm.wait(preq, label="Wait")
+            recv = yield from ctx.comm.co_wait(preq, label="Wait")
             outs[pa] = self._whole_slab_unpack_fftx(plans[pa], recv, [])
         return None if locals_ is None else outs
 
@@ -201,7 +214,7 @@ class MultiArrayFFT3D:
 
     # -- combined intra + inter -------------------------------------------
 
-    def _run_both(self, locals_):
+    def _co_both(self, locals_):
         """NEW's tile pipeline with the window carried across arrays.
 
         Arrays are processed back to back; the last ``W`` exchanges of
@@ -222,7 +235,7 @@ class MultiArrayFFT3D:
 
         def drain_one():
             a, j, req = window.pop(0)
-            recv = ctx.comm.wait(req, label="Wait")
+            recv = yield from ctx.comm.co_wait(req, label="Wait")
             plan = self.plans[a]
             self._tile_unpack_fftx(plan, a, j, recv, per_array_out, reqs())
 
@@ -236,7 +249,7 @@ class MultiArrayFFT3D:
                     plan, a, j, per_array_data, reqs()
                 )
                 if len(window) >= max(p.W, 1):
-                    drain_one()
+                    yield from drain_one()
                 z0, z1 = plan.tiles[j]
                 req = ctx.comm.ialltoall(
                     plan.dec.sendcounts_bytes(z1 - z0),
@@ -246,7 +259,7 @@ class MultiArrayFFT3D:
                 window.append((a, j, req))
             per_array_data[a] = None
         while window:
-            drain_one()
+            yield from drain_one()
         if locals_ is None:
             return None
         return per_array_out
@@ -338,11 +351,12 @@ def run_multi_array(
         blocks = [scatter_slabs(a, shape.p) for a in global_arrays]
 
     def prog(ctx):
+        # Generator SPMD program: auto-selects the fast tasks backend.
         exe = MultiArrayFFT3D(ctx, shape, n_arrays, mode, params)
         locals_ = (
             None if blocks is None else [blocks[a][ctx.rank] for a in range(n_arrays)]
         )
-        outs = exe.execute(locals_)
+        outs = yield from exe.steps(locals_)
         layout = exe.plans[0].output_layout
         return outs, layout
 

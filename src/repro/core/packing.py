@@ -108,9 +108,59 @@ def ffty_pack_real(
 
     ``tile`` is the communication tile in the post-Transpose layout:
     ``(tz, nxl, ny)`` for ``"zxy"`` or ``(nxl, tz, ny)`` for ``"xzy"``.
-    ``ffty`` is a callable transforming the last axis.  Sub-tiles of
-    ``px`` x-planes by ``pz`` z-planes are transformed and immediately
-    scattered into the send chunks.
+    ``ffty`` is a callable transforming the last axis.
+
+    The ``ffty`` call pattern (one call per ``px`` x ``pz`` sub-tile) is
+    kept exactly as in the blocked reference — the FFT kernels are not
+    bitwise batch-independent, so changing the call shapes would move
+    results by ULPs.  What is vectorized is the scatter: blocks land in
+    a whole-tile staging buffer (one write per block instead of one per
+    block per destination), and each destination's chunk is then carved
+    out with a single whole-tile strided copy.  Element-identity with
+    the blocked reference is pinned by tests/core/test_packing_vector.py.
+    """
+    if layout == "zxy":
+        tz, nxl, ny = tile.shape
+    elif layout == "xzy":
+        nxl, tz, ny = tile.shape
+    else:
+        raise ParameterError(f"unknown tile layout {layout!r}")
+    if sum(y_counts) != ny:
+        raise ParameterError("y_counts must sum to the tile's y extent")
+    staging = np.empty((tz, nxl, ny), dtype=np.complex128)
+    for x0, x1 in iter_blocks(nxl, px):
+        for z0, z1 in iter_blocks(tz, pz):
+            if layout == "zxy":
+                staging[z0:z1, x0:x1, :] = ffty(tile[z0:z1, x0:x1, :])
+            else:
+                # x-z-y tile: bring the block to (z, x, y) chunk order.
+                staging[z0:z1, x0:x1, :] = ffty(
+                    tile[x0:x1, z0:z1, :]
+                ).transpose(1, 0, 2)
+    chunks = []
+    ys = 0
+    for nyl_d in y_counts:
+        chunk = np.empty((tz, nxl, nyl_d), dtype=np.complex128)
+        chunk[...] = staging[:, :, ys : ys + nyl_d]
+        chunks.append(chunk)
+        ys += nyl_d
+    return chunks
+
+
+def ffty_pack_real_subtiled(
+    tile: np.ndarray,
+    ffty,
+    y_counts: list[int],
+    px: int,
+    pz: int,
+    layout: str,
+) -> list[np.ndarray]:
+    """Blocked reference implementation of :func:`ffty_pack_real`.
+
+    Walks ``px`` x ``pz`` sub-tiles the way Algorithm 2 does on real
+    hardware; kept as the oracle the vectorized mover is compared
+    against (and as executable documentation of the loop structure the
+    cost model charges).
     """
     if layout == "zxy":
         tz, nxl, ny = tile.shape
@@ -152,7 +202,44 @@ def unpack_fftx_real(
     The output tile is ``(tz, nyl, nx)`` in z-y-x order for ``"zyx"`` or
     ``(nyl, tz, nx)`` in y-z-x order for ``"yzx"`` (the Nx==Ny variant);
     either way x is contiguous for FFTx.
+
+    As with :func:`ffty_pack_real`, the ``uy`` x ``uz`` sub-tile walk is
+    a cost-model concern (:func:`unpack_cost`); the mover assembles each
+    source's x-slice with one whole-tile strided copy instead (same
+    elements, pinned by tests/core/test_packing_vector.py).
     """
+    del uy, uz  # blocking factors shape the cost model, not the data
+    nx = sum(x_counts)
+    tz = chunks[0].shape[0]
+    if layout == "zyx":
+        out = np.empty((tz, nyl, nx), dtype=np.complex128)
+    elif layout == "yzx":
+        out = np.empty((nyl, tz, nx), dtype=np.complex128)
+    else:
+        raise ParameterError(f"unknown output layout {layout!r}")
+    xs = 0
+    for s, nxl_s in enumerate(x_counts):
+        # chunk (z, x, y) -> output order, one strided copy per source.
+        blk = chunks[s]
+        if layout == "zyx":
+            out[:, :, xs : xs + nxl_s] = blk.transpose(0, 2, 1)
+        else:
+            out[:, :, xs : xs + nxl_s] = blk.transpose(2, 0, 1)
+        xs += nxl_s
+    return fftx(out)
+
+
+def unpack_fftx_real_subtiled(
+    chunks: list[np.ndarray],
+    fftx,
+    x_counts: list[int],
+    nyl: int,
+    uy: int,
+    uz: int,
+    layout: str,
+) -> np.ndarray:
+    """Blocked reference implementation of :func:`unpack_fftx_real`
+    (the Algorithm 3 sub-tile walk; oracle for the vectorized mover)."""
     nx = sum(x_counts)
     tz = chunks[0].shape[0]
     if layout == "zyx":

@@ -150,20 +150,30 @@ class PencilFFT3D:
         ]
         payload_a = None
         if real:
-            payload_a = []
-            for d in range(self.pc):
-                z0, z1 = slab_range(self.nz, self.pc, d)
-                payload_a.append(np.ascontiguousarray(data[:, :, z0:z1]))
+            if self.nz % self.pc == 0:
+                # Uniform slabs: one whole-block copy instead of pc
+                # strided ascontiguousarray calls; each payload entry is
+                # a contiguous view into the packed buffer (identical
+                # elements, same per-destination shapes).
+                nzb = self.nz // self.pc
+                packed = np.ascontiguousarray(
+                    data.reshape(self.nxl, self.nyl, self.pc, nzb)
+                    .transpose(2, 0, 1, 3)
+                )
+                payload_a = list(packed)
+            else:
+                payload_a = []
+                for d in range(self.pc):
+                    z0, z1 = slab_range(self.nz, self.pc, d)
+                    payload_a.append(np.ascontiguousarray(data[:, :, z0:z1]))
         ctx.compute(self._copy_cost(self.nxl * self.nyl * self.nz), "Pack")
         chunks_a = yield from self.row_comm.co_alltoall(
             send_a, recv_a, payload=payload_a
         )
         local1 = None
         if real:
-            local1 = np.empty((self.nxl, self.ny, self.nzl), dtype=np.complex128)
-            for s in range(self.pc):
-                y0, y1 = slab_range(self.ny, self.pc, s)
-                local1[:, y0:y1, :] = chunks_a[s]
+            # Sources arrive in y order, so assembly is one concatenate.
+            local1 = np.concatenate(chunks_a, axis=1)
         ctx.compute(self._copy_cost(self.nxl * self.ny * self.nzl), "Unpack")
 
         # ---- FFTy -----------------------------------------------------------
@@ -180,22 +190,28 @@ class PencilFFT3D:
         ]
         payload_b = None
         if real:
-            payload_b = []
-            for d in range(self.pr):
-                y0, y1 = slab_range(self.ny, self.pr, d)
-                payload_b.append(np.ascontiguousarray(local1[:, y0:y1, :]))
+            if self.ny % self.pr == 0:
+                nyb = self.ny // self.pr
+                packed = np.ascontiguousarray(
+                    local1.reshape(self.nxl, self.pr, nyb, self.nzl)
+                    .transpose(1, 0, 2, 3)
+                )
+                payload_b = list(packed)
+            else:
+                payload_b = []
+                for d in range(self.pr):
+                    y0, y1 = slab_range(self.ny, self.pr, d)
+                    payload_b.append(
+                        np.ascontiguousarray(local1[:, y0:y1, :])
+                    )
         ctx.compute(self._copy_cost(self.nxl * self.ny * self.nzl), "Pack")
         chunks_b = yield from self.col_comm.co_alltoall(
             send_b, recv_b, payload=payload_b
         )
         local2 = None
         if real:
-            local2 = np.empty(
-                (self.nx, self.ny2l, self.nzl), dtype=np.complex128
-            )
-            for s in range(self.pr):
-                x0, x1 = slab_range(self.nx, self.pr, s)
-                local2[x0:x1, :, :] = chunks_b[s]
+            # Sources arrive in x order: assembly is one concatenate.
+            local2 = np.concatenate(chunks_b, axis=0)
         ctx.compute(self._copy_cost(self.nx * self.ny2l * self.nzl), "Unpack")
 
         # ---- FFTx --------------------------------------------------------

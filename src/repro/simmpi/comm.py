@@ -39,7 +39,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import MPIUsageError
+from ..errors import MPIUsageError, SimulationError
 from .engine import Engine
 from .fabric import P2PMessage
 from .request import AlltoallRequest, P2PRequest, RecvRequest, Request
@@ -55,11 +55,25 @@ class SimContext:
         self.platform = engine.platform
         self.cpu = engine.platform.cpu
         self.comm: "Communicator" = None  # set by Engine.run
+        # Hot-path bindings: the rank record (clock reads), the test-call
+        # overhead, and the per-run fault knobs, all constant for the
+        # lifetime of this context.
+        self._r = engine.ranks[rank]
+        self._trace = self._r.trace  # never reassigned by the engine
+        self._test_overhead = self.cpu.test_overhead
+        faults = engine.faults
+        self._cpu_stretch = (
+            faults.cpu_scale_of(rank)
+            if faults is not None and faults.has_cpu_faults
+            else None
+        )
+        self._poll_faults = faults is not None and faults.has_poll_faults
+        self._eff_tests = faults.effective_tests if self._poll_faults else None
 
     @property
     def now(self) -> float:
         """Current virtual time of this rank."""
-        return self.engine.now(self.rank)
+        return self._r.clock
 
     def drive(self, gen) -> Any:
         """Run a ``co_*`` coroutine to completion on this rank's thread
@@ -98,26 +112,201 @@ class SimContext:
         Test-call overhead stays charged at the requested count: the CPU
         time is burned either way, so a poll fault can only slow a run.
         """
-        t0 = self.now
-        faults = self.engine.faults
-        duration = seconds
-        if faults is not None and faults.has_cpu_faults:
-            duration = seconds * faults.cpu_scale_of(self.rank)
+        t0 = self._r.clock
+        stretch = self._cpu_stretch
+        duration = seconds if stretch is None else seconds * stretch
+        poll_faults = self._poll_faults
         total_tests = 0
         for req, ntests in tests:
             if ntests < 0:
                 raise MPIUsageError(f"negative test count {ntests}")
             if req is not None and ntests > 0:
-                eff = ntests
-                if faults is not None and faults.has_poll_faults:
-                    eff = faults.effective_tests(self.rank, ntests)
+                eff = (
+                    self.engine.faults.effective_tests(self.rank, ntests)
+                    if poll_faults
+                    else ntests
+                )
                 req.progress_segment(t0, duration, eff)
                 total_tests += ntests
-        self.engine.advance(self.rank, seconds, label, attrs)
+        advance = self.engine.advance
+        advance(self.rank, seconds, label, attrs)
         if total_tests:
-            self.engine.advance(
-                self.rank, total_tests * self.cpu.test_overhead, "Test"
-            )
+            advance(self.rank, total_tests * self._test_overhead, "Test")
+
+    def progress_phase(
+        self,
+        seconds: float,
+        live: Sequence[AlltoallRequest],
+        total: int,
+        label: str,
+        attrs: dict | None = None,
+    ) -> None:
+        """One pipeline phase: compute ``seconds`` while spreading a
+        ``total`` test budget over the ``live`` request window.
+
+        Semantically identical to ``compute_with_progress(seconds,
+        ParallelFFT3D._share_tests(live, total), label, attrs)`` — same
+        budget split, same progression, same two clock advances (phase
+        label, then aggregated Test overhead).  Thin wrapper over
+        :meth:`progress_phases`.
+        """
+        self.progress_phases(((seconds, total, label),), live, attrs)
+
+    def progress_phases(
+        self,
+        phases: Sequence[tuple[float, int, str]],
+        live: Sequence[AlltoallRequest],
+        attrs: dict | None = None,
+    ) -> None:
+        """Run consecutive ``(seconds, test_total, label)`` pipeline
+        phases against the same ``live`` request window.
+
+        Each phase is semantically identical to ``compute_with_progress(
+        seconds, ParallelFFT3D._share_tests(live, total), label, attrs)``
+        — same budget split, same progression, same two clock advances
+        (phase label, then aggregated Test overhead) — but fused into one
+        pass: no intermediate (request, count) list, no per-call
+        attribute walks, and segments that provably cannot post a round
+        (all sends already injected, or a zero-length window) are skipped
+        with only their library-entry counter bumped, exactly as the
+        skipped call would have done.  Accepting a phase *batch* lets the
+        tile pipeline charge its back-to-back compute steps (FFTy+Pack,
+        Unpack+FFTx) in one call.  This runs twice per tile and dominates
+        pipeline overhead, hence the inlining; equivalence with the
+        unfused spelling is covered by tests/core/test_pipeline.py and
+        the backend-equivalence suite.
+        """
+        r = self._r
+        stretch = self._cpu_stretch
+        eff_of = self._eff_tests
+        rank = self.rank
+        trace = self._trace
+        by_label = trace.by_label
+        events = trace.events
+        for seconds, total, label in phases:
+            if seconds < 0:
+                raise SimulationError(
+                    f"negative time advance {seconds} ({label})"
+                )
+            t0 = r.clock
+            duration = seconds if stretch is None else seconds * stretch
+            total_tests = 0
+            if total > 0:
+                if len(live) == 1:
+                    # Window of one (the overlap pipeline's common case):
+                    # reuse the caller's list instead of copying it.
+                    q0 = live[0]
+                    lv = live if q0 is not None and not q0.consumed else ()
+                else:
+                    lv = [q for q in live if q is not None and not q.consumed]
+                if lv:
+                    base, extra = divmod(total, len(lv))
+                    positive = duration > 0
+                    for i, q in enumerate(lv):
+                        ntests = base + 1 if i < extra else base
+                        if ntests <= 0:
+                            continue
+                        total_tests += ntests
+                        eff = ntests if eff_of is None else eff_of(rank, ntests)
+                        if eff <= 0:
+                            continue
+                        if positive and q._next < q._n:
+                            # Same closed-form epoch precheck progress_segment
+                            # opens with (same expressions, so same floats):
+                            # fall through to posting only when an epoch in
+                            # this window can actually post a round.
+                            gap = duration / (eff + 1)
+                            ready = q._round_ready
+                            kf = (ready - t0) / gap
+                            kf = int(kf) + (kf > int(kf))
+                            if kf < 1:
+                                kf = 1
+                            q.progress_entries += 1
+                            if kf > eff:
+                                continue
+                            # Inlined body of AlltoallRequest.progress_segment
+                            # (verbatim expressions — any rearrangement could
+                            # shift a posted time by a ULP).  The method is
+                            # kept as the reference implementation for
+                            # compute_with_progress and direct callers.
+                            (rank_w, rate_q, lat, thr, infl, sc, pending, row,
+                             cnts, cmax, np_, waiters, notify, jdraw) = q._hot
+                            fabric = q.fabric
+                            rdv = 2.0 * lat + 0.5 * gap
+                            nic = float(fabric.nic_free[rank_w])
+                            total_bytes = 0
+                            k = 0  # last used epoch (1-based over 1..eff)
+                            own = q._own_finish
+                            n_q = q._n
+                            nxt = q._next
+                            while nxt < n_q:
+                                k_needed = (ready - t0) / gap
+                                k_needed = int(k_needed) + (k_needed > int(k_needed))
+                                if k_needed <= k:
+                                    k_needed = k + 1
+                                if k_needed > eff:
+                                    break  # no more library entries here
+                                k = k_needed
+                                t_post = t0 + k * gap
+                                if t_post > nic:
+                                    nic = t_post
+                                stop = nxt + infl
+                                if stop > n_q:
+                                    stop = n_q
+                                round_max = 0.0
+                                for j in range(nxt, stop):
+                                    d = pending[j]
+                                    sz = sc[d]
+                                    nic += sz / rate_q
+                                    a = nic + lat + (rdv if sz > thr else 0.0)
+                                    if jdraw is not None:
+                                        a += jdraw(rank_w)
+                                    row[d] = a
+                                    cnts[d] += 1
+                                    if a > cmax[d]:
+                                        cmax[d] = a
+                                    if cnts[d] >= np_ and waiters:
+                                        w = waiters.pop(d, None)
+                                        if w is not None and notify is not None:
+                                            notify(w)
+                                    total_bytes += sz
+                                    if a > round_max:
+                                        round_max = a
+                                nxt = stop
+                                if round_max > own:
+                                    own = round_max
+                                ready = own
+                            q._next = nxt
+                            fabric.nic_free[rank_w] = nic
+                            fabric.bytes_injected[rank_w] += total_bytes
+                            q._own_finish = own
+                            q._round_ready = ready
+                        else:
+                            # progress_segment would bump the entry counter
+                            # and return without touching any other state
+                            q.progress_entries += 1
+            # Inlined Engine.advance pair (phase label + Test overhead):
+            # same IEEE operations in the same order, so clocks and by_label
+            # totals are bit-identical to the two-call spelling.
+            t1 = t0 + duration
+            by_label[label] = by_label.get(label, 0.0) + (t1 - t0)
+            if events is not None:
+                events.append((t0, t1, label))
+                if trace.attrs is not None:
+                    trace.attrs.append(attrs)
+            if total_tests:
+                dt = total_tests * self._test_overhead
+                if stretch is not None:
+                    dt *= stretch
+                t2 = t1 + dt
+                by_label["Test"] = by_label.get("Test", 0.0) + (t2 - t1)
+                if events is not None:
+                    events.append((t1, t2, "Test"))
+                    if trace.attrs is not None:
+                        trace.attrs.append(None)
+                r.clock = t2
+            else:
+                r.clock = t1
 
 
 class Communicator:
@@ -133,11 +322,19 @@ class Communicator:
             raise MPIUsageError(f"rank {ctx.rank} not in group {group}")
         self.rank = group.index(ctx.rank)
         self.size = len(group)
+        #: id -> (counts object, validated int64 array).  Keeping the
+        #: original object referenced pins its id, so a hit can never be
+        #: a recycled address (see _alltoall_counts).
+        self._counts_memo: dict[int, tuple[Any, np.ndarray]] = {}
+        #: CPU cost of posting a nonblocking collective (constant here)
+        self._post_cost = self.fabric.net.post_cost(self.size)
+        self._advance = self.engine.advance  # per-tile hot path binding
+        self._tracer = self.engine.tracer  # fixed at engine construction
 
     # ------------------------------------------------------------------ utils
 
     def _coll_key(self) -> tuple[int, int]:
-        seqs = self.engine.ranks[self.ctx.rank].coll_seq
+        seqs = self.ctx._r.coll_seq
         seq = seqs.get(self.comm_id, 0)
         seqs[self.comm_id] = seq + 1
         return (self.comm_id, seq)
@@ -230,7 +427,7 @@ class Communicator:
         """Coroutine form of :meth:`wait`."""
         if req.consumed:
             raise MPIUsageError("request already waited on")
-        t = self.ctx.now
+        t = self.ctx._r.clock
         if isinstance(req, AlltoallRequest):
             req.enter_wait(t)
             if req.completion_probe() is None:
@@ -260,13 +457,13 @@ class Communicator:
         """Coroutine form of :meth:`test`."""
         if req.consumed:
             raise MPIUsageError("request already waited on")
-        t = self.ctx.now
+        t = self.ctx._r.clock
         if isinstance(req, AlltoallRequest):
             flag = req.test(t)
         else:
             done = req.completion_probe()
             flag = done is not None and done <= t
-        self._charge(self.ctx.cpu.test_overhead, "Test")
+        self._charge(self.ctx._test_overhead, "Test")
         if flag:
             req.consumed = True
             return True, req.on_complete(self.ctx.now)
@@ -282,7 +479,24 @@ class Communicator:
 
     # -------------------------------------------------------------- alltoall
 
-    def _alltoall_counts(self, counts) -> np.ndarray:
+    def _alltoall_counts(self, counts) -> tuple[np.ndarray, list[int], int | None]:
+        """Validate a counts argument, memoized per argument object.
+
+        Returns the validated int64 array, its plain-list form (the
+        request's posting loops index the list), and the uniform entry
+        value when all counts are equal (``None`` otherwise — lets the
+        request's flush path skip re-deriving uniformity).  Pipelines
+        pass the
+        same (cached) count vectors for every tile, so full validation
+        runs once per distinct object; the memo keeps the original
+        object alive, making the id-keyed hit safe.  A caller that
+        mutates a previously passed vector in place keeps the old
+        validated copy — in-tree callers never do.
+        """
+        memo = self._counts_memo
+        hit = memo.get(id(counts))
+        if hit is not None and hit[0] is counts:
+            return hit[1], hit[2], hit[3]
         arr = np.asarray(counts, dtype=np.int64)
         if arr.ndim == 0:
             arr = np.full(self.size, int(arr), dtype=np.int64)
@@ -292,7 +506,16 @@ class Communicator:
             )
         if (arr < 0).any():
             raise MPIUsageError("negative byte count in alltoall")
-        return arr
+        if len(memo) > 64:  # callers passing fresh lists can't grow it
+            memo.clear()
+        lst = arr.tolist()
+        uni = lst[0] if lst else None
+        for v in lst:
+            if v != uni:
+                uni = None
+                break
+        memo[id(counts)] = (counts, arr, lst, uni)
+        return arr, lst, uni
 
     def ialltoall(
         self,
@@ -308,8 +531,8 @@ class Communicator:
         mode).  The returned request is progressed by ``test`` /
         ``SimContext.compute_with_progress`` and finished by ``wait``.
         """
-        send = self._alltoall_counts(sendcounts)
-        recv = self._alltoall_counts(
+        send, send_list, send_uniform = self._alltoall_counts(sendcounts)
+        recv, _, _ = self._alltoall_counts(
             recvcounts if recvcounts is not None else sendcounts
         )
         if payload is not None and len(payload) != self.size:
@@ -319,13 +542,30 @@ class Communicator:
         key = self._coll_key()
         op = self.fabric.get_coll(key, "alltoall", self.size)
         req = AlltoallRequest(
-            self.fabric, op, self.rank, self.group, send, recv, payload
+            self.fabric, op, self.rank, self.group, send, recv, payload,
+            sendcounts_list=send_list, uniform_size=send_uniform,
         )
         attrs = None
-        if self.engine.tracer is not None:
+        if self._tracer is not None:
             attrs = {"send_bytes": int(send.sum()), "peers": self.size}
-        self._charge(self.net.post_cost(self.size), "Ialltoall", attrs)
-        req.post(self.ctx.now)
+        ctx = self.ctx
+        # Inlined Engine.advance(rank, post_cost, "Ialltoall", attrs):
+        # same IEEE operations in the same order (see progress_phases).
+        r = ctx._r
+        stretch = ctx._cpu_stretch
+        dt = self._post_cost if stretch is None else self._post_cost * stretch
+        trace = ctx._trace
+        t0 = r.clock
+        t1 = t0 + dt
+        by_label = trace.by_label
+        by_label["Ialltoall"] = by_label.get("Ialltoall", 0.0) + (t1 - t0)
+        events = trace.events
+        if events is not None:
+            events.append((t0, t1, "Ialltoall"))
+            if trace.attrs is not None:
+                trace.attrs.append(attrs)
+        r.clock = t1
+        req.post(t1)
         return req
 
     # Alias for the explicit-v spelling.

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import heapq
 import inspect
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -150,7 +151,7 @@ class _Rank:
         self.idx = idx
         self.clock = 0.0
         self.state = "ready"  # ready | running | blocked | done
-        self.event = threading.Event()
+        self.event = None  # threading.Event, created by the threads backend only
         self.probe: Callable[[], float | None] | None = None
         self.probe_label = ""
         self.thread: threading.Thread | None = None
@@ -211,12 +212,19 @@ class Engine:
         self.ranks = [_Rank(i, record_events) for i in range(nprocs)]
         self.stats = SchedStats()
         self._active_backend = "threads"
-        self._sched_event = threading.Event()
+        self._sched_event: threading.Event | None = None  # threads backend only
         self._comm_counter = 0
         self._blocked: set[int] = set()
         #: (completion time, idx) heap of blocked ranks whose completion
         #: is already determinable (fed by Fabric.notify_rank / block())
         self._ready_heap: list[tuple[float, int]] = []
+        #: the scheduler's (clock, idx) ready heap, shared with the
+        #: fast-path checks in block()/_resume_task (see _next_is)
+        self._run_heap: list[tuple[float, int]] = []
+        #: REPRO_SIM_FASTPATH=0 disables the order-preserving scheduler
+        #: fast paths; the slow path is kept as a regression oracle
+        #: (tests/simmpi/test_fastpath_equivalence.py)
+        self._fastpath = os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
         self.fabric.notify_rank = self._notify
 
     def _notify(self, world_rank: int) -> None:
@@ -263,9 +271,20 @@ class Engine:
             raise SimulationError(f"negative time advance {dt} ({label})")
         if self._cpu_scale is not None:
             dt *= self._cpu_scale[rank]
+        # Inlined RankTrace.add (hottest engine entry point): same
+        # arithmetic — the accumulated span is (t1 - t0), not dt, so
+        # totals stay bit-identical with the traced-event spans.
         r = self.ranks[rank]
-        r.trace.add(r.clock, r.clock + dt, label, attrs)
-        r.clock += dt
+        trace = r.trace
+        t0 = r.clock
+        t1 = t0 + dt
+        by_label = trace.by_label
+        by_label[label] = by_label.get(label, 0.0) + (t1 - t0)
+        if trace.events is not None:
+            trace.events.append((t0, t1, label))
+            if trace.attrs is not None:
+                trace.attrs.append(attrs)
+        r.clock = t1
 
     def reschedule(self, rank: int) -> None:
         """Yield the token without blocking (stay ready).
@@ -290,13 +309,26 @@ class Engine:
         """
         r = self.ranks[rank]
         t0 = r.clock
+        self.stats.probe_polls += 1
+        t_ready = probe()
+        if (
+            self._fastpath
+            and t_ready is not None
+            and t_ready <= t0
+            and self._next_is(t0, rank)
+        ):
+            # Immediate completion while this rank is provably still the
+            # scheduler's next pick: the slow path would park the rank
+            # and re-resume it at the same clock, so collapsing the
+            # round trip preserves execution order exactly and removes
+            # one handoff + one wakeup (see DESIGN.md, engine fast paths).
+            r.trace.add(t0, t0, label)
+            return t0
         r.state = "blocked"
         r.probe = probe
         r.probe_label = label
-        self.stats.probe_polls += 1
-        t_ready = probe()
         if t_ready is not None:
-            heapq.heappush(self._ready_heap, (max(t_ready, r.clock), rank))
+            heapq.heappush(self._ready_heap, (max(t_ready, t0), rank))
         else:
             self._blocked.add(rank)
         self._yield(r, keep_state=True)
@@ -304,7 +336,40 @@ class Engine:
         r.trace.add(t0, r.clock, label)
         return r.clock
 
+    def _next_is(self, c: float, idx: int) -> bool:
+        """Would the scheduler resume rank ``idx`` next at clock ``c`` if
+        it blocked with an already-determined completion at ``c``?
+
+        True only when no ready rank would pop first (ready-vs-woken
+        ties keep the ready rank — ``_pop_woken``'s strict ``<``) and no
+        live completion-heap entry precedes ``(c, idx)`` (blocked-vs-
+        blocked ties break by the heap's ``(t, idx)`` order).  Collapsing
+        the park/resume round trip is then provably order-preserving.
+        Stale heap entries discarded here would be discarded by the
+        scheduler anyway."""
+        heap = self._run_heap
+        ranks = self.ranks
+        heappop = heapq.heappop
+        while heap:
+            t, i = heap[0]
+            cand = ranks[i]
+            if cand.state == "ready" and cand.clock == t:
+                if t <= c:
+                    return False
+                break
+            heappop(heap)
+        rh = self._ready_heap
+        while rh:
+            t, i = rh[0]
+            if ranks[i].state != "blocked":
+                heappop(rh)
+                continue
+            return t > c or (t == c and i > idx)
+        return True
+
     def _yield(self, r: _Rank, keep_state: bool = False) -> None:
+        # Thread-parking handoff: only the threads backend ever gets
+        # here; the tasks backend suspends by returning from gen.send.
         if not keep_state:
             r.state = "ready"
         self._sched_event.set()
@@ -415,6 +480,11 @@ class Engine:
                 r.state = "done"
                 self._sched_event.set()
 
+        # The Event pairs exist only on this backend; the tasks backend
+        # never allocates or touches them (pure gen.send suspension).
+        self._sched_event = threading.Event()
+        for r in self.ranks:
+            r.event = threading.Event()
         old_stack = threading.stack_size(_STACK_SIZE)
         try:
             for r in self.ranks:
@@ -457,7 +527,8 @@ class Engine:
 
     def _resume_task(self, r: _Rank) -> None:
         r.state = "running"
-        self.stats.handoffs += 1
+        stats = self.stats
+        stats.handoffs += 1
         value = None
         if r.block_t0 is not None:
             # Waking from a block: the scheduler set the clock to the
@@ -466,45 +537,75 @@ class Engine:
             r.trace.add(r.block_t0, r.clock, r.probe_label)
             value = r.clock
             r.block_t0 = None
-        try:
-            cmd = r.gen.send(value)
-        except StopIteration as stop:
-            r.result = stop.value
-            r.state = "done"
-            return
-        except BaseException as exc:
-            r.exc = exc
-            r.state = "done"
-            return
-        kind = cmd[0]
-        if kind == _CMD_BLOCK:
-            probe, label = cmd[1], cmd[2]
-            r.block_t0 = r.clock
-            r.state = "blocked"
-            r.probe = probe
-            r.probe_label = label
-            self.stats.probe_polls += 1
-            t_ready = probe()
-            if t_ready is not None:
-                heapq.heappush(self._ready_heap, (max(t_ready, r.clock), r.idx))
-            else:
-                self._blocked.add(r.idx)
-        elif kind == _CMD_YIELD:
-            r.state = "ready"
-        else:
+        send = r.gen.send
+        fastpath = self._fastpath
+        while True:
+            try:
+                cmd = send(value)
+            except StopIteration as stop:
+                r.result = stop.value
+                r.state = "done"
+                return
+            except BaseException as exc:
+                r.exc = exc
+                r.state = "done"
+                return
+            kind = cmd[0]
+            if kind == _CMD_BLOCK:
+                probe, label = cmd[1], cmd[2]
+                stats.probe_polls += 1
+                t_ready = probe()
+                t0 = r.clock
+                if (
+                    fastpath
+                    and t_ready is not None
+                    and t_ready <= t0
+                    and self._next_is(t0, r.idx)
+                ):
+                    # Immediate completion while still the scheduler's
+                    # next pick: re-send the resolved completion without
+                    # a scheduler round trip.  Order-preserving (mirror
+                    # of the fast path in block()); drops one handoff
+                    # and one wakeup relative to the slow path.
+                    r.trace.add(t0, t0, label)
+                    value = t0
+                    continue
+                r.block_t0 = t0
+                r.state = "blocked"
+                r.probe = probe
+                r.probe_label = label
+                if t_ready is not None:
+                    heapq.heappush(
+                        self._ready_heap, (max(t_ready, t0), r.idx)
+                    )
+                else:
+                    self._blocked.add(r.idx)
+                return
+            if kind == _CMD_YIELD:
+                r.state = "ready"
+                return
             r.exc = SimulationError(f"unknown engine command {kind!r}")
             r.state = "done"
+            return
 
     # -- shared scheduling core ----------------------------------------------
 
     def _schedule(self, resume: Callable[[_Rank], None]) -> None:
         ranks = self.ranks
+        stats = self.stats
+        rh = self._ready_heap
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        fastpath = self._fastpath
         # Lazy min-heap of (clock, idx) for ready ranks; stale entries
         # (rank no longer ready, or re-queued with a newer clock) are
         # discarded on pop.  Blocked ranks are probed only when the heap
-        # runs dry, which is when their completion can matter.
+        # runs dry, which is when their completion can matter.  The heap
+        # is published on the engine so the block()-side fast path can
+        # consult it (_next_is).
         heap: list[tuple[float, int]] = [(r.clock, r.idx) for r in ranks]
         heapq.heapify(heap)
+        self._run_heap = heap
         while True:
             best: _Rank | None = None
             while heap:
@@ -513,7 +614,7 @@ class Engine:
                 if cand.state == "ready" and cand.clock == clock:
                     best = cand
                     break
-                heapq.heappop(heap)
+                heappop(heap)
             if best is not None:
                 # Min-time includes blocked ranks with a determinable
                 # completion: a poller that stays "ready" between failed
@@ -523,7 +624,7 @@ class Engine:
                 if woken is not None:
                     best = woken
                 else:
-                    heapq.heappop(heap)
+                    heappop(heap)
             if best is None:
                 best, best_t = self._pick_blocked()
                 if best is None:
@@ -533,13 +634,46 @@ class Engine:
                 best.clock = best_t
                 best.probe = None
                 self._blocked.discard(best.idx)
-                self.stats.wakeups += 1
-            resume(best)
-            if best.exc is not None:
-                # Fail fast: remaining ranks are parked; run() reports.
-                return
-            if best.state == "ready":
-                heapq.heappush(heap, (best.clock, best.idx))
+                stats.wakeups += 1
+            while True:
+                resume(best)
+                if best.exc is not None:
+                    # Fail fast: remaining ranks are parked; run() reports.
+                    return
+                if best.state != "ready":
+                    break
+                c = best.clock
+                if not fastpath:
+                    heappush(heap, (c, best.idx))
+                    break
+                # Same-rank run-through: if the resumed rank is still the
+                # unique minimum, the slow path would push it and pop it
+                # right back — keep the token instead.  Order-preserving
+                # and counter-neutral (resume() still counts a handoff
+                # per grant, exactly like the push/pop round trip).
+                keep = True
+                while heap:
+                    t, i = heap[0]
+                    cand = ranks[i]
+                    if cand.state == "ready" and cand.clock == t:
+                        # ready-vs-ready ties break by rank id
+                        if t < c or (t == c and i < best.idx):
+                            keep = False
+                        break
+                    heappop(heap)
+                if keep:
+                    while rh:
+                        t, i = rh[0]
+                        if ranks[i].state != "blocked":
+                            heappop(rh)
+                            continue
+                        # woken-vs-ready ties keep the ready rank
+                        if t < c:
+                            keep = False
+                        break
+                if not keep:
+                    heappush(heap, (c, best.idx))
+                    break
 
     def _pop_woken(self, before: float) -> "_Rank | None":
         """Pop the earliest blocked rank whose event-fed completion time

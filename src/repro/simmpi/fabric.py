@@ -33,17 +33,25 @@ from ..machine.platforms import Platform
 class CollOp:
     """Shared record of one collective instance across all participants.
 
-    ``arrivals[src, dst]`` is the virtual time at which src's message to
-    dst is fully delivered (NaN until posted).  ``payload[src]`` holds
-    the per-destination data chunks in real-payload mode.
+    ``arrivals[src][dst]`` is the virtual time at which src's message to
+    dst is fully delivered (NaN until posted).  Rows are plain Python
+    lists: the hot paths write one scalar at a time, and creating p
+    small lists is far cheaper than a (p, p) ndarray per collective.
+    ``payload[src]`` holds the per-destination data chunks in
+    real-payload mode.
     """
 
     key: tuple[Any, ...]
     kind: str
     p: int
-    arrivals: np.ndarray
+    arrivals: list[list[float]]
     entered: np.ndarray  # entry time per local rank index, NaN until entered
-    posted_count: np.ndarray  # messages posted toward each destination
+    #: messages posted toward each destination (a plain list: senders bump
+    #: entries one at a time, where list indexing beats ndarray scalars)
+    posted_count: list[int]
+    #: running max arrival per destination column, maintained by every
+    #: arrivals write — makes incoming_max O(1) instead of a column scan
+    col_max: list[float]
     payload: dict[int, Any] = field(default_factory=dict)
     meta: dict[str, Any] = field(default_factory=dict)
     #: local index -> world rank parked in Wait on that row; the poster
@@ -57,9 +65,10 @@ class CollOp:
             key=key,
             kind=kind,
             p=p,
-            arrivals=np.full((p, p), np.nan),
+            arrivals=[[float("nan")] * p for _ in range(p)],
             entered=np.full(p, np.nan),
-            posted_count=np.zeros(p, dtype=np.int64),
+            posted_count=[0] * p,
+            col_max=[float("-inf")] * p,
         )
 
     def check_kind(self, kind: str) -> None:
@@ -80,7 +89,7 @@ class CollOp:
 
     def incoming_max(self, dst: int) -> float:
         """Latest arrival into ``dst`` (valid once the row is complete)."""
-        return float(np.max(self.arrivals[:, dst]))
+        return self.col_max[dst]
 
 
 @dataclass

@@ -89,6 +89,8 @@ class AlltoallRequest(Request):
         sendcounts: np.ndarray,
         recvcounts: np.ndarray,
         payload: list[Any] | None = None,
+        sendcounts_list: list[int] | None = None,
+        uniform_size: int | None = None,
     ) -> None:
         p = len(group)
         if len(sendcounts) != p or len(recvcounts) != p:
@@ -104,11 +106,48 @@ class AlltoallRequest(Request):
         self.recvcounts = np.asarray(recvcounts, dtype=np.int64)
         # Injection order: rank+1, rank+2, ... (pairwise-style rotation).
         self._pending = _rotation_order(rank, p)
-        self._sendcounts_list = self.sendcounts.tolist()
+        # The communicator's counts memo passes the list form along so
+        # per-request posting skips a fresh ndarray->list conversion.
+        self._sendcounts_list = (
+            sendcounts_list
+            if sendcounts_list is not None
+            else self.sendcounts.tolist()
+        )
+        #: every sendcount equals this (uniform alltoall), else None;
+        #: an unset hint just means the flush path re-derives uniformity
+        self._uniform_size = uniform_size
+        self._n = len(self._pending)
         self._next = 0
         self._own_finish = 0.0
         self._round_ready = 0.0
         self._entered_wait = False
+        # Hot-loop bindings: progress_segment runs on every MPI_Test
+        # epoch batch, so the per-call attribute walks are hoisted here.
+        self._rank_w = group[rank]
+        self._row = op.arrivals[rank]
+        self._counts = op.posted_count
+        self._col_max = op.col_max
+        # Loop-invariant bundle for the round-posting paths: one tuple
+        # unpack replaces ~14 attribute walks per library entry (these
+        # run several times per tile and dominate simulator overhead).
+        net = fabric.net
+        rates = fabric._rates
+        self._hot = (
+            self._rank_w,
+            rates[self._rank_w] if rates is not None else fabric.rank_rate,
+            net.latency,
+            net.eager_threshold,
+            net.max_inflight,
+            self._sendcounts_list,
+            self._pending,
+            self._row,
+            self._counts,
+            self._col_max,
+            op.p,
+            op.waiters,
+            fabric.notify_rank,
+            fabric.lat_draw,
+        )
         if payload is not None:
             op.payload[rank] = payload
         #: diagnostics: number of library entries that progressed this op
@@ -121,44 +160,66 @@ class AlltoallRequest(Request):
 
     def remaining_sends(self) -> int:
         """Messages not yet handed to the NIC."""
-        return len(self._pending) - self._next
+        return self._n - self._next
 
     def _post_round(self, t_post: float, epoch_gap: float) -> None:
-        """Post the next round: up to ``max_inflight`` pending sends."""
-        count = min(self.fabric.net.max_inflight, self.remaining_sends())
-        if count == 0:
+        """Post the next round: up to ``max_inflight`` pending sends.
+
+        The NIC serialization of :meth:`Fabric.inject_round` is inlined
+        into the delivery loop (same IEEE operations in the same order)
+        — one pass per round instead of building sizes/arrivals lists.
+        """
+        (rank_w, rate, lat, thr, infl, sc, pending, row, counts, cmax,
+         p, waiters, notify, draw) = self._hot
+        n = self._n
+        nxt = self._next
+        stop = nxt + infl
+        if stop > n:
+            stop = n
+        if stop <= nxt:
             return
-        dests = self._pending[self._next : self._next + count]
-        sc = self._sendcounts_list
-        sizes = [sc[d] for d in dests]
-        arrivals = self.fabric.inject_round(
-            self.group[self.rank], t_post, sizes, epoch_gap
-        )
-        row = self.op.arrivals[self.rank]
-        counts = self.op.posted_count
-        p = self.op.p
-        waiters = self.op.waiters
-        notify = self.fabric.notify_rank
-        for d, a in zip(dests, arrivals):
+        fabric = self.fabric
+        rdv = 2.0 * lat + 0.5 * epoch_gap
+        nic = float(fabric.nic_free[rank_w])
+        if nic < t_post:
+            nic = t_post
+        total = 0
+        round_max = float("-inf")  # jitter can reorder within a round
+        for j in range(nxt, stop):
+            d = pending[j]
+            sz = sc[d]
+            nic += sz / rate
+            a = nic + lat + (rdv if sz > thr else 0.0)
+            if draw is not None:
+                a += draw(rank_w)
             row[d] = a
             counts[d] += 1
+            if a > cmax[d]:
+                cmax[d] = a
             if counts[d] >= p and waiters:
                 w = waiters.pop(d, None)
                 if w is not None and notify is not None:
                     notify(w)
-        round_max = max(arrivals)  # jitter can reorder within a round
+            total += sz
+            if a > round_max:
+                round_max = a
+        fabric.nic_free[rank_w] = nic
+        fabric.bytes_injected[rank_w] += total
         if round_max > self._own_finish:
             self._own_finish = round_max
         #: a new round may be posted at the first library entry at or
         #: after this time (the LibNBC round barrier)
         self._round_ready = self._own_finish
-        self._next += count
+        self._next = stop
 
     def post(self, t: float) -> None:
         """Initial library entry (the Ialltoall call itself)."""
-        self.op.arrivals[self.rank, self.rank] = t  # self-delivery is free
-        self.op.posted_count[self.rank] += 1
-        self.op.entered[self.rank] = t
+        r = self.rank
+        self._row[r] = t  # self-delivery is free
+        self._counts[r] += 1
+        if t > self._col_max[r]:
+            self._col_max[r] = t
+        self.op.entered[r] = t
         self._round_ready = t
         self._post_round(t, 0.0)
         self.progress_entries += 1
@@ -175,33 +236,33 @@ class AlltoallRequest(Request):
         if ntests <= 0:
             return
         self.progress_entries += 1
-        if self.remaining_sends() == 0 or duration <= 0:
+        n = self._n
+        if self._next >= n or duration <= 0:
             return
         gap = duration / (ntests + 1)
+        ready = self._round_ready
+        # Closed-form batch check before any heavy binding: the first
+        # epoch that could post a round is ceil((ready - t0)/gap); when
+        # it lies past this segment's last test, the whole batch of
+        # failed tests is a no-op and the call returns here.  The
+        # expression mirrors the loop below bit for bit — an algebraic
+        # rearrangement could diverge by a ULP and shift a posted time.
+        k_first = (ready - t0) / gap
+        k_first = int(k_first) + (k_first > int(k_first))
+        if k_first < 1:
+            k_first = 1
+        if k_first > ntests:
+            return
         # Tight scalar loop: one iteration per posted round, with the
         # NIC/arrival math inlined (this path runs O(p/max_inflight)
         # times per tile per rank and dominates simulator cost at scale).
+        (rank_w, rate, lat, thr, infl, sc, pending, row, counts, cmax,
+         p, waiters, notify, jdraw) = self._hot
         fabric = self.fabric
-        net = fabric.net
-        rank_w = self.group[self.rank]
-        rate = fabric.rate_for(rank_w)
-        jdraw = fabric.lat_draw
-        lat = net.latency
-        thr = net.eager_threshold
-        infl = net.max_inflight
         rdv = 2.0 * lat + 0.5 * gap
-        sc = self._sendcounts_list
-        pending = self._pending
-        row = self.op.arrivals[self.rank]
-        counts = self.op.posted_count
-        p = self.op.p
-        waiters = self.op.waiters
-        notify = fabric.notify_rank
         nic = float(fabric.nic_free[rank_w])
         total_bytes = 0
         k = 0  # index of the last used epoch (1-based over 1..ntests)
-        n = len(pending)
-        ready = self._round_ready
         own = self._own_finish
         while self._next < n:
             # First epoch at or after the previous round's completion.
@@ -226,6 +287,8 @@ class AlltoallRequest(Request):
                     a += jdraw(rank_w)
                 row[d] = a
                 counts[d] += 1
+                if a > cmax[d]:
+                    cmax[d] = a
                 if counts[d] >= p and waiters:
                     w = waiters.pop(d, None)
                     if w is not None and notify is not None:
@@ -244,7 +307,7 @@ class AlltoallRequest(Request):
 
     def test(self, t: float) -> bool:
         """One explicit MPI_Test at time ``t``: progress, then poll."""
-        if self.remaining_sends() and t >= self._round_ready:
+        if self._next < self._n and t >= self._round_ready:
             self._post_round(t, 0.0)
         self.progress_entries += 1
         done_time = self.completion_probe()
@@ -252,7 +315,7 @@ class AlltoallRequest(Request):
 
     def enter_wait(self, t: float) -> None:
         """MPI_Wait entry: run the remaining rounds back-to-back."""
-        if self.remaining_sends():
+        if self._next < self._n:
             self._flush_rounds(max(t, self._round_ready))
         self._entered_wait = True
         self._wait_entry = t
@@ -267,45 +330,72 @@ class AlltoallRequest(Request):
         rendezvous handshake for large messages).  Mixed sizes
         (alltoallv) fall back to the per-round loop.
         """
-        sc = self._sendcounts_list
-        dests = self._pending[self._next :]
-        sizes = [sc[d] for d in dests]
-        if len(set(sizes)) != 1 or self.fabric.lat_draw is not None:
+        (rank_w, rate, lat, thr, infl, sc, pending, row, counts, cmax,
+         p, waiters, notify, jdraw) = self._hot
+        dests = pending[self._next :]
+        m = self._uniform_size
+        if m is None:
+            # No uniformity hint: derive it for the remaining slice (a
+            # suffix of an alltoallv vector can still be uniform, and
+            # path selection must not depend on how the request was
+            # constructed).
+            sizes = [sc[d] for d in dests]
+            if len(set(sizes)) == 1:
+                m = sizes[0]
+        if m is None or jdraw is not None:
             # Mixed sizes (alltoallv), or latency faults — the per-round
             # loop keeps round barriers consistent with jittered
             # arrivals the way the progress_segment path sees them.
-            while self.remaining_sends():
+            while self._next < self._n:
                 self._post_round(max(t0, self._round_ready), 0.0)
             return
-        m = sizes[0]
         fabric = self.fabric
-        net = fabric.net
-        infl = net.max_inflight
         n = len(dests)
-        rank = self.group[self.rank]
-        dur = m / fabric.rate_for(rank)
-        rdv = 2.0 * net.latency if m > net.eager_threshold else 0.0
-        barrier = net.latency + rdv  # delivery gap between rounds
-        start0 = max(t0, float(fabric.nic_free[rank]))
+        dur = m / rate
+        rdv = 2.0 * lat if m > thr else 0.0
+        barrier = lat + rdv  # delivery gap between rounds
+        start0 = max(t0, float(fabric.nic_free[rank_w]))
+        if n <= 48:
+            # Scalar path: rounds are short, and for small n the python
+            # loop beats five ndarray constructions.  Same IEEE ops in
+            # the same order as the vector path below — the expressions
+            # are kept textually parallel on purpose.
+            last_finish = start0
+            own = self._own_finish
+            for jj, d in enumerate(dests):
+                last_finish = start0 + (jj + 1) * dur + (jj // infl) * barrier
+                a = last_finish + lat + rdv
+                row[d] = a
+                counts[d] += 1
+                if a > cmax[d]:
+                    cmax[d] = a
+                if a > own:
+                    own = a
+                if counts[d] >= p and waiters:
+                    w = waiters.pop(d, None)
+                    if w is not None and notify is not None:
+                        notify(w)
+            fabric.nic_free[rank_w] = last_finish
+            fabric.bytes_injected[rank_w] += m * n
+            self._own_finish = own
+            self._round_ready = own
+            self._next += n
+            return
         j = np.arange(n)
         ridx = j // infl
         finish = start0 + (j + 1) * dur + ridx * barrier
-        arrivals = finish + net.latency + rdv
-        row = self.op.arrivals[self.rank]
-        counts = self.op.posted_count
-        p = self.op.p
-        dests_arr = np.asarray(dests)
-        row[dests_arr] = arrivals
-        counts[dests_arr] += 1  # destinations are unique within a request
-        waiters = self.op.waiters
-        if waiters:
-            notify = fabric.notify_rank
-            for d in dests_arr[counts[dests_arr] >= p]:
-                w = waiters.pop(int(d), None)
+        arrivals = finish + lat + rdv
+        for d, a in zip(dests, arrivals.tolist()):
+            row[d] = a
+            counts[d] += 1  # destinations are unique within a request
+            if a > cmax[d]:
+                cmax[d] = a
+            if counts[d] >= p and waiters:
+                w = waiters.pop(d, None)
                 if w is not None and notify is not None:
                     notify(w)
-        fabric.nic_free[rank] = float(finish[-1])
-        fabric.bytes_injected[rank] += m * n
+        fabric.nic_free[rank_w] = float(finish[-1])
+        fabric.bytes_injected[rank_w] += m * n
         self._own_finish = max(self._own_finish, float(arrivals.max()))
         self._round_ready = self._own_finish
         self._next += n
@@ -314,12 +404,13 @@ class AlltoallRequest(Request):
 
     def completion_probe(self) -> float | None:
         if self._cached_completion is None:
-            if self.remaining_sends():
+            if self._next < self._n:
                 return None
-            if not self.op.row_complete(self.rank):
+            if self._counts[self.rank] < self.op.p:  # row incomplete
                 return None
-            self._cached_completion = max(
-                self._own_finish, self.op.incoming_max(self.rank)
+            incoming = self._col_max[self.rank]
+            self._cached_completion = (
+                self._own_finish if self._own_finish > incoming else incoming
             )
         t = self._cached_completion
         if self._entered_wait:

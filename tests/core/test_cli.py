@@ -129,6 +129,43 @@ class TestTracing:
         assert path.exists()
 
 
+class TestProfileFlag:
+    def test_run_profile_to_stderr(self, capsys):
+        rc = main(["run", "-n", "32", "-p", "4", "--profile"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "simulated time" in captured.out
+        assert "cumulative" in captured.err  # pstats column header
+        assert "function calls" in captured.err
+
+    def test_run_profile_dump_file(self, capsys, tmp_path):
+        import pstats
+
+        path = tmp_path / "run.pstats"
+        rc = main(["run", "-n", "32", "-p", "4", "--profile", str(path)])
+        assert rc == 0
+        assert path.exists()
+        # The dump is a loadable pstats file.
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+    def test_grid_profile(self, capsys):
+        rc = main(["grid", "--cells", "2:16", "--budget", "2",
+                   "--no-progress", "--profile"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "NEW speedup" in captured.out
+        assert "cumulative" in captured.err
+
+    def test_profile_does_not_change_results(self, capsys):
+        args = ["run", "-n", "32", "-p", "4"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--profile"]) == 0
+        profiled = capsys.readouterr().out
+        assert plain == profiled
+
+
 class TestEvalStoreFlag:
     def test_tune_warm_rerun_is_all_hits(self, capsys, tmp_path):
         path = tmp_path / "evals.jsonl"

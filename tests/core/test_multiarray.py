@@ -62,6 +62,41 @@ class TestCorrectness:
             run_spmd(2, prog, UMD_CLUSTER)
 
 
+class TestBackendBitIdentity:
+    """The co_* conversion must be bit-identical across rank substrates:
+    the tasks (generator) backend and the threads backend produce the
+    same virtual times and the same spectra, bit for bit, in every
+    mode."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_threads_vs_tasks_identical(self, mode, monkeypatch):
+        n, p, m = 16, 4, 2
+        shape = ProblemShape(n, n, n, p)
+        globs = arrays(n, m)
+        out = {}
+        for backend in ("threads", "tasks"):
+            monkeypatch.setenv("REPRO_SIM_BACKEND", backend)
+            sim, spectra = run_multi_array(
+                UMD_CLUSTER, shape, m, mode, global_arrays=globs
+            )
+            out[backend] = (sim.elapsed, spectra)
+        t_el, t_sp = out["threads"]
+        k_el, k_sp = out["tasks"]
+        assert t_el == k_el  # exact virtual time, no tolerance
+        for a in range(m):
+            assert np.array_equal(t_sp[a], k_sp[a])  # bitwise
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_virtual_mode_elapsed_identical(self, mode, monkeypatch):
+        shape = ProblemShape(32, 32, 32, 4)
+        elapsed = {}
+        for backend in ("threads", "tasks"):
+            monkeypatch.setenv("REPRO_SIM_BACKEND", backend)
+            sim, _ = run_multi_array(UMD_CLUSTER, shape, 3, mode)
+            elapsed[backend] = sim.elapsed
+        assert elapsed["threads"] == elapsed["tasks"]
+
+
 class TestOverlapEconomics:
     @pytest.fixture(scope="class")
     def times(self):

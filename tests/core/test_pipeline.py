@@ -102,6 +102,54 @@ class TestNumericalCorrectness:
             parallel_fft3d(csig(8, 8), 2, UMD_CLUSTER)
 
 
+class TestProgressPhasesEquivalence:
+    """The fused ``ctx.progress_phases`` spelling must be exactly
+    equivalent to the unfused ``compute_with_progress`` +
+    ``ParallelFFT3D._share_tests`` spelling it replaced in the tile
+    pipeline — same clocks, traces, and event timelines (the
+    ``progress_phases`` docstring points here)."""
+
+    @staticmethod
+    def _body(ctx, fused):
+        from repro.core.plan import ParallelFFT3D
+
+        comm = ctx.comm
+        reqs = [comm.ialltoall([4096 * (k + 1)] * ctx.size) for k in range(3)]
+        phases = ((2e-4, 7, "FFTy"), (1.3e-4, 3, "Pack"))
+        idle = (5e-5, 0, "Idle")
+        if fused:
+            ctx.progress_phases(phases, reqs)
+            ctx.progress_phases((idle,), reqs)
+        else:
+            for seconds, total, label in (*phases, idle):
+                ctx.compute_with_progress(
+                    seconds, ParallelFFT3D._share_tests(reqs, total), label
+                )
+        out = []
+        for r in reqs:
+            out.append((yield from comm.co_wait(r)) is None)
+        return ctx.now, tuple(out)
+
+    @pytest.mark.parametrize("backend", ["threads", "tasks"])
+    def test_fused_matches_unfused(self, backend):
+        from repro.simmpi import run_spmd
+
+        def prog_fused(ctx):
+            return (yield from self._body(ctx, True))
+
+        def prog_unfused(ctx):
+            return (yield from self._body(ctx, False))
+
+        a = run_spmd(4, prog_fused, UMD_CLUSTER,
+                     record_events=True, backend=backend)
+        b = run_spmd(4, prog_unfused, UMD_CLUSTER,
+                     record_events=True, backend=backend)
+        assert a.elapsed == b.elapsed  # exact, no tolerance
+        assert a.results == b.results
+        assert [t.by_label for t in a.traces] == [t.by_label for t in b.traces]
+        assert [t.events for t in a.traces] == [t.events for t in b.traces]
+
+
 class TestTimingBehavior:
     def test_breakdown_has_paper_labels(self):
         res, _ = run_case("NEW", UMD_CLUSTER, ProblemShape(64, 64, 64, 4))

@@ -1,0 +1,145 @@
+"""Randomized fastpath/backend equivalence (property test).
+
+The scheduler fast paths (``REPRO_SIM_FASTPATH``, batched test-poll
+epochs, the inlined post/progress loops) are pure execution-order
+optimizations: for any SPMD program they may change *how often the
+scheduler hands off between ranks*, but never virtual times, results,
+trace contents, or probe-poll counts.  This file pins that contract
+with randomized programs — a seeded mix of compute, non-blocking
+all-to-alls, manual test-poll progression, waits, point-to-points, and
+collectives over 2-16 ranks — executed under all four combinations of
+{threads, tasks} x {fastpath on, off} and compared exactly.
+
+Within one fastpath setting the two backends must agree on *everything*
+(including handoff counters, as tests/simmpi/test_backends.py pins for
+hand-written scenarios); across fastpath settings the handoff counter
+is the one quantity allowed to move.
+"""
+
+import random
+
+import pytest
+
+from repro.machine import UMD_CLUSTER
+from repro.simmpi import run_spmd
+
+OPS = (
+    "compute",
+    "alltoall",
+    "progress",
+    "poll",
+    "wait",
+    "barrier",
+    "allreduce",
+    "sendrecv",
+)
+
+
+def make_prog(seed: int, nops: int):
+    """Build a deterministic generator SPMD program from ``seed``.
+
+    Every rank draws from an identically-seeded RNG, so all ranks agree
+    on the op sequence (SPMD-correct); rank-dependence enters only
+    through deterministic functions of ``ctx.rank``.
+    """
+
+    def prog(ctx):
+        rng = random.Random(seed * 7919 + 17)
+        comm = ctx.comm
+        pending = []
+        log = []
+        for i in range(nops):
+            op = OPS[rng.randrange(len(OPS))]
+            if op == "compute":
+                base = rng.uniform(1e-5, 1e-3)
+                ctx.compute(base * (1.0 + 0.1 * ctx.rank), "Comp")
+            elif op == "alltoall":
+                nb = rng.randrange(1 << 10, 1 << 16)
+                pending.append(comm.ialltoall([nb] * ctx.size))
+            elif op == "progress":
+                dur = rng.uniform(1e-4, 1e-3)
+                tests = [(r, rng.randrange(1, 5)) for r in pending]
+                ctx.compute_with_progress(dur, tests, "Prog")
+            elif op == "poll" and pending:
+                done, res = yield from comm.co_test(pending[0])
+                if done:
+                    pending.pop(0)
+                log.append(("poll", i, done))
+            elif op == "wait" and pending:
+                yield from comm.co_wait(pending.pop(0))
+                log.append(("wait", i, ctx.now))
+            elif op == "barrier":
+                yield from comm.co_barrier()
+            elif op == "allreduce":
+                total = yield from comm.co_allreduce(ctx.rank + i, nbytes=8)
+                log.append(("allreduce", i, total))
+            elif op == "sendrecv":
+                right = (ctx.rank + 1) % ctx.size
+                left = (ctx.rank - 1) % ctx.size
+                payload, src, _tag, _nb = yield from comm.co_sendrecv(
+                    right, 2048, payload=(ctx.rank, i), source=left
+                )
+                log.append(("sendrecv", i, payload, src))
+        while pending:
+            yield from comm.co_wait(pending.pop(0))
+        yield from comm.co_barrier()
+        log.append(("final", ctx.now))
+        return tuple(log)
+
+    return prog
+
+
+def run_config(nprocs, prog, backend, fastpath, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", fastpath)
+    return run_spmd(nprocs, prog, UMD_CLUSTER, backend=backend)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fastpath_and_backend_equivalence(seed, monkeypatch):
+    nprocs = 2 + (seed * 5) % 15  # 2..16
+    prog = make_prog(seed, nops=14)
+    sims = {
+        (backend, fp): run_config(nprocs, prog, backend, fp, monkeypatch)
+        for backend in ("threads", "tasks")
+        for fp in ("1", "0")
+    }
+    ref = sims[("threads", "1")]
+    for key, sim in sims.items():
+        # Clocks, results, traces, and probe polls are invariant across
+        # all four configurations.
+        assert sim.elapsed == ref.elapsed, key
+        assert sim.results == ref.results, key
+        assert [t.by_label for t in sim.traces] == [
+            t.by_label for t in ref.traces
+        ], key
+        assert sim.stats.probe_polls == ref.stats.probe_polls, key
+    # Within one fastpath setting the backends also agree on handoffs.
+    for fp in ("1", "0"):
+        assert (
+            sims[("threads", fp)].stats.handoffs
+            == sims[("tasks", fp)].stats.handoffs
+        ), fp
+
+
+@pytest.mark.parametrize("seed", [3, 6])
+def test_equivalence_under_faults(seed, monkeypatch):
+    """The invariants hold with stragglers and jitter injected."""
+    from repro.faults import injected_faults
+
+    nprocs = 4
+    prog = make_prog(seed, nops=12)
+    sims = {}
+    with injected_faults("straggler:rank=1,slow=1.7;jitter:amp=0.2;seed:5"):
+        for backend in ("threads", "tasks"):
+            for fp in ("1", "0"):
+                monkeypatch.setenv("REPRO_SIM_FASTPATH", fp)
+                sims[(backend, fp)] = run_spmd(
+                    nprocs, prog, UMD_CLUSTER, backend=backend
+                )
+    ref = sims[("threads", "1")]
+    for key, sim in sims.items():
+        assert sim.elapsed == ref.elapsed, key
+        assert sim.results == ref.results, key
+        assert [t.by_label for t in sim.traces] == [
+            t.by_label for t in ref.traces
+        ], key

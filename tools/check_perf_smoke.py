@@ -1,0 +1,124 @@
+"""Perf-smoke guard: fail CI when the smoke benchmark regresses.
+
+Usage:  python tools/check_perf_smoke.py [--fresh BENCH_smoke.json]
+                                         [--baseline PATH]
+                                         [--counter-tol 0.05]
+                                         [--wall-tol 3.0]
+
+Compares a freshly produced BENCH_smoke.json (``tools/bench_smoke.py``)
+against the committed baseline and enforces two kinds of bounds:
+
+* **Scheduler counters** (``scheduler_handoffs``, ``scheduler_probe_polls``,
+  ``scheduler_wakeups``) are deterministic functions of the codebase —
+  the same grid always schedules the same way — so the fresh run may not
+  exceed the baseline by more than ``--counter-tol`` (default 5%, pure
+  headroom for intentional small churn).  *Decreases* are improvements
+  and always pass; when one lands, refresh the baseline in the same PR
+  so the guard tightens behind it.
+
+* **Wall seconds** vary with host and load, so ``wall_s`` only guards
+  against catastrophic slowdowns: the fresh wall must stay under
+  ``--wall-tol`` times the baseline (default 3x — loose enough for a CI
+  runner vs a laptop, tight enough to catch an accidental O(n) -> O(n^2)
+  in the scheduler).
+
+The baseline is read from ``git show HEAD:BENCH_smoke.json`` when
+available (so running the guard after regenerating the file still
+compares against what is committed), falling back to ``--baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+COUNTERS = (
+    "scheduler_handoffs",
+    "scheduler_probe_polls",
+    "scheduler_wakeups",
+)
+
+
+def load_baseline(path: Path) -> tuple[dict, str]:
+    """The committed baseline: git HEAD's copy if possible, else the file."""
+    try:
+        proc = subprocess.run(
+            ["git", "show", f"HEAD:{path.name}"],
+            cwd=ROOT, capture_output=True, text=True, timeout=10,
+        )
+        if proc.returncode == 0 and proc.stdout.strip():
+            return json.loads(proc.stdout), f"git HEAD:{path.name}"
+    except (OSError, ValueError):
+        pass
+    return json.loads(path.read_text()), str(path)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", default=str(ROOT / "BENCH_smoke.json"),
+                    help="freshly generated smoke numbers to check")
+    ap.add_argument("--baseline", default=str(ROOT / "BENCH_smoke.json"),
+                    help="committed baseline (default: the git HEAD copy "
+                         "of BENCH_smoke.json, falling back to this path)")
+    ap.add_argument("--counter-tol", type=float, default=0.05, metavar="F",
+                    help="allowed fractional increase in scheduler "
+                         "counters (default 0.05)")
+    ap.add_argument("--wall-tol", type=float, default=3.0, metavar="F",
+                    help="allowed wall_s multiple of the baseline "
+                         "(default 3.0; cross-host guard)")
+    args = ap.parse_args(argv)
+
+    try:
+        fresh = json.loads(Path(args.fresh).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read fresh numbers {args.fresh!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        base, base_src = load_baseline(Path(args.baseline))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {args.baseline!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in COUNTERS:
+        if key not in base or key not in fresh:
+            continue
+        limit = base[key] * (1.0 + args.counter_tol)
+        status = "OK" if fresh[key] <= limit else "FAIL"
+        print(f"{status}: {key}: {fresh[key]} vs baseline {base[key]} "
+              f"(limit {limit:.0f})")
+        if fresh[key] > limit:
+            failures.append(
+                f"{key} regressed: {fresh[key]} > {base[key]} "
+                f"* {1 + args.counter_tol:g}"
+            )
+    if "wall_s" in base and "wall_s" in fresh:
+        limit = base["wall_s"] * args.wall_tol
+        status = "OK" if fresh["wall_s"] <= limit else "FAIL"
+        print(f"{status}: wall_s: {fresh['wall_s']} vs baseline "
+              f"{base['wall_s']} (limit {limit:.3f})")
+        if fresh["wall_s"] > limit:
+            failures.append(
+                f"wall_s regressed: {fresh['wall_s']} > {base['wall_s']} "
+                f"* {args.wall_tol:g}"
+            )
+    print(f"baseline: {base_src}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        print("perf smoke guard failed; if the regression is intended, "
+              "regenerate BENCH_smoke.json in the same PR", file=sys.stderr)
+        return 1
+    print("perf smoke guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
