@@ -21,8 +21,13 @@ Commands
 ``worker``
     Join a ``grid --serve`` coordinator as a worker: lease cells,
     evaluate them on a local pool, ship results back.
+``top``
+    Live terminal dashboard for a running ``grid --serve`` coordinator:
+    queue depth, lease ages, per-worker heartbeat lag, throughput and
+    fleet-wide metric totals, polled from ``/status`` + ``/metrics``.
 ``trace``
-    Replay a saved trace (JSONL or Chrome JSON) as an ASCII gantt.
+    Replay a saved trace (JSONL or Chrome JSON) as an ASCII gantt;
+    ``--out FILE`` re-exports it (JSONL <-> Chrome conversion).
 ``calibrate``
     Machine-model calibration against the paper's published numbers.
 ``platforms``
@@ -405,7 +410,7 @@ def cmd_grid(args) -> int:
         dist_cfg = DistConfig(
             host=host or "127.0.0.1", port=port,
             workers=args.workers or "", worker_jobs=args.worker_jobs,
-            lease_ttl=args.lease_ttl,
+            lease_ttl=args.lease_ttl, trace_dir=args.trace_dir,
             announce=lambda url: print(f"coordinator serving at {url}",
                                        file=sys.stderr, flush=True),
         )
@@ -497,6 +502,20 @@ def cmd_worker(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    """``repro top``: live dashboard for a running coordinator."""
+    from .obs import TopDashboard
+
+    dash = TopDashboard(
+        args.coordinator, interval=args.interval, max_polls=args.polls
+    )
+    try:
+        return dash.run()
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        return 130
+
+
 def cmd_trace(args) -> int:
     """``repro trace``: replay a saved trace as an ASCII gantt."""
     from .obs import load_trace, rank_timelines
@@ -508,6 +527,17 @@ def cmd_trace(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: cannot read trace {args.file!r}: {exc}", file=sys.stderr)
         return 2
+    if args.out:
+        from .obs import write_trace
+
+        try:
+            n = write_trace(tracer, args.out)
+        except OSError as exc:
+            print(f"error: cannot write trace {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"trace: {n} records -> {args.out}")
+        return 0
     timelines, total = rank_timelines(tracer)
     if timelines and total > 0:
         traces = [RankTrace(events=events) for events in timelines]
@@ -663,6 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds an unrenewed worker lease survives before its "
              "cells requeue (default 15)",
     )
+    p_grid.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="with --serve: write the merged fleet telemetry here when "
+             "the grid ends (fleet_trace.json, one Chrome trace with a "
+             "process group per worker host, renderable with `repro "
+             "trace`; fleet_metrics.prom, the final /metrics snapshot)",
+    )
     p_grid.set_defaults(func=cmd_grid)
 
     p_worker = sub.add_parser(
@@ -683,6 +720,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_worker.set_defaults(func=cmd_worker)
 
+    p_top = sub.add_parser(
+        "top", help="live dashboard for a `grid --serve` coordinator"
+    )
+    p_top.add_argument(
+        "--coordinator", metavar="URL", required=True,
+        help="coordinator base URL (printed by `grid --serve`)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECS",
+        help="poll interval (default 1s)",
+    )
+    p_top.add_argument(
+        "--polls", type=int, default=None, metavar="N",
+        help="stop after N successful polls (default: run until the "
+             "coordinator vanishes, which is a clean exit)",
+    )
+    p_top.set_defaults(func=cmd_top)
+
     p_trace = sub.add_parser(
         "trace", help="replay a saved trace file as an ASCII gantt"
     )
@@ -692,6 +747,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gantt width in characters")
     p_trace.add_argument("--max-ranks", type=int, default=8,
                          help="rank strips to show before eliding")
+    p_trace.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="re-export the loaded trace instead of rendering it "
+             "(.jsonl = event log, anything else = Chrome JSON; missing "
+             "parent directories are created)",
+    )
     p_trace.set_defaults(func=cmd_trace)
 
     p_cal = sub.add_parser("calibrate", help="model-vs-paper calibration")

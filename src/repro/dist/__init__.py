@@ -26,11 +26,20 @@ a requeue is a harmless no-op.  Completed cells are flushed to the
 shared :class:`~repro.exec.ResultStore` as they arrive, so a restarted
 coordinator resumes via store read-through and serves only the missing
 cells.
+
+Telemetry plane (DESIGN.md §5.12): the coordinator doubles as the
+fleet's aggregation point — workers attach metric deltas and trace
+spans to ``/complete``, the coordinator merges them into the registry
+it serves at ``GET /metrics`` (Prometheus text) and into one
+fleet-wide Chrome trace (a process group per worker host) written
+under :attr:`DistConfig.trace_dir`; ``repro top`` polls ``/status`` +
+``/metrics`` for the live view.
 """
 
 from .config import DistConfig
 from .coordinator import Coordinator, GridJob, dist_map
 from .fleet import WorkerFleet, launch_workers
+from .protocol import fetch_text
 from .queue import WorkQueue
 from .worker import WorkerStats, run_worker
 
@@ -42,6 +51,7 @@ __all__ = [
     "WorkerFleet",
     "WorkerStats",
     "dist_map",
+    "fetch_text",
     "launch_workers",
     "run_worker",
 ]

@@ -37,6 +37,11 @@ class DistConfig:
     #: overall grid deadline; pending cells time out past it (None = wait
     #: forever for workers)
     timeout_s: float | None = None
+    #: directory for the merged fleet telemetry the coordinator writes
+    #: when the grid ends: ``fleet_trace.json`` (one Chrome trace with a
+    #: process group per worker host) and ``fleet_metrics.prom`` (the
+    #: final ``/metrics`` exposition).  ``None`` = don't write either.
+    trace_dir: str | None = None
     #: called with the coordinator URL once it is serving (the CLI
     #: prints it so externally started workers know where to connect)
     announce: Callable[[str], None] | None = None

@@ -19,6 +19,15 @@ reconstructed :meth:`CellResult.key` must equal the key the coordinator
 itself computed for that index, or the completion is rejected — a
 worker with a different ambient fault spec (or a stale snapshot of the
 grid) cannot poison the store.
+
+Telemetry (DESIGN.md §5.12): the coordinator is also the fleet's
+metrics aggregation point.  It publishes its own ``dist_*`` counters
+into the registry captured at construction, folds the metric deltas and
+trace spans workers attach to ``/complete`` into that registry and a
+per-host span map, serves the merged view at ``GET /metrics``
+(Prometheus text exposition), and — when ``DistConfig.trace_dir`` is
+set — writes ``fleet_trace.json`` / ``fleet_metrics.prom`` when the
+grid ends.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..bench.runner import CellResult, cell_from_dict
@@ -37,6 +47,8 @@ from ..errors import (
 )
 from ..exec.store import ResultStore
 from ..fft.wisdom import GLOBAL_WISDOM
+from ..obs.export import export_fleet_chrome
+from ..obs.registry import current_registry
 from ..obs.tracer import current_tracer
 from .config import DistConfig
 from .fleet import launch_workers
@@ -121,8 +133,24 @@ class Coordinator:
         self._finished_events = 0
         self._lock = threading.Lock()
         self._tr = current_tracer()
+        # captured at construction: HTTP handler threads have their own
+        # (empty) thread-local registry stacks, so a lookup there would
+        # miss the registry the grid run installed on the driver thread
+        self.registry = current_registry()
+        self._t0 = config.clock()
+        #: worker host id -> shipped span records (the fleet trace input)
+        self._fleet_spans: dict[str, list[dict]] = {}
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        for name, help_ in (
+            ("dist_leases_total", "Leases granted to workers."),
+            ("dist_heartbeats_total", "Lease renewals received."),
+            ("dist_completions_total", "Cell completions accepted."),
+            ("dist_requeues_total", "Cells requeued from expired leases."),
+            ("dist_telemetry_rejects_total",
+             "Worker telemetry payloads dropped as malformed."),
+        ):
+            self.registry.inc(name, 0, help=help_)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -162,8 +190,10 @@ class Coordinator:
         lease, indices = self.queue.lease(
             worker, int(body.get("max_cells", self.job.batch))
         )
-        if indices and self._tr is not None:
-            self._tr.count("dist.leases")
+        if indices:
+            self.registry.inc("dist_leases_total")
+            if self._tr is not None:
+                self._tr.count("dist.leases")
         return {
             "lease": lease,
             "cells": [
@@ -188,6 +218,7 @@ class Coordinator:
                 label=str(body.get("label", "")),
                 last_seen=self.config.clock(),
             )
+        self.registry.inc("dist_heartbeats_total")
         if self._tr is not None:
             self._tr.count("dist.heartbeats")
         return {"ok": ok, "finished": self.queue.finished}
@@ -217,7 +248,32 @@ class Coordinator:
                 # of its key (same argument as the pool's wisdom merge),
                 # so arrival order cannot change the final store
                 GLOBAL_WISDOM.import_json(wisdom)
+        self._absorb_telemetry(body, worker)
         return {"accepted": accepted, "finished": self.queue.finished}
+
+    def _absorb_telemetry(self, body: dict, worker: str) -> None:
+        """Fold a ``/complete`` payload's optional telemetry in.
+
+        Best-effort by design: a malformed delta is counted and dropped,
+        never allowed to reject the completion it rode in on — results
+        are load-bearing, telemetry is not.  Metric deltas merge
+        additively (counters/histograms) or first-wins (gauges); span
+        records append under the worker's host id, which keeps two
+        workers on one machine in separate fleet-trace process groups.
+        """
+        host = str(body.get("host", "") or worker)
+        delta = body.get("metrics")
+        if isinstance(delta, dict) and delta:
+            try:
+                self.registry.merge(delta)
+            except (ValueError, TypeError):
+                self.registry.inc("dist_telemetry_rejects_total")
+        spans = body.get("spans")
+        if isinstance(spans, list) and spans:
+            with self._lock:
+                self._fleet_spans.setdefault(host, []).extend(
+                    rec for rec in spans if isinstance(rec, dict)
+                )
 
     def handle_fail(self, body: dict) -> dict:
         accepted = 0
@@ -241,13 +297,58 @@ class Coordinator:
 
     def handle_status(self) -> dict:
         counts = self.queue.counts()
+        now = self.config.clock()
         with self._lock:
             counts["workers"] = {
-                w: {"done": n.done, "total": n.total, "label": n.label}
+                w: {
+                    "done": n.done,
+                    "total": n.total,
+                    "label": n.label,
+                    "lag_s": round(max(now - n.last_seen, 0.0), 3),
+                }
                 for w, n in self._notes.items()
             }
+        counts["lease_ages_s"] = [
+            round(a, 3) for a in self.queue.lease_ages()
+        ]
+        uptime = max(now - self._t0, 0.0)
+        counts["uptime_s"] = round(uptime, 3)
+        rate = counts["done"] / uptime if uptime > 0 else 0.0
+        counts["completion_rate_per_s"] = round(rate, 4)
+        remaining = counts["pending"] + counts["leased"]
+        counts["eta_s"] = round(remaining / rate, 3) if rate > 0 else None
         counts["finished"] = self.queue.finished
         return counts
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: refresh the point-in-time gauges, then
+        render the whole registry (coordinator counters + every merged
+        worker delta) as Prometheus text exposition."""
+        counts = self.queue.counts()
+        now = self.config.clock()
+        reg = self.registry
+        for state in ("pending", "leased", "done", "failed"):
+            reg.set(f"dist_queue_{state}", counts[state],
+                    help="Grid cells per queue state.")
+        reg.set("dist_cells_total", counts["total"],
+                help="Grid cells in this run.")
+        with self._lock:
+            live = sum(
+                1 for n in self._notes.values()
+                if now - n.last_seen <= 2 * self.job.lease_ttl
+            )
+        reg.set("dist_workers_live", live,
+                help="Workers with a recent heartbeat.")
+        ages = self.queue.lease_ages()
+        reg.set("dist_lease_age_max_seconds", ages[0] if ages else 0.0,
+                help="Oldest outstanding lease, seconds since grant.")
+        uptime = max(now - self._t0, 0.0)
+        reg.set("dist_uptime_seconds", round(uptime, 6),
+                help="Seconds since the coordinator started.")
+        rate = counts["done"] / uptime if uptime > 0 else 0.0
+        reg.set("dist_completion_rate_per_second", round(rate, 6),
+                help="Accepted completions per second of uptime.")
+        return reg.render_prometheus()
 
     def _accept(self, index: int, cell: CellResult, item: dict) -> None:
         """Record one first-wins completion: result slot, store, ticker."""
@@ -259,6 +360,7 @@ class Coordinator:
             self.results[index] = value
             if self.store is not None:
                 self.store.put(cell)
+        self.registry.inc("dist_completions_total")
         if self._tr is not None:
             self._tr.count("dist.completions")
         self._bump_finished(index)
@@ -275,8 +377,10 @@ class Coordinator:
     def tick(self) -> None:
         """One coordinator heartbeat: expire stale leases, refresh note."""
         requeued = self.queue.expire()
-        if requeued and self._tr is not None:
-            self._tr.count("dist.requeues", len(requeued))
+        if requeued:
+            self.registry.inc("dist_requeues_total", len(requeued))
+            if self._tr is not None:
+                self._tr.count("dist.requeues", len(requeued))
         if self.note is not None:
             self.note(self._note_text())
 
@@ -325,6 +429,35 @@ class Coordinator:
             raise ParallelMapError(self.results, dict(self.failures))
         return self.results
 
+    def write_fleet_trace(self, out_dir: str | Path) -> dict:
+        """Write the merged fleet telemetry under ``out_dir``:
+        ``fleet_trace.json`` (one Chrome trace, a process group per
+        worker host, loadable by ``repro trace``) and
+        ``fleet_metrics.prom`` (the final ``/metrics`` exposition).
+        Returns ``{"trace": path, "metrics": path, "spans": count}``.
+        """
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            spans = {h: list(s) for h, s in self._fleet_spans.items()}
+        trace_path = out / "fleet_trace.json"
+        export_fleet_chrome(
+            spans,
+            trace_path,
+            meta={
+                "workers": sorted(self.workers_seen),
+                "cells": len(self.job.todo),
+                "platform": self.job.platform,
+            },
+        )
+        metrics_path = out / "fleet_metrics.prom"
+        metrics_path.write_text(self.metrics_text())
+        return {
+            "trace": str(trace_path),
+            "metrics": str(metrics_path),
+            "spans": sum(len(s) for s in spans.values()),
+        }
+
 
 def _make_handler(coord: Coordinator) -> type[BaseHTTPRequestHandler]:
     """A handler class closed over one coordinator instance."""
@@ -343,12 +476,24 @@ def _make_handler(coord: Coordinator) -> type[BaseHTTPRequestHandler]:
             self.end_headers()
             self.wfile.write(raw)
 
+        def _reply_text(self, text: str, code: int = 200) -> None:
+            raw = text.encode("utf-8")
+            self.send_response(code)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             try:
                 if self.path == "/config":
                     self._reply(coord.job.descriptor())
                 elif self.path == "/status":
                     self._reply(coord.handle_status())
+                elif self.path == "/metrics":
+                    self._reply_text(coord.metrics_text())
                 else:
                     self._reply({"error": f"unknown path {self.path}"}, 404)
             except Exception as exc:
@@ -454,4 +599,6 @@ def dist_map(
         if fleet is not None:
             fleet.terminate()
         coord.stop()
+        if config.trace_dir:
+            coord.write_fleet_trace(config.trace_dir)
     return coord.outcome()

@@ -16,11 +16,20 @@ path      method  body -> response
 /lease    POST    {worker, max_cells} -> {lease, cells, finished}
 /renew    POST    {worker, lease, done, total, label} -> {ok, finished}
 /complete POST    {worker, lease, cells: [{index, cell, evals, hits}],
-                  wisdom} -> {accepted, finished}
+                  wisdom, host, metrics, spans} -> {accepted, finished}
 /fail     POST    {worker, lease, failures: [{index, label, cause,
                   attempts, timed_out}]} -> {accepted, finished}
-/status   GET     -> queue counters + per-worker heartbeat notes
+/status   GET     -> queue counters, lease ages, per-worker heartbeat
+                  lag, completion rate + ETA
+/metrics  GET     -> Prometheus text exposition (fleet-wide registry:
+                  coordinator counters + merged worker deltas); fetch
+                  with :func:`fetch_text`, not :func:`call`
 ========  ======  ==============================================------
+
+``/complete``'s ``host``/``metrics``/``spans`` fields are additive
+telemetry (metric deltas and trace spans, see DESIGN.md §5.12): the
+coordinator merges them when present and old workers that omit them
+still speak the same protocol version.
 """
 
 from __future__ import annotations
@@ -51,6 +60,31 @@ def decode(raw: bytes) -> dict:
             f"expected a JSON object, got {type(obj).__name__}"
         )
     return obj
+
+
+def fetch_text(
+    base_url: str,
+    path: str,
+    timeout: float = 10.0,
+) -> str:
+    """One GET for a plain-text endpoint (``/metrics``).
+
+    No retries: the callers are pollers (``repro top``, benchmark
+    probes) that have their own cadence and treat a miss as "coordinator
+    gone", not as an error worth backing off on.
+    """
+    url = base_url.rstrip("/") + path
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        raise DistProtocolError(
+            f"{path} rejected ({exc.code}): {exc.reason}"
+        ) from exc
+    except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+        raise DistProtocolError(
+            f"coordinator unreachable at {url}: {exc}"
+        ) from exc
 
 
 def call(

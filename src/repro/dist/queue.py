@@ -64,12 +64,14 @@ class WorkQueue:
             if not grant:
                 return "", []
             lease_id = f"L{next(self._seq)}"
+            now = self.clock()
             for i in grant:
                 self._state[i] = LEASED
             self._leases[lease_id] = {
                 "worker": worker,
                 "indices": set(grant),
-                "expires": self.clock() + self.lease_ttl,
+                "granted": now,
+                "expires": now + self.lease_ttl,
             }
             self.leases_granted += 1
             return lease_id, grant
@@ -140,6 +142,15 @@ class WorkQueue:
         return sorted(requeued)
 
     # -- introspection -----------------------------------------------------
+
+    def lease_ages(self) -> list[float]:
+        """Seconds each active lease has been outstanding (grant to
+        now), sorted descending — the ``/status`` staleness view: an
+        age creeping toward the TTL means a worker stopped renewing."""
+        now = self.clock()
+        with self._lock:
+            ages = [now - lease["granted"] for lease in self._leases.values()]
+        return sorted(ages, reverse=True)
 
     def counts(self) -> dict[str, int]:
         with self._lock:

@@ -14,6 +14,15 @@ never expire under a *live* worker; expiry (and requeue) only fires for
 workers that actually died.  Completion reports carry the worker's
 accumulated FFT wisdom, so planner work done on any host is reused
 everywhere (first-wins merge, order-independent).
+
+Telemetry (DESIGN.md §5.12): each worker publishes into a *private*
+registry (installed with :func:`~repro.obs.registry.scoped_registry` on
+the serving thread) and a private :class:`~repro.obs.tracer.Tracer`
+passed explicitly to :func:`~repro.exec.parallel_map` — neither touches
+the process-global stacks, so in-process worker threads (the test
+harness) and a sharing coordinator never cross-contaminate.  Every
+``/complete`` ships the registry delta and the trace spans recorded
+since the previous ship (watermarks, so nothing is double-counted).
 """
 
 from __future__ import annotations
@@ -30,6 +39,9 @@ from ..errors import DistProtocolError, ParallelMapError
 from ..exec.pool import ExecPolicy, ProgressFn, _cell_with_evals, parallel_map
 from ..faults import install_faults, parse_faults, uninstall_faults
 from ..fft.wisdom import GLOBAL_WISDOM
+from ..obs.export import span_records
+from ..obs.registry import MetricsRegistry, scoped_registry
+from ..obs.tracer import Tracer
 from .protocol import PROTOCOL_VERSION, call
 
 
@@ -60,6 +72,31 @@ class _Heartbeat:
     def update(self, done: int, total: int, label: str) -> None:
         with self.lock:
             self.done, self.total, self.label = done, total, label
+
+
+@dataclass
+class _Telemetry:
+    """The worker's private metric registry + tracer, with ship
+    watermarks so back-to-back ``/complete`` payloads never overlap."""
+
+    registry: MetricsRegistry
+    tracer: Tracer
+    metrics_mark: dict = field(default_factory=dict)
+    spans_mark: int = 0
+
+    def payload(self, host: str) -> dict:
+        """The telemetry fields for one ``/complete`` body; advances
+        both watermarks past everything it returns."""
+        delta = self.registry.delta(self.metrics_mark)
+        self.metrics_mark = self.registry.snapshot()
+        spans = span_records(self.tracer, start=self.spans_mark)
+        self.spans_mark = len(self.tracer.spans)
+        out: dict = {"host": host}
+        if delta:
+            out["metrics"] = delta
+        if spans:
+            out["spans"] = spans
+        return out
 
 
 def worker_id() -> str:
@@ -106,10 +143,17 @@ def run_worker(
         installed = parse_faults(faults_text)
         install_faults(installed)
     try:
-        _serve(
-            stats, coordinator, platform, snapshot, ttl, jobs, max_cells,
-            poll_s, progress, policy, rpc_timeout, clock, sleep,
-        )
+        # The private registry is installed on *this thread's* stack, so
+        # pool callbacks publishing via current_registry() land here —
+        # and nowhere else, even when several workers share a process.
+        with scoped_registry() as reg:
+            telem = _Telemetry(registry=reg, tracer=Tracer(rank_spans=False))
+            telem.metrics_mark = reg.snapshot()
+            _serve(
+                stats, coordinator, platform, snapshot, ttl, jobs,
+                max_cells, poll_s, progress, policy, rpc_timeout, clock,
+                sleep, telem,
+            )
     finally:
         if installed is not None:
             uninstall_faults(installed)
@@ -130,6 +174,7 @@ def _serve(
     rpc_timeout: float,
     clock: Callable[[], float],
     sleep: Callable[[float], None],
+    telem: _Telemetry,
 ) -> None:
     while True:
         try:
@@ -154,7 +199,7 @@ def _serve(
         _evaluate_lease(
             stats, coordinator, platform, snapshot, ttl,
             str(grant.get("lease", "")), cells, jobs, progress, policy,
-            rpc_timeout, sleep,
+            rpc_timeout, sleep, telem,
         )
 
 
@@ -171,6 +216,7 @@ def _evaluate_lease(
     policy: ExecPolicy | None,
     rpc_timeout: float,
     sleep: Callable[[float], None],
+    telem: _Telemetry,
 ) -> None:
     """Evaluate one lease's cells and report every outcome upstream."""
     labels = [f"{platform} p{c['p']} N{c['n']}" for c in cells]
@@ -221,7 +267,7 @@ def _evaluate_lease(
         try:
             values = parallel_map(
                 fn, argtuples, jobs, labels=labels, progress=local_progress,
-                **extra,
+                tracer=telem.tracer, **extra,
             )
         except ParallelMapError as err:
             values = err.results
@@ -248,7 +294,8 @@ def _evaluate_lease(
         call(
             coordinator, "/complete",
             {"worker": stats.worker, "lease": lease, "cells": done_payload,
-             "wisdom": GLOBAL_WISDOM.export_json()},
+             "wisdom": GLOBAL_WISDOM.export_json(),
+             **telem.payload(stats.worker)},
             timeout=rpc_timeout, sleep=sleep,
         )
         stats.cells_done += len(done_payload)

@@ -60,6 +60,7 @@ from ..errors import (
 from ..faults import current_faults, install_faults, parse_faults
 from ..fft.wisdom import GLOBAL_WISDOM
 from ..machine.platforms import Platform
+from ..obs import registry as metrics
 from ..obs.tracer import WALL, current_tracer
 from ..tuning.evalstore import EvalStore
 from .store import ResultStore
@@ -165,7 +166,13 @@ def _tb_text(exc: BaseException) -> str:
 
 
 class _Run:
-    """State of one :func:`parallel_map` invocation (pool path)."""
+    """State of one :func:`parallel_map` invocation (pool path).
+
+    ``tr`` is the tracer spans/counters go to — normally the ambient
+    :func:`current_tracer`, but callers may pass an explicit tracer to
+    :func:`parallel_map` (the distributed worker does, so per-lease
+    telemetry never touches the process-global tracer stack).
+    """
 
     def __init__(self, fn, argtuples, labels, policy, progress, tr):
         self.fn = fn
@@ -191,6 +198,10 @@ class _Run:
         self.results[i] = value
         self.wisdoms[i] = wisdom
         self.finished += 1
+        metrics.count("pool_items_total",
+                      help="Pool items driven to success.", mode=mode)
+        metrics.observe("pool_item_seconds", worker_s,
+                        help="Per-item worker-side wall seconds.")
         if self.tr is not None:
             t1 = self.tr.wall()
             self.tr.count("pool.items")
@@ -208,11 +219,18 @@ class _Run:
         for good."""
         self.attempts[i] += 1
         policy = self.policy
+        metrics.count("pool_item_errors_total",
+                      help="Failed pool item attempts.")
+        if timed_out:
+            metrics.count("pool_timeouts_total",
+                          help="Pool items abandoned past their deadline.")
         if self.tr is not None:
             self.tr.count("pool.item_errors")
             if timed_out:
                 self.tr.count("pool.timeouts")
         if self.attempts[i] <= policy.retries:
+            metrics.count("pool_retries_total",
+                          help="Pool item retry resubmissions.")
             if self.tr is not None:
                 self.tr.count("pool.retries")
             self.retry_at[i] = policy.clock() + policy.backoff(self.attempts[i])
@@ -379,10 +397,16 @@ def _run_pooled(run: _Run, jobs: int) -> None:
         dirty = True
         while True:
             respawns += 1
+            metrics.count("pool_respawns_total",
+                          help="Process-pool respawns after a broken pool.")
             if tr is not None:
                 tr.count("pool.respawns")
             if respawns > policy.pool_respawns:
                 # the pool keeps dying: degrade gracefully to serial
+                metrics.count(
+                    "pool_serial_fallbacks_total",
+                    help="Graceful degradations to in-process execution.",
+                )
                 if tr is not None:
                     tr.count("pool.serial_fallbacks")
                 _terminate_pool(pool)
@@ -489,6 +513,7 @@ def parallel_map(
     labels: Sequence[str] | None = None,
     progress: ProgressFn | None = None,
     policy: ExecPolicy | None = None,
+    tracer: "Any | None" = None,
 ) -> list[Any]:
     """``[fn(*args) for args in argtuples]`` over a process pool.
 
@@ -517,7 +542,7 @@ def parallel_map(
     if labels is None:
         labels = [f"{name}[{i}]" for i in range(total)]
     run = _Run(fn, argtuples, list(labels), policy or DEFAULT_POLICY,
-               progress, current_tracer())
+               progress, tracer if tracer is not None else current_tracer())
     if jobs <= 1 or total <= 1:
         _run_serial(run, range(total))
     else:
@@ -634,8 +659,11 @@ def evaluate_cells(
                 # the parent's trace here.
                 eval_store.merge(EvalStore.from_jsonl(delta))
                 eval_store.hits += hits
-                if pooled and tr is not None and hits:
-                    tr.count("tune.store_hits", hits)
+                if pooled and hits:
+                    metrics.count("tune_store_hits_total", hits,
+                                  help="Eval-store read-through hits.")
+                    if tr is not None:
+                        tr.count("tune.store_hits", hits)
             found[cell.key()] = cell
             if store is not None:
                 store.put(cell)
@@ -653,44 +681,49 @@ def evaluate_cells(
             (plat, p, n, budget, snapshot)
             for (plat, p, n, budget, _f) in todo
         ]
-    try:
-        if dispatch == "dist" and todo:
-            # Imported lazily: repro.dist's worker loop imports this
-            # module, so a top-level import would be circular.
-            from ..dist import DistConfig, dist_map
+    # Per-run registry scope (reset safety): reuse the caller's installed
+    # registry when one exists (tests / the tuning service observe the
+    # run through it), otherwise push a fresh one so back-to-back grid
+    # runs in one process never leak counts into each other.
+    with metrics.run_registry():
+        try:
+            if dispatch == "dist" and todo:
+                # Imported lazily: repro.dist's worker loop imports this
+                # module, so a top-level import would be circular.
+                from ..dist import DistConfig, dist_map
 
-            computed = dist_map(
-                name, todo, labels, snapshot,
-                dist if dist is not None else DistConfig(),
-                store=store, progress=progress, note=note,
-                faults=active_fault_key(),
-            )
-        else:
-            computed = parallel_map(
-                worker_fn, argtuples, jobs, labels=labels, progress=progress,
-                **extra,
-            )
-    except ParallelMapError as err:
-        harvest(err.results)
-        # Flush *every* completed cell — memo hits included, which the
-        # success path leaves disk-lazy — so the store matches what the
-        # salvage message claims survived.
-        if store is not None:
-            for key, cell in found.items():
-                if key not in from_disk:
-                    store.put(cell)
-        prime_cache(list(found.values()))
-        failures = {
-            (todo[i][1], todo[i][2]): item_err
-            for i, item_err in err.failures.items()
-        }
-        salvaged = [
-            cell for key, cell in found.items() if key not in from_disk
-        ]
-        raise GridInterrupted(
-            list(found.values()), failures, salvaged=salvaged
-        ) from err
-    harvest(computed)
+                computed = dist_map(
+                    name, todo, labels, snapshot,
+                    dist if dist is not None else DistConfig(),
+                    store=store, progress=progress, note=note,
+                    faults=active_fault_key(),
+                )
+            else:
+                computed = parallel_map(
+                    worker_fn, argtuples, jobs, labels=labels,
+                    progress=progress, **extra,
+                )
+        except ParallelMapError as err:
+            harvest(err.results)
+            # Flush *every* completed cell — memo hits included, which the
+            # success path leaves disk-lazy — so the store matches what the
+            # salvage message claims survived.
+            if store is not None:
+                for key, cell in found.items():
+                    if key not in from_disk:
+                        store.put(cell)
+            prime_cache(list(found.values()))
+            failures = {
+                (todo[i][1], todo[i][2]): item_err
+                for i, item_err in err.failures.items()
+            }
+            salvaged = [
+                cell for key, cell in found.items() if key not in from_disk
+            ]
+            raise GridInterrupted(
+                list(found.values()), failures, salvaged=salvaged
+            ) from err
+        harvest(computed)
     prime_cache(list(found.values()))
     return [found[cell_key(name, p, n, max_evaluations)] for p, n in cells]
 

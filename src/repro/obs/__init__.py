@@ -14,7 +14,15 @@ disabled tracer costs one ``is None`` check per construct.
   summary of one simulated run;
 * :class:`ProgressLine` — live per-cell completion ticker with ETA;
 * :func:`sched_totals` / :func:`reset_sched_totals` — the process-wide
-  scheduler counter accumulator, now resettable per benchmark run.
+  scheduler counter accumulator, now resettable per benchmark run;
+* :class:`MetricsRegistry` / :func:`current_registry` — the telemetry
+  plane's labeled counter/gauge/histogram registry with Prometheus
+  text exposition and snapshot/delta/merge semantics (DESIGN.md §5.12);
+* :func:`export_fleet_chrome` / :func:`span_records` — cross-host trace
+  aggregation: worker span records merged into one Chrome trace with a
+  process group per worker host;
+* :class:`TopDashboard` / :func:`render_top` — the ``repro top`` live
+  fleet dashboard over the coordinator's ``/status`` + ``/metrics``.
 """
 
 from ..simmpi.engine import SchedStats
@@ -23,13 +31,26 @@ from .export import (
     chrome_events,
     emit_rank_spans,
     export_chrome,
+    export_fleet_chrome,
     export_jsonl,
+    fleet_chrome_events,
     load_trace,
     rank_timelines,
+    span_records,
     write_trace,
 )
+from .dashboard import TopDashboard, metric_total, render_top
 from .metrics import EXPOSED_LABELS, OVERLAP_LABELS, run_metrics
 from .progress import ProgressLine
+from .registry import (
+    MetricsRegistry,
+    absorb_tracer,
+    current_registry,
+    global_registry,
+    metrics_enabled,
+    parse_prometheus,
+    scoped_registry,
+)
 from .tracer import (
     Span,
     Tracer,
@@ -63,23 +84,36 @@ def reset_sched_totals() -> SchedStats:
 
 __all__ = [
     "EXPOSED_LABELS",
+    "MetricsRegistry",
     "OVERLAP_LABELS",
     "ProgressLine",
     "Span",
+    "TopDashboard",
     "Tracer",
+    "absorb_tracer",
+    "current_registry",
+    "global_registry",
+    "metrics_enabled",
+    "parse_prometheus",
+    "scoped_registry",
     "VIRTUAL",
     "WALL",
     "chrome_events",
     "current_tracer",
     "emit_rank_spans",
     "export_chrome",
+    "export_fleet_chrome",
     "export_jsonl",
+    "fleet_chrome_events",
     "install",
     "load_trace",
+    "metric_total",
     "rank_timelines",
+    "render_top",
     "reset_sched_totals",
     "run_metrics",
     "sched_totals",
+    "span_records",
     "tracing",
     "uninstall",
     "write_trace",

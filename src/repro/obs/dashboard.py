@@ -1,0 +1,184 @@
+"""Live fleet dashboard: the engine behind ``repro top``.
+
+Renders a small ``top``-style view of one distributed grid run by
+polling the coordinator's two observability endpoints — ``/status``
+(JSON: queue counts, lease ages, per-worker heartbeat lag, completion
+rate, ETA) and ``/metrics`` (Prometheus text exposition of the
+fleet-wide registry) — with the same stream discipline as
+:class:`~repro.obs.progress.ProgressLine`: on a TTY the panel redraws
+in place, on a pipe each poll emits a plain block so CI logs stay
+greppable.
+
+Exit contract (``repro top`` maps these to exit codes): the dashboard
+runs until the coordinator vanishes — the normal end of a grid run,
+since :func:`~repro.dist.dist_map` stops its server once the last cell
+lands — and that is a **clean** exit (0) as long as at least one poll
+succeeded.  Never reaching the coordinator at all, or receiving
+unparseable metrics, is an error.  Both fetchers are injectable so the
+render/exit logic is testable without sockets.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+from ..errors import DistProtocolError
+from .progress import _fmt_secs
+from .registry import parse_prometheus
+
+
+def metric_total(metrics: dict[str, float], name: str) -> float | None:
+    """Sum every sample of one metric family across its label sets
+    (``sim_runs_total{backend="heap"}`` + ``{backend="list"}`` -> one
+    number); ``None`` when the family is absent entirely."""
+    total, seen = 0.0, False
+    for key, value in metrics.items():
+        if key == name or key.startswith(name + "{"):
+            total += value
+            seen = True
+    return total if seen else None
+
+
+def render_top(url: str, status: dict, metrics: dict[str, float]) -> list[str]:
+    """The dashboard panel as lines (pure: testable without a server)."""
+    total = int(status.get("total", 0))
+    done = int(status.get("done", 0))
+    failed = int(status.get("failed", 0))
+    pending = int(status.get("pending", 0))
+    leased = int(status.get("leased", 0))
+    lines = [
+        f"repro top — {url}  "
+        f"uptime {_fmt_secs(float(status.get('uptime_s', 0.0)))}"
+    ]
+    pct = 100.0 * (done + failed) / total if total else 0.0
+    lines.append(
+        f"cells  : {done}/{total} done ({pct:3.0f}%) | {pending} pending "
+        f"| {leased} leased | {failed} failed"
+    )
+    rate = float(status.get("completion_rate_per_s") or 0.0)
+    line = f"rate   : {rate:.2f} cells/s"
+    eta = status.get("eta_s")
+    if eta is not None:
+        line += f" | eta {_fmt_secs(float(eta))}"
+    lines.append(line)
+    ages = [float(a) for a in status.get("lease_ages_s", [])]
+    line = f"leases : {len(ages)} active"
+    if ages:
+        line += f", oldest {_fmt_secs(ages[0])}"
+    line += (f" | {int(status.get('requeues', 0))} requeued"
+             f" | {int(status.get('duplicates', 0))} duplicate")
+    lines.append(line)
+    workers = status.get("workers", {})
+    live = metric_total(metrics, "dist_workers_live")
+    line = f"workers: {len(workers)} reporting"
+    if live is not None:
+        line += f", {int(live)} live"
+    lines.append(line)
+    for name, rec in sorted(workers.items()):
+        entry = (f"  {name}  {int(rec.get('done', 0))}"
+                 f"/{int(rec.get('total', 0))}"
+                 f"  lag {float(rec.get('lag_s', 0.0)):.1f}s")
+        if rec.get("label"):
+            entry += f"  {rec['label']}"
+        lines.append(entry)
+    totals = []
+    for label, name in (
+        ("completions", "dist_completions_total"),
+        ("pool items", "pool_items_total"),
+        ("sim runs", "sim_runs_total"),
+    ):
+        value = metric_total(metrics, name)
+        if value is not None:
+            totals.append(f"{int(value)} {label}")
+    if totals:
+        lines.append("totals : " + " | ".join(totals))
+    return lines
+
+
+class TopDashboard:
+    """Poll-and-render loop for one coordinator (see module docstring).
+
+    ``fetch_status`` / ``fetch_metrics`` default to real HTTP against
+    ``url`` but are injectable; ``max_polls`` bounds the run for tests
+    and one-shot snapshots (``repro top --polls 1``).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        interval: float = 1.0,
+        stream: TextIO | None = None,
+        max_polls: int | None = None,
+        fetch_status: Callable[[], dict] | None = None,
+        fetch_metrics: Callable[[], str] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.interval = interval
+        self.stream = stream if stream is not None else sys.stdout
+        self.max_polls = max_polls
+        self.sleep = sleep
+        if fetch_status is None or fetch_metrics is None:
+            # Imported lazily: repro.dist imports repro.obs, so a
+            # top-level import here would be circular.
+            from ..dist.protocol import call, fetch_text
+
+            if fetch_status is None:
+                fetch_status = lambda: call(  # noqa: E731
+                    self.url, "/status", retries=0
+                )
+            if fetch_metrics is None:
+                fetch_metrics = lambda: fetch_text(  # noqa: E731
+                    self.url, "/metrics"
+                )
+        self.fetch_status = fetch_status
+        self.fetch_metrics = fetch_metrics
+        self.polls = 0
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._height = 0
+
+    def _draw(self, lines: list[str]) -> None:
+        if self._tty and self._height:
+            # move to the top of the previous panel, clear to screen end
+            self.stream.write(f"\x1b[{self._height}F\x1b[J")
+        self.stream.write("\n".join(lines) + "\n")
+        if not self._tty:
+            self.stream.write("\n")  # blank separator between poll blocks
+        self.stream.flush()
+        self._height = len(lines)
+
+    def run(self) -> int:
+        """Poll until the coordinator vanishes or ``max_polls`` is hit.
+
+        Returns a process exit code: 0 after a connected-then-gone (or
+        poll-limited) run, 4 when the coordinator was never reachable
+        or served unparseable metrics.
+        """
+        while self.max_polls is None or self.polls < self.max_polls:
+            try:
+                status = self.fetch_status()
+                exposition = self.fetch_metrics()
+            except DistProtocolError as exc:
+                if self.polls == 0:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 4
+                self.stream.write(
+                    f"coordinator gone after {self.polls} poll(s) — "
+                    "grid finished\n"
+                )
+                self.stream.flush()
+                return 0
+            try:
+                metrics = parse_prometheus(exposition)
+            except ValueError as exc:
+                print(f"error: bad /metrics exposition: {exc}",
+                      file=sys.stderr)
+                return 4
+            self.polls += 1
+            self._draw(render_top(self.url, status, metrics))
+            if self.max_polls is not None and self.polls >= self.max_polls:
+                break
+            self.sleep(self.interval)
+        return 0

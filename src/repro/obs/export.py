@@ -102,12 +102,21 @@ def chrome_events(tracer: Tracer) -> list[dict]:
     return events
 
 
+def _prepare(path: str | Path) -> Path:
+    """Create a trace target's missing parent directories (a ``--trace``
+    or ``--out`` path under a fresh run directory must just work)."""
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    return target
+
+
 def export_chrome(tracer: Tracer, path: str | Path) -> int:
     """Write the Chrome trace-event JSON file; returns the event count."""
     events = chrome_events(tracer)
     payload = {"traceEvents": events, "displayTimeUnit": "ms",
                "otherData": dict(tracer.meta)}
-    Path(path).write_text(json.dumps(payload, indent=1))
+    _prepare(path).write_text(json.dumps(payload, indent=1))
     return len(events)
 
 
@@ -132,7 +141,7 @@ def export_jsonl(tracer: Tracer, path: str | Path) -> int:
     for name, values in tracer.histograms.items():
         lines.append(json.dumps({"kind": "histogram", "name": name,
                                  "values": values}))
-    Path(path).write_text("\n".join(lines) + "\n")
+    _prepare(path).write_text("\n".join(lines) + "\n")
     return len(lines)
 
 
@@ -145,30 +154,119 @@ def write_trace(tracer: Tracer, path: str | Path) -> int:
 
 
 # ---------------------------------------------------------------------------
+# span wire records + the cross-host fleet trace
+# ---------------------------------------------------------------------------
+
+
+def span_records(tracer: Tracer, start: int = 0) -> list[dict]:
+    """Spans from index ``start`` on, as JSON-ready records — the
+    payload a distributed worker attaches to ``/complete`` (``start``
+    is the worker's already-shipped watermark, so back-to-back leases
+    never re-ship or leak each other's spans)."""
+    out = []
+    for sp in tracer.spans[start:]:
+        rec = {"track": sp.track, "name": sp.name, "t0": sp.t0,
+               "t1": sp.t1, "clock": sp.clock}
+        if sp.attrs:
+            rec["attrs"] = sp.attrs
+        out.append(rec)
+    return out
+
+
+def fleet_chrome_events(spans_by_host: dict[str, list[dict]]) -> list[dict]:
+    """Merge per-host span records into one Chrome ``traceEvents`` list.
+
+    Every worker host gets its own **process** (pid, in sorted host
+    order starting at 10 — clear of the local exporter's virtual/wall
+    pids), and each track within a host gets a tid: ``rank N`` tracks
+    keep ``N`` so Perfetto sorts rank timelines numerically, everything
+    else lands past any sane rank id.  The result loads with
+    :func:`load_trace` (thread/process name metadata carries the track
+    and host names), so ``repro trace`` renders it like any local trace.
+    """
+    events: list[dict] = []
+    tids: dict[tuple[int, str], int] = {}
+    for offset, host in enumerate(sorted(spans_by_host)):
+        pid = 10 + offset
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"worker {host}"},
+        })
+        for rec in spans_by_host[host]:
+            track = str(rec.get("track", "worker"))
+            key = (pid, track)
+            if key not in tids:
+                m = _RANK_TRACK.match(track)
+                tids[key] = (int(m.group(1)) if m
+                             else 100_000 + len(tids))
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tids[key], "args": {"name": track},
+                })
+            t0 = float(rec["t0"])
+            t1 = float(rec.get("t1", t0))
+            events.append({
+                "name": str(rec.get("name", "?")),
+                "cat": rec.get("clock", WALL),
+                "ph": "X",
+                "ts": t0 * 1e6,
+                "dur": max(t1 - t0, 0.0) * 1e6,
+                "pid": pid,
+                "tid": tids[key],
+                "args": dict(rec.get("attrs") or {}),
+            })
+    return events
+
+
+def export_fleet_chrome(
+    spans_by_host: dict[str, list[dict]],
+    path: str | Path,
+    meta: dict | None = None,
+) -> int:
+    """Write the merged fleet Chrome trace; returns the event count."""
+    events = fleet_chrome_events(spans_by_host)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms",
+               "otherData": dict(meta or {})}
+    _prepare(path).write_text(json.dumps(payload, indent=1))
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
 # loaders (the `repro trace` replay path)
 # ---------------------------------------------------------------------------
 
 
 def _load_jsonl(text: str) -> Tracer:
     tracer = Tracer()
-    for line in text.splitlines():
+    for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
-        rec = json.loads(line)
-        kind = rec.get("kind")
-        if kind == "span":
-            tracer.add_span(rec["track"], rec["name"], rec["t0"], rec["t1"],
-                            rec.get("clock", VIRTUAL), rec.get("attrs"))
-        elif kind == "counter":
-            tracer.count(rec["name"], rec["value"])
-        elif kind == "histogram":
-            for v in rec["values"]:
-                tracer.observe(rec["name"], v)
-        elif kind == "meta":
-            tracer.meta.update(
-                {k: v for k, v in rec.items() if k not in ("kind",)}
-            )
+        try:
+            rec = json.loads(line)
+            kind = rec.get("kind")
+            if kind == "span":
+                tracer.add_span(
+                    rec["track"], rec["name"], rec["t0"], rec["t1"],
+                    rec.get("clock", VIRTUAL), rec.get("attrs"),
+                )
+            elif kind == "counter":
+                tracer.count(rec["name"], rec["value"])
+            elif kind == "histogram":
+                for v in rec["values"]:
+                    tracer.observe(rec["name"], v)
+            elif kind == "meta":
+                tracer.meta.update(
+                    {k: v for k, v in rec.items() if k not in ("kind",)}
+                )
+        except (ValueError, KeyError, TypeError, AttributeError) as exc:
+            # a crash mid-write leaves a truncated final record; a
+            # corrupted middle line is the same failure to the reader —
+            # either way, say where instead of spilling a traceback
+            raise ValueError(
+                f"truncated or malformed trace record at line {lineno}: "
+                f"{line[:80]!r}"
+            ) from exc
     return tracer
 
 
@@ -177,16 +275,22 @@ def _load_chrome(payload: dict) -> Tracer:
     tracer.meta.update(payload.get("otherData") or {})
     names: dict[tuple[int, int], str] = {}
     spans: list[tuple[int, int, Span]] = []
-    for ev in payload.get("traceEvents", []):
-        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
-            names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
-        elif ev.get("ph") == "X":
-            clock = VIRTUAL if ev.get("cat") == VIRTUAL else WALL
-            t0 = ev["ts"] / 1e6
-            spans.append((ev["pid"], ev["tid"], Span(
-                "", ev["name"], t0, t0 + ev.get("dur", 0.0) / 1e6,
-                clock, dict(ev.get("args") or {}),
-            )))
+    try:
+        events = payload.get("traceEvents", [])
+        for ev in events:
+            if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+                names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+            elif ev.get("ph") == "X":
+                clock = VIRTUAL if ev.get("cat") == VIRTUAL else WALL
+                t0 = ev["ts"] / 1e6
+                spans.append((ev["pid"], ev["tid"], Span(
+                    "", ev["name"], t0, t0 + ev.get("dur", 0.0) / 1e6,
+                    clock, dict(ev.get("args") or {}),
+                )))
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ValueError(
+            f"malformed Chrome trace event: {exc!r}"
+        ) from exc
     for pid, tid, sp in spans:
         sp.track = names.get((pid, tid), f"track {pid}:{tid}")
         tracer.add_span(sp.track, sp.name, sp.t0, sp.t1, sp.clock, sp.attrs)

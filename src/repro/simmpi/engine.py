@@ -439,6 +439,12 @@ class Engine:
             return self._run_threads(fn, args, kwargs, is_gen)
         finally:
             TOTALS.merge(self.stats)
+            # Publish into the telemetry-plane registry (repro.obs.registry).
+            # Imported lazily: repro.obs imports this module at package
+            # init, so a top-level import here would be circular.
+            from ..obs.registry import publish_sched_stats
+
+            publish_sched_stats(self.stats)
             if self.tracer is not None:
                 self.tracer.count("sched.runs")
                 self.tracer.count("sched.handoffs", self.stats.handoffs)

@@ -16,8 +16,14 @@ worker processes and a real SIGKILL:
 3. **determinism check** — the post-kill results are compared
    cell-by-cell against a fault-free serial run (byte-identical dicts).
 
-The JSON records wall times, lease/requeue/duplicate counters, and the
-zero-re-simulation proof so the trajectory is comparable across commits.
+The kill-one run also exercises the telemetry plane (DESIGN.md §5.12):
+``GET /metrics`` is scraped mid-run and must parse as Prometheus text,
+and after the grid drains the coordinator writes the merged fleet trace
++ final exposition under ``--trace-dir`` (CI uploads both as
+artifacts).  The JSON records wall times, lease/requeue/duplicate
+counters, the scraped ``dist_*`` counters, fleet-trace span/host
+counts, and the zero-re-simulation proof so the trajectory is
+comparable across commits.
 """
 
 from __future__ import annotations
@@ -36,48 +42,66 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.bench import clear_cache  # noqa: E402
 from repro.bench.runner import cell_key, cell_to_dict  # noqa: E402
-from repro.dist import Coordinator, DistConfig, GridJob  # noqa: E402
+from repro.dist import Coordinator, DistConfig, GridJob, fetch_text  # noqa: E402
 from repro.dist.fleet import launch_workers  # noqa: E402
 from repro.exec import ResultStore, evaluate_cells  # noqa: E402
+from repro.obs import load_trace, parse_prometheus  # noqa: E402
+from repro.obs.registry import scoped_registry  # noqa: E402
 
 PLATFORM = "UMD-Cluster"
 CELLS = [(4, 32), (8, 32), (4, 48), (8, 48), (4, 64), (8, 64)]
 LEASE_TTL = 2.0
 
 
-def kill_one_run(cells, budget, store):
-    """Coordinator + 2 workers, SIGKILL one mid-run; returns a report."""
+def kill_one_run(cells, budget, store, trace_dir):
+    """Coordinator + 2 workers, SIGKILL one mid-run; returns a report.
+
+    The coordinator's registry is scoped to this run, ``/metrics`` is
+    scraped right after the kill (a live mid-run exposition), and the
+    merged fleet trace + final exposition land under ``trace_dir``.
+    """
     todo = [cell_key(PLATFORM, p, n, budget) for p, n in cells]
     job = GridJob(
         platform=PLATFORM, todo=todo,
         labels=[f"p{p} N{n}" for p, n in cells],
         lease_ttl=LEASE_TTL,
     )
-    coord = Coordinator(job, DistConfig(), store=store)
-    url = coord.start()
-    fleet = launch_workers(url, "local,local", worker_jobs=1)
-    killed = False
-    t0 = time.perf_counter()
-    try:
-        while not coord.queue.finished:
-            time.sleep(0.1)
-            coord.tick()
-            fleet.reap()
-            counts = coord.queue.counts()
-            if (not killed and counts["done"] >= 1
-                    and counts["leased"] >= 1 and fleet.alive() == 2):
-                fleet.procs[0].send_signal(signal.SIGKILL)
-                killed = True
-                print(f"  killed worker pid {fleet.procs[0].pid} "
-                      f"({counts['done']}/{counts['total']} done)")
-            if fleet.alive() == 0:
-                raise SystemExit("ERROR: every worker died; grid stuck")
-    finally:
-        fleet.terminate()
-        coord.stop()
-    wall = time.perf_counter() - t0
+    scrape = {}
+    with scoped_registry():
+        coord = Coordinator(job, DistConfig(), store=store)
+        url = coord.start()
+        fleet = launch_workers(url, "local,local", worker_jobs=1)
+        killed = False
+        t0 = time.perf_counter()
+        try:
+            while not coord.queue.finished:
+                time.sleep(0.1)
+                coord.tick()
+                fleet.reap()
+                counts = coord.queue.counts()
+                if (not killed and counts["done"] >= 1
+                        and counts["leased"] >= 1 and fleet.alive() == 2):
+                    fleet.procs[0].send_signal(signal.SIGKILL)
+                    killed = True
+                    print(f"  killed worker pid {fleet.procs[0].pid} "
+                          f"({counts['done']}/{counts['total']} done)")
+                    scrape = parse_prometheus(fetch_text(url, "/metrics"))
+                # workers exit the moment the last cell lands, so an
+                # empty fleet is only fatal while cells remain
+                if fleet.alive() == 0 and not coord.queue.finished:
+                    raise SystemExit("ERROR: every worker died; grid stuck")
+        finally:
+            fleet.terminate()
+            coord.stop()
+        wall = time.perf_counter() - t0
+        artifacts = coord.write_fleet_trace(trace_dir)
     results = coord.outcome()
     assert all(r is not None for r in results), "grid left holes"
+    final = parse_prometheus(Path(artifacts["metrics"]).read_text())
+    payload = json.loads(Path(artifacts["trace"]).read_text())
+    hosts = [e["args"]["name"] for e in payload["traceEvents"]
+             if e.get("name") == "process_name"]
+    assert load_trace(artifacts["trace"]).spans is not None
     counts = coord.queue.counts()
     return results, {
         "wall_s": round(wall, 3),
@@ -87,6 +111,15 @@ def kill_one_run(cells, budget, store):
         "requeues": counts["requeues"],
         "duplicates": counts["duplicates"],
         "cells_done": counts["done"],
+        "telemetry": {
+            "midrun_scrape": {k: v for k, v in sorted(scrape.items())
+                              if k.startswith("dist_")},
+            "final_completions": final.get("dist_completions_total"),
+            "fleet_spans": artifacts["spans"],
+            "fleet_hosts": sorted(hosts),
+            "fleet_trace": str(artifacts["trace"]),
+            "fleet_metrics": str(artifacts["metrics"]),
+        },
     }
 
 
@@ -125,18 +158,34 @@ def main(argv=None) -> int:
     ap.add_argument("--budget", type=int, default=8,
                     help="tuning evaluations per cell (default 8)")
     ap.add_argument("--out", default=str(ROOT / "BENCH_dist.json"))
+    ap.add_argument("--trace-dir", default=None, metavar="DIR",
+                    help="where the merged fleet trace + final /metrics "
+                         "exposition are written (default: a temp dir; "
+                         "CI passes a workspace path and uploads both)")
     args = ap.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="bench_dist_") as tmp:
         store = ResultStore(Path(tmp) / "store")
+        trace_dir = Path(args.trace_dir or Path(tmp) / "fleet")
 
         print(f"kill-one run: {len(CELLS)} cells, 2 workers, "
               f"lease TTL {LEASE_TTL}s")
         clear_cache()
-        dist_cells, kill_report = kill_one_run(CELLS, args.budget, store)
+        dist_cells, kill_report = kill_one_run(
+            CELLS, args.budget, store, trace_dir)
+        telem = kill_report["telemetry"]
         print(f"  completed in {kill_report['wall_s']}s "
               f"({kill_report['requeues']} requeue(s), "
               f"{kill_report['duplicates']} duplicate(s))")
+        print(f"  fleet trace: {telem['fleet_spans']} span(s) from "
+              f"{len(telem['fleet_hosts'])} host(s) -> "
+              f"{telem['fleet_trace']}")
+
+        if telem["final_completions"] != kill_report["cells_done"]:
+            print("ERROR: dist_completions_total "
+                  f"{telem['final_completions']} != cells done "
+                  f"{kill_report['cells_done']}", file=sys.stderr)
+            return 1
 
         print("coordinator restart against the warm store")
         resumed, restart_report = restart_run(CELLS, args.budget, store)

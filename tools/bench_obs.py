@@ -18,6 +18,12 @@ This benchmark quantifies the wall-clock side on two workloads:
 
 Each workload is timed with tracing off and on (best of ``--repeats``,
 cold caches per repeat) and the overhead is reported as a percentage.
+
+A third workload times the **metrics registry** (DESIGN.md §5.12): the
+bench-smoke grid evaluated with the registry disabled
+(``set_enabled(False)``, every helper a no-op) vs enabled (the default;
+pool/scheduler counters land in a scoped registry).  The guard in
+``tools/check_perf_smoke.py`` bounds that overhead at ≤5% of wall.
 """
 
 from __future__ import annotations
@@ -32,11 +38,14 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.bench import clear_cache  # noqa: E402
 from repro.core.api import run_case  # noqa: E402
 from repro.core.params import ProblemShape  # noqa: E402
+from repro.exec import evaluate_cells  # noqa: E402
 from repro.fft.wisdom import GLOBAL_WISDOM  # noqa: E402
 from repro.machine import UMD_CLUSTER  # noqa: E402
 from repro.obs import Tracer, tracing  # noqa: E402
+from repro.obs.registry import scoped_registry, set_enabled  # noqa: E402
 from repro.tuning.gridsearch import sweep_parameter  # noqa: E402
 
 SHAPE = ProblemShape(128, 128, 128, 8)
@@ -44,6 +53,10 @@ SWEEP_SHAPE = ProblemShape(64, 64, 64, 4)
 #: inner iterations per timed sample — the simulator finishes one run in
 #: ~10ms of wall time, so a single run would drown in timer noise
 INNER = 20
+#: the bench-smoke grid (tools/bench_smoke.py), the registry workload
+SMOKE_GRID = {"UMD-Cluster": [(4, 32), (8, 32)], "Hopper": [(4, 32)]}
+SMOKE_BUDGET = 6
+SMOKE_INNER = 10
 
 
 def single_run():
@@ -89,6 +102,53 @@ def measure(name, fn, repeats, rank_spans):
     }
 
 
+def smoke_grid():
+    for _ in range(SMOKE_INNER):
+        for platform, cells in SMOKE_GRID.items():
+            clear_cache()
+            evaluate_cells(platform, cells, max_evaluations=SMOKE_BUDGET)
+
+
+def measure_registry(repeats):
+    """Best smoke-grid wall with the registry disabled vs enabled."""
+
+    def timed(enabled):
+        best = None
+        for _ in range(repeats):
+            prev = set_enabled(enabled)
+            try:
+                t0 = time.perf_counter()
+                with scoped_registry():
+                    smoke_grid()
+                wall = time.perf_counter() - t0
+            finally:
+                set_enabled(prev)
+            if best is None or wall < best:
+                best = wall
+        return best
+
+    off = timed(False)
+    on = timed(True)
+    # one more enabled pass, kept, to report what the registry saw
+    prev = set_enabled(True)
+    try:
+        with scoped_registry() as reg:
+            smoke_grid()
+    finally:
+        set_enabled(prev)
+    snap = reg.snapshot()
+    return {
+        "workload": "registry: bench-smoke grid "
+                    f"x{SMOKE_INNER} (budget {SMOKE_BUDGET})",
+        "off_s": round(off, 4),
+        "on_s": round(on, 4),
+        "overhead_pct": round(100.0 * (on - off) / off, 2),
+        "metric_families": len(snap),
+        "samples_recorded": sum(len(rec["samples"])
+                                for rec in snap.values()),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--repeats", type=int, default=3,
@@ -109,11 +169,18 @@ def main(argv=None) -> int:
         print(f"{row['workload']}: off {row['off_s']}s, on {row['on_s']}s "
               f"({row['overhead_pct']:+.1f}%, {row['spans_recorded']} spans)")
 
+    registry = measure_registry(args.repeats)
+    print(f"{registry['workload']}: off {registry['off_s']}s, "
+          f"on {registry['on_s']}s ({registry['overhead_pct']:+.1f}%, "
+          f"{registry['samples_recorded']} samples)")
+
     payload = {
-        "benchmark": "tracing overhead, off vs on (best of repeats)",
+        "benchmark": "tracing + metrics-registry overhead, off vs on "
+                     "(best of repeats)",
         "repeats": args.repeats,
         "host_cores": os.cpu_count(),
         "workloads": rows,
+        "registry": registry,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"-> {args.out}")

@@ -22,6 +22,15 @@ against the committed baseline and enforces two kinds of bounds:
   runner vs a laptop, tight enough to catch an accidental O(n) -> O(n^2)
   in the scheduler).
 
+* **Metrics-registry overhead** (DESIGN.md §5.12): when a fresh
+  ``BENCH_obs.json`` (``tools/bench_obs.py``) is present, its
+  ``registry`` measurement — the bench-smoke grid with the registry
+  disabled vs enabled — must stay within ``--registry-tol`` percent
+  (default 5%).  The registry's hot path is a handful of dict updates
+  per pool item, so a breach means instrumentation crept into an inner
+  loop.  A missing ``BENCH_obs.json`` skips the check (the counter and
+  wall guards above never require it).
+
 The baseline is read from ``git show HEAD:BENCH_smoke.json`` when
 available (so running the guard after regenerating the file still
 compares against what is committed), falling back to ``--baseline``.
@@ -71,6 +80,12 @@ def main(argv=None) -> int:
     ap.add_argument("--wall-tol", type=float, default=3.0, metavar="F",
                     help="allowed wall_s multiple of the baseline "
                          "(default 3.0; cross-host guard)")
+    ap.add_argument("--obs", default=str(ROOT / "BENCH_obs.json"),
+                    help="fresh observability numbers; the registry "
+                         "overhead check is skipped when absent")
+    ap.add_argument("--registry-tol", type=float, default=5.0, metavar="PCT",
+                    help="allowed metrics-registry wall overhead in "
+                         "percent (default 5.0)")
     args = ap.parse_args(argv)
 
     try:
@@ -109,6 +124,27 @@ def main(argv=None) -> int:
                 f"wall_s regressed: {fresh['wall_s']} > {base['wall_s']} "
                 f"* {args.wall_tol:g}"
             )
+    obs_path = Path(args.obs)
+    if obs_path.exists():
+        try:
+            registry = json.loads(obs_path.read_text()).get("registry")
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read obs numbers {args.obs!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if registry is not None:
+            pct = registry["overhead_pct"]
+            status = "OK" if pct <= args.registry_tol else "FAIL"
+            print(f"{status}: registry overhead: {pct:+.1f}% "
+                  f"(limit {args.registry_tol:g}%, "
+                  f"off {registry['off_s']}s on {registry['on_s']}s)")
+            if pct > args.registry_tol:
+                failures.append(
+                    f"metrics registry overhead {pct:+.1f}% exceeds "
+                    f"{args.registry_tol:g}% of bench-smoke wall"
+                )
+    else:
+        print(f"skip: registry overhead ({args.obs} not present)")
     print(f"baseline: {base_src}")
     if failures:
         for f in failures:
