@@ -54,7 +54,9 @@ stderr (host time, complementing ``--trace``'s virtual time); with a
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from contextlib import contextmanager
 
 from .core.api import BREAKDOWN_LABELS, run_case
@@ -217,6 +219,21 @@ def _save_eval_store(args, store) -> None:
     n = store.save(args.eval_store)
     print(f"eval store: {store.hits} hits, {store.new_records} new "
           f"evaluations, {n} records -> {args.eval_store}")
+
+
+def _add_token_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--token", metavar="SECRET", default=None,
+        help="bearer token for the coordinator/plan server (default: "
+             "$REPRO_DIST_TOKEN; omit entirely to disable auth)",
+    )
+
+
+def _resolve_token(args) -> str | None:
+    """``--token``, falling back to ``$REPRO_DIST_TOKEN`` (how spawned
+    local fleet workers inherit the coordinator's token)."""
+    return getattr(args, "token", None) or os.environ.get(
+        "REPRO_DIST_TOKEN") or None
 
 
 def _shape(args) -> ProblemShape:
@@ -411,6 +428,7 @@ def cmd_grid(args) -> int:
             host=host or "127.0.0.1", port=port,
             workers=args.workers or "", worker_jobs=args.worker_jobs,
             lease_ttl=args.lease_ttl, trace_dir=args.trace_dir,
+            token=_resolve_token(args),
             announce=lambda url: print(f"coordinator serving at {url}",
                                        file=sys.stderr, flush=True),
         )
@@ -489,6 +507,7 @@ def cmd_worker(args) -> int:
             max_cells=args.max_cells,
             poll_s=args.poll,
             progress=_progress(args),
+            token=_resolve_token(args),
         )
     except DistError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -502,12 +521,52 @@ def cmd_worker(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: long-lived tuned-plan server (DESIGN.md §5.13)."""
+    from .serve import PlanServer, ServeConfig
+
+    host, _, port_text = args.bind.partition(":")
+    try:
+        port = int(port_text) if port_text else 0
+    except ValueError:
+        print(f"error: bad --bind port {port_text!r}", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        host=host or "127.0.0.1",
+        port=port,
+        root=args.root,
+        token=_resolve_token(args),
+        workers=args.workers or "",
+        worker_jobs=args.worker_jobs,
+        lease_ttl=args.lease_ttl,
+        job_threads=args.job_threads,
+        default_budget=args.budget,
+    )
+    server = PlanServer(config)
+    url = server.start()
+    mode = (f"fleet: {config.workers}" if config.workers
+            else "in-process tuning")
+    auth = "bearer-token auth" if config.token else "auth disabled"
+    print(f"plan server listening on {url} ({mode}, {auth})")
+    print(f"  stores under {args.root}/<tenant>/ ; "
+          f"POST {url}/plan , GET {url}/status , GET {url}/metrics")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nplan server shutting down (flushing eval stores)...",
+              file=sys.stderr)
+        server.stop(wait_jobs=False)
+        return 0
+
+
 def cmd_top(args) -> int:
     """``repro top``: live dashboard for a running coordinator."""
     from .obs import TopDashboard
 
     dash = TopDashboard(
-        args.coordinator, interval=args.interval, max_polls=args.polls
+        args.coordinator, interval=args.interval, max_polls=args.polls,
+        token=_resolve_token(args),
     )
     try:
         return dash.run()
@@ -693,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds an unrenewed worker lease survives before its "
              "cells requeue (default 15)",
     )
+    _add_token_arg(p_grid)
     p_grid.add_argument(
         "--trace-dir", metavar="DIR", default=None,
         help="with --serve: write the merged fleet telemetry here when "
@@ -718,7 +778,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--poll", type=float, default=0.5, metavar="SECS",
         help="idle poll interval while waiting for pending cells",
     )
+    _add_token_arg(p_worker)
     p_worker.set_defaults(func=cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve", help="long-lived tuned-plan server (tuning-as-a-service)"
+    )
+    p_serve.add_argument(
+        "--bind", metavar="HOST[:PORT]", default="127.0.0.1:0",
+        help="address to listen on (default 127.0.0.1 with an ephemeral "
+             "port; bind 0.0.0.0 for remote clients)",
+    )
+    p_serve.add_argument(
+        "--root", metavar="DIR", default="plan_store",
+        help="base directory for per-tenant stores "
+             "(<root>/<tenant>/results/ + <root>/<tenant>/evals.jsonl)",
+    )
+    p_serve.add_argument(
+        "--workers", metavar="LIST", default=None,
+        help="worker launch spec for cold-miss tuning jobs, as in `grid "
+             "--workers` ('local,local' or ssh hosts); default: tune "
+             "in-process on the job thread",
+    )
+    p_serve.add_argument(
+        "--worker-jobs", type=int, default=1, metavar="N",
+        help="--jobs forwarded to each spawned fleet worker (default 1)",
+    )
+    p_serve.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECS",
+        help="lease TTL for the tuning jobs' coordinator (default 15)",
+    )
+    p_serve.add_argument(
+        "--job-threads", type=int, default=1, metavar="N",
+        help="concurrent background tuning jobs (default 1; requests "
+             "never block on this — a cold miss always returns 202)",
+    )
+    p_serve.add_argument(
+        "--budget", type=int, default=None,
+        help="tuning budget when a request omits one (default: paper "
+             "scale for the requested p)",
+    )
+    _add_token_arg(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_top = sub.add_parser(
         "top", help="live dashboard for a `grid --serve` coordinator"
@@ -736,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after N successful polls (default: run until the "
              "coordinator vanishes, which is a clean exit)",
     )
+    _add_token_arg(p_top)
     p_top.set_defaults(func=cmd_top)
 
     p_trace = sub.add_parser(

@@ -37,6 +37,11 @@ class DistConfig:
     #: overall grid deadline; pending cells time out past it (None = wait
     #: forever for workers)
     timeout_s: float | None = None
+    #: bearer token every request must present (``Authorization:
+    #: Bearer <token>``); None disables auth entirely — no header sent,
+    #: none checked, existing fleets unaffected.  Spawned local workers
+    #: inherit it via ``$REPRO_DIST_TOKEN``.
+    token: str | None = None
     #: directory for the merged fleet telemetry the coordinator writes
     #: when the grid ends: ``fleet_trace.json`` (one Chrome trace with a
     #: process group per worker host) and ``fleet_metrics.prom`` (the

@@ -149,8 +149,21 @@ class Coordinator:
             ("dist_requeues_total", "Cells requeued from expired leases."),
             ("dist_telemetry_rejects_total",
              "Worker telemetry payloads dropped as malformed."),
+            ("dist_auth_rejects_total",
+             "Requests rejected for a missing or wrong bearer token."),
         ):
             self.registry.inc(name, 0, help=help_)
+
+    def authorized(self, header: str | None) -> bool:
+        """Whether a request's ``Authorization`` header passes.  Always
+        true when no token is configured (auth disabled)."""
+        token = self.config.token
+        if not token:
+            return True
+        if header == f"Bearer {token}":
+            return True
+        self.registry.inc("dist_auth_rejects_total")
+        return False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -488,7 +501,9 @@ def _make_handler(coord: Coordinator) -> type[BaseHTTPRequestHandler]:
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             try:
-                if self.path == "/config":
+                if not coord.authorized(self.headers.get("Authorization")):
+                    self._reply({"error": "unauthorized"}, 401)
+                elif self.path == "/config":
                     self._reply(coord.job.descriptor())
                 elif self.path == "/status":
                     self._reply(coord.handle_status())
@@ -501,6 +516,9 @@ def _make_handler(coord: Coordinator) -> type[BaseHTTPRequestHandler]:
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
             try:
+                if not coord.authorized(self.headers.get("Authorization")):
+                    self._reply({"error": "unauthorized"}, 401)
+                    return
                 length = int(self.headers.get("Content-Length", 0))
                 body = decode(self.rfile.read(length)) if length else {}
                 routes = {
@@ -563,7 +581,8 @@ def dist_map(
     if config.announce is not None:
         config.announce(url)
     fleet = (
-        launch_workers(url, config.workers, config.worker_jobs)
+        launch_workers(url, config.workers, config.worker_jobs,
+                       token=config.token)
         if config.workers
         else None
     )

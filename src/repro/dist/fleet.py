@@ -18,13 +18,21 @@ import sys
 from pathlib import Path
 
 
-def _worker_argv(url: str, worker_jobs: int) -> list[str]:
-    return [
+def _worker_argv(
+    url: str, worker_jobs: int, token: str | None = None
+) -> list[str]:
+    argv = [
         "-m", "repro", "worker",
         "--coordinator", url,
         "--jobs", str(worker_jobs),
         "--no-progress",
     ]
+    if token:
+        # ssh workers get the token on the command line (best effort,
+        # like the rest of the ssh path); local workers inherit it via
+        # $REPRO_DIST_TOKEN instead so it never shows up in `ps`.
+        argv += ["--token", token]
+    return argv
 
 
 def _src_dir() -> str:
@@ -84,7 +92,9 @@ class WorkerFleet:
                     pass
 
 
-def launch_workers(url: str, spec: str, worker_jobs: int = 1) -> WorkerFleet:
+def launch_workers(
+    url: str, spec: str, worker_jobs: int = 1, token: str | None = None
+) -> WorkerFleet:
     """Spawn one worker per comma-separated entry in ``spec``.
 
     ``local`` entries run ``sys.executable -m repro worker ...`` with
@@ -93,10 +103,14 @@ def launch_workers(url: str, spec: str, worker_jobs: int = 1) -> WorkerFleet:
     ``ssh <host> python3 -m repro worker ...``, which assumes the remote
     host has the package importable and can reach the coordinator URL —
     bind a routable host (``--serve 0.0.0.0:PORT``) for that.
+    ``token`` is the coordinator's bearer token, forwarded to every
+    spawned worker (env var locally, ``--token`` over ssh).
     """
     fleet = WorkerFleet()
     env = dict(os.environ)
     env["PYTHONPATH"] = _src_dir() + os.pathsep + env.get("PYTHONPATH", "")
+    if token:
+        env["REPRO_DIST_TOKEN"] = token
     for entry in [e.strip() for e in spec.split(",") if e.strip()]:
         if entry == "local":
             argv = [sys.executable] + _worker_argv(url, worker_jobs)
@@ -106,7 +120,7 @@ def launch_workers(url: str, spec: str, worker_jobs: int = 1) -> WorkerFleet:
             )
         else:
             remote = "python3 " + " ".join(
-                shlex.quote(a) for a in _worker_argv(url, worker_jobs)
+                shlex.quote(a) for a in _worker_argv(url, worker_jobs, token)
             )
             proc = subprocess.Popen(
                 ["ssh", "-o", "BatchMode=yes", entry, remote],

@@ -30,6 +30,13 @@ path      method  body -> response
 telemetry (metric deltas and trace spans, see DESIGN.md §5.12): the
 coordinator merges them when present and old workers that omit them
 still speak the same protocol version.
+
+Auth: when a server is started with a token (``DistConfig.token`` /
+``ServeConfig.token``), every request must carry
+``Authorization: Bearer <token>`` or be rejected with 401; both
+:func:`call` and :func:`fetch_text` attach it via their ``token``
+argument.  With no token configured the header is neither sent nor
+checked — existing fleets keep working unchanged.
 """
 
 from __future__ import annotations
@@ -62,10 +69,19 @@ def decode(raw: bytes) -> dict:
     return obj
 
 
+def _headers(token: str | None) -> dict[str, str]:
+    """Request headers, with the bearer token when one is in play."""
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
+    return headers
+
+
 def fetch_text(
     base_url: str,
     path: str,
     timeout: float = 10.0,
+    token: str | None = None,
 ) -> str:
     """One GET for a plain-text endpoint (``/metrics``).
 
@@ -74,8 +90,9 @@ def fetch_text(
     gone", not as an error worth backing off on.
     """
     url = base_url.rstrip("/") + path
+    req = urllib.request.Request(url, headers=_headers(token))
     try:
-        with urllib.request.urlopen(url, timeout=timeout) as resp:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
             return resp.read().decode("utf-8")
     except urllib.error.HTTPError as exc:
         raise DistProtocolError(
@@ -95,6 +112,8 @@ def call(
     retries: int = 3,
     backoff_s: float = 0.2,
     sleep: Callable[[float], None] = time.sleep,
+    token: str | None = None,
+    with_status: bool = False,
 ) -> dict:
     """One request against the coordinator; GET when ``payload`` is None.
 
@@ -103,6 +122,10 @@ def call(
     endpoints are idempotent, so a retried request is always safe.
     Protocol-level rejections (4xx with a JSON ``error``) raise
     :class:`~repro.errors.DistProtocolError` immediately.
+
+    With ``with_status=True`` returns ``(status_code, body)`` instead of
+    just the body — the plan server distinguishes 200 (warm hit) from
+    202 (job enqueued) and its clients need to see which they got.
     """
     url = base_url.rstrip("/") + path
     body = None if payload is None else encode(payload)
@@ -112,11 +135,12 @@ def call(
             url,
             data=body,
             method="GET" if body is None else "POST",
-            headers={"Content-Type": "application/json"},
+            headers=_headers(token),
         )
         try:
             with urllib.request.urlopen(req, timeout=timeout) as resp:
-                return decode(resp.read())
+                out = decode(resp.read())
+                return (resp.status, out) if with_status else out
         except urllib.error.HTTPError as exc:
             detail = ""
             try:

@@ -113,16 +113,19 @@ def run_worker(
     rpc_timeout: float = 10.0,
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
+    token: str | None = None,
 ) -> WorkerStats:
     """Serve one grid as a worker until the coordinator reports finished.
 
     ``jobs`` shards each lease over a local process pool (inheriting
     ``policy``'s retries/timeouts); ``max_cells`` caps the cells per
     lease (default: the coordinator's batch size, but at least ``jobs``
-    so the local pool has work for every slot).
+    so the local pool has work for every slot).  ``token`` is the
+    coordinator's bearer token (None when auth is disabled).
     """
     stats = WorkerStats(worker=worker_id())
-    cfg = call(coordinator, "/config", timeout=rpc_timeout, sleep=sleep)
+    cfg = call(coordinator, "/config", timeout=rpc_timeout, sleep=sleep,
+               token=token)
     if cfg.get("version") != PROTOCOL_VERSION:
         raise DistProtocolError(
             f"coordinator speaks protocol {cfg.get('version')!r}, "
@@ -152,7 +155,7 @@ def run_worker(
             _serve(
                 stats, coordinator, platform, snapshot, ttl, jobs,
                 max_cells, poll_s, progress, policy, rpc_timeout, clock,
-                sleep, telem,
+                sleep, telem, token,
             )
     finally:
         if installed is not None:
@@ -175,13 +178,14 @@ def _serve(
     clock: Callable[[], float],
     sleep: Callable[[float], None],
     telem: _Telemetry,
+    token: str | None = None,
 ) -> None:
     while True:
         try:
             grant = call(
                 coordinator, "/lease",
                 {"worker": stats.worker, "max_cells": max_cells},
-                timeout=rpc_timeout, sleep=sleep,
+                timeout=rpc_timeout, sleep=sleep, token=token,
             )
         except DistProtocolError:
             # The coordinator vanished mid-poll (grid finished and shut
@@ -199,7 +203,7 @@ def _serve(
         _evaluate_lease(
             stats, coordinator, platform, snapshot, ttl,
             str(grant.get("lease", "")), cells, jobs, progress, policy,
-            rpc_timeout, sleep, telem,
+            rpc_timeout, sleep, telem, token,
         )
 
 
@@ -217,6 +221,7 @@ def _evaluate_lease(
     rpc_timeout: float,
     sleep: Callable[[float], None],
     telem: _Telemetry,
+    token: str | None = None,
 ) -> None:
     """Evaluate one lease's cells and report every outcome upstream."""
     labels = [f"{platform} p{c['p']} N{c['n']}" for c in cells]
@@ -234,6 +239,7 @@ def _evaluate_lease(
                     {"worker": stats.worker, "lease": lease,
                      **beat.snapshot()},
                     timeout=rpc_timeout, retries=0, sleep=sleep,
+                    token=token,
                 )
             except DistProtocolError:
                 pass  # transient; the next beat (or expiry) sorts it out
@@ -296,7 +302,7 @@ def _evaluate_lease(
             {"worker": stats.worker, "lease": lease, "cells": done_payload,
              "wisdom": GLOBAL_WISDOM.export_json(),
              **telem.payload(stats.worker)},
-            timeout=rpc_timeout, sleep=sleep,
+            timeout=rpc_timeout, sleep=sleep, token=token,
         )
         stats.cells_done += len(done_payload)
     if failures:
@@ -314,6 +320,6 @@ def _evaluate_lease(
             coordinator, "/fail",
             {"worker": stats.worker, "lease": lease,
              "failures": fail_payload},
-            timeout=rpc_timeout, sleep=sleep,
+            timeout=rpc_timeout, sleep=sleep, token=token,
         )
         stats.cells_failed += len(fail_payload)

@@ -658,7 +658,7 @@ def evaluate_cells(
                 # tracer, so their shipped hit counts are folded into
                 # the parent's trace here.
                 eval_store.merge(EvalStore.from_jsonl(delta))
-                eval_store.hits += hits
+                eval_store.add_hits(hits)
                 if pooled and hits:
                     metrics.count("tune_store_hits_total", hits,
                                   help="Eval-store read-through hits.")

@@ -9,6 +9,17 @@ lossless; readers never observe a truncated file because the rename is
 atomic on POSIX.  Unlike :func:`repro.bench.runner.save_cache` (one
 file for the whole memo), per-key files let parallel workers and even
 separate benchmark invocations share results without coordination.
+
+Thread safety (the serve-layer audit, DESIGN.md §5.13): per-cell files
+were always atomic *across processes*, but same-process concurrency had
+two holes once :mod:`repro.serve` started calling one store from many
+``ThreadingHTTPServer`` handler threads — the temp name was keyed by
+pid alone (two threads putting the same cell shared one temp file, so
+an ``os.replace`` could promote a half-written payload), and the
+in-memory hit/miss counters were bare read-modify-writes.  Both now sit
+behind an internal :class:`threading.Lock`, with the thread id added to
+the temp name, matching the :class:`~repro.tuning.evalstore.EvalStore`
+treatment.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import warnings
 from pathlib import Path
 
@@ -37,11 +49,21 @@ def _safe(token: str) -> str:
 
 
 class ResultStore:
-    """Directory of per-cell JSON results."""
+    """Directory of per-cell JSON results.
+
+    Safe to share across threads: disk writes are atomic per cell and
+    the in-memory counters (``hits``/``misses``/``puts`` — what the
+    plan server reports as provenance) mutate only under the internal
+    lock.
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
 
     def path_for(
         self, platform: str, p: int, n: int, budget: int, faults: str = ""
@@ -66,6 +88,7 @@ class ResultStore:
         error: the caller just recomputes the cell)."""
         file = self.path_for(platform, p, n, budget, faults)
         if not file.exists():
+            self._count(hit=False)
             return None
         try:
             item = json.loads(file.read_text())
@@ -76,6 +99,7 @@ class ResultStore:
                 CorruptStoreWarning,
                 stacklevel=2,
             )
+            self._count(hit=False)
             return None
         if cell.key() != (platform, p, n, budget, faults):
             warnings.warn(
@@ -84,8 +108,17 @@ class ResultStore:
                 CorruptStoreWarning,
                 stacklevel=2,
             )
+            self._count(hit=False)
             return None
+        self._count(hit=True)
         return cell
+
+    def _count(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
 
     def cells(self) -> list[CellResult]:
         """Every readable cell in the store (corrupt files are skipped
@@ -104,12 +137,28 @@ class ResultStore:
         return out
 
     def put(self, cell: CellResult) -> Path:
-        """Persist one cell atomically; returns its file path."""
+        """Persist one cell atomically; returns its file path.
+
+        The temp name carries pid *and* thread id: two handler threads
+        storing the same cell each write their own temp file, and
+        whichever ``os.replace`` lands last wins with a complete
+        payload (the values are identical anyway — cells are pure
+        functions of their keys)."""
         target = self.path_for(*cell.key())
-        tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+        tmp = target.with_name(
+            target.name + f".tmp.{os.getpid()}.{threading.get_ident()}"
+        )
         tmp.write_text(json.dumps(cell_to_dict(cell), indent=1))
         os.replace(tmp, target)
+        with self._lock:
+            self.puts += 1
         return target
+
+    def stats(self) -> dict:
+        """Point-in-time counter snapshot (serve-layer provenance)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "puts": self.puts}
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))

@@ -114,6 +114,7 @@ class TopDashboard:
         fetch_status: Callable[[], dict] | None = None,
         fetch_metrics: Callable[[], str] | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        token: str | None = None,
     ) -> None:
         self.url = url.rstrip("/")
         self.interval = interval
@@ -127,11 +128,11 @@ class TopDashboard:
 
             if fetch_status is None:
                 fetch_status = lambda: call(  # noqa: E731
-                    self.url, "/status", retries=0
+                    self.url, "/status", retries=0, token=token
                 )
             if fetch_metrics is None:
                 fetch_metrics = lambda: fetch_text(  # noqa: E731
-                    self.url, "/metrics"
+                    self.url, "/metrics", token=token
                 )
         self.fetch_status = fetch_status
         self.fetch_metrics = fetch_metrics

@@ -1,0 +1,30 @@
+"""Tuning-as-a-service: the long-lived tuned-plan server (DESIGN.md §5.13).
+
+Public surface:
+
+* :class:`PlanServer` / :class:`ServeConfig` — the server itself
+* :class:`StoreRegistry` / :class:`GridStores` — per-tenant warm stores
+* :func:`request_plan` / :func:`poll_plan` / :func:`wait_for_plan` —
+  stdlib client helpers
+"""
+
+from .client import poll_plan, request_plan, wait_for_plan
+from .config import ServeConfig
+from .jobs import JobManager, PlanJob
+from .server import PlanServer, normalize_request, plan_key
+from .stores import DEFAULT_TENANT, GridStores, StoreRegistry
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "GridStores",
+    "JobManager",
+    "PlanJob",
+    "PlanServer",
+    "ServeConfig",
+    "StoreRegistry",
+    "normalize_request",
+    "plan_key",
+    "poll_plan",
+    "request_plan",
+    "wait_for_plan",
+]

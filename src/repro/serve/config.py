@@ -1,0 +1,47 @@
+"""Configuration for the long-lived tuned-plan server."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for one :class:`~repro.serve.PlanServer`.
+
+    The shape deliberately mirrors :class:`~repro.dist.DistConfig`:
+    injectable ``clock``, ephemeral-port binding, an ``announce``
+    callback for the CLI, and the same bearer-token story — one shared
+    secret covers plan clients *and* the tuning-job worker fleet.
+    """
+
+    #: address the server binds; port 0 picks an ephemeral port
+    #: (the chosen URL is printed / available as ``PlanServer.url``)
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: base directory for the per-tenant store pairs
+    #: (``<root>/<tenant>/results/`` + ``<root>/<tenant>/evals.jsonl``)
+    root: str = "plan_store"
+    #: bearer token every client request must present; None disables
+    #: auth (no header sent or checked).  Also forwarded to the tuning
+    #: jobs' coordinator + spawned workers, so one secret covers both.
+    token: str | None = None
+    #: worker launch spec for cold-miss tuning jobs (see
+    #: :class:`~repro.dist.DistConfig.workers`); empty = tune in-process
+    #: on the job thread instead of dispatching to a fleet
+    workers: str = ""
+    #: ``--jobs`` forwarded to each spawned fleet worker
+    worker_jobs: int = 1
+    #: lease TTL for the tuning jobs' internal coordinator
+    lease_ttl: float = 15.0
+    #: concurrent background tuning jobs (requests never block on this
+    #: — a miss always returns 202 immediately)
+    job_threads: int = 1
+    #: tuning budget when a request omits ``budget`` (None = the
+    #: paper-scale default for the requested p, like the grid command)
+    default_budget: int | None = None
+    #: called with the server URL once it is listening
+    announce: Callable[[str], None] | None = None
+    clock: Callable[[], float] = time.monotonic

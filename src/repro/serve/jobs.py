@@ -1,0 +1,162 @@
+"""Background tuning jobs: dedup by plan key, run off the request path.
+
+A cold ``POST /plan`` never tunes inline — it enqueues a job here and
+returns ``202`` with a handle immediately, so one slow tuning session
+cannot stall the serving threads.  The manager's core guarantee is
+**single-flight per plan key**: any number of concurrent identical
+requests collapse onto one job (the first submitter creates it, every
+later one gets the same handle back), which is what makes "N clients
+ask for the same cold plan" cost exactly one fleet tuning run.
+
+Jobs survive completion: a finished job stays pollable at
+``GET /plan/<id>`` until the server exits, while the *store* is the
+durable record — a restarted server answers the same plan from the
+warm store without any job at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: job lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: states during which a plan key collapses onto the existing job
+ACTIVE_STATES = (QUEUED, RUNNING)
+
+
+@dataclass
+class PlanJob:
+    """One background tuning job for one plan key."""
+
+    id: str
+    plan_key: tuple
+    tenant: str
+    request: dict                  # the normalized plan request fields
+    state: str = QUEUED
+    error: str = ""
+    created_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for ``/plan/<id>`` and ``/status``."""
+        with self.lock:
+            out = {
+                "job": self.id,
+                "state": self.state,
+                "tenant": self.tenant,
+                "request": dict(self.request),
+            }
+            if self.error:
+                out["error"] = self.error
+            if self.started_at is not None and self.finished_at is not None:
+                out["tuning_wall_s"] = round(
+                    self.finished_at - self.started_at, 3
+                )
+            return out
+
+    def _set_state(self, state: str, error: str = "") -> None:
+        with self.lock:
+            self.state = state
+            if error:
+                self.error = error
+
+
+class JobManager:
+    """Single-flight job table + a small worker pool to run them.
+
+    ``runner`` is the function that actually tunes (the server's
+    ``_run_job``); it is called on a pool thread with the job as its
+    only argument and must raise on failure.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[PlanJob], None],
+        threads: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._runner = runner
+        self._clock = clock
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(threads, 1),
+            thread_name_prefix="repro-serve-job",
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, PlanJob] = {}
+        self._active: dict[tuple, str] = {}   # plan key -> active job id
+        self._seq = 0
+
+    def submit(self, plan_key: tuple, tenant: str,
+               request: dict) -> tuple[PlanJob, bool]:
+        """The job for ``plan_key`` — existing-active or freshly created.
+
+        Returns ``(job, created)``; ``created`` is False when the call
+        collapsed onto a job another request already enqueued (the
+        single-flight path).  The check-then-create is one critical
+        section, so two racing cold requests can never both create.
+        """
+        with self._lock:
+            active_id = self._active.get(plan_key)
+            if active_id is not None:
+                return self._jobs[active_id], False
+            self._seq += 1
+            job = PlanJob(
+                id=f"job-{self._seq:06d}",
+                plan_key=plan_key,
+                tenant=tenant,
+                request=request,
+                created_at=self._clock(),
+            )
+            self._jobs[job.id] = job
+            self._active[plan_key] = job.id
+        self._pool.submit(self._run, job)
+        return job, True
+
+    def get(self, job_id: str) -> PlanJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (for ``/status`` and the serve gauges)."""
+        out = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            with job.lock:
+                out[job.state] = out.get(job.state, 0) + 1
+        return out
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    # -- pool side -----------------------------------------------------------
+
+    def _run(self, job: PlanJob) -> None:
+        with job.lock:
+            job.state = RUNNING
+            job.started_at = self._clock()
+        try:
+            self._runner(job)
+        except Exception as exc:  # noqa: BLE001 - surfaced via the job
+            job._set_state(FAILED, error=f"{type(exc).__name__}: {exc}")
+        else:
+            job._set_state(DONE)
+        finally:
+            with job.lock:
+                job.finished_at = self._clock()
+            # only now may a new request re-create a job for this key
+            # (and only if the store somehow still misses — normally
+            # the finished job's cell answers from the store forever)
+            with self._lock:
+                if self._active.get(job.plan_key) == job.id:
+                    del self._active[job.plan_key]

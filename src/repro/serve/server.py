@@ -1,0 +1,497 @@
+"""The long-lived tuned-plan server (`repro serve`).
+
+One process that answers "what configuration should I run?" for any
+number of clients, the Active-Harmony-as-a-service shape the ROADMAP
+calls for:
+
+* ``POST /plan`` — body ``{platform, p, n, variant?, budget?, faults?,
+  objective?, tenant?}``.  A warm hit (the tenant's
+  :class:`~repro.exec.ResultStore` already holds the cell) answers
+  ``200`` immediately with tuned params + provenance and **zero
+  simulations**; a cold miss enqueues a background tuning job
+  (single-flight per plan key) and answers ``202`` with a pollable
+  handle.
+* ``GET /plan/<id>`` — poll a job; ``done`` jobs answer with the same
+  payload a warm hit produces.
+* ``GET /status`` — uptime, tenants, job counts, store counters.
+* ``GET /metrics`` — the server's registry (``serve_*`` lifecycle
+  counters + everything the tuning jobs published, including the
+  internal coordinator's ``dist_*`` when a fleet ran) as Prometheus
+  text exposition, same idiom as the coordinator's.
+
+Tuning jobs run through the standard
+:func:`~repro.exec.evaluate_cells` path — in-process on the job thread
+by default, or dispatched to a ``repro worker`` fleet via the PR-5
+coordinator when :attr:`ServeConfig.workers` is set — so a served plan
+is byte-identical to what ``repro grid`` would have stored for the
+same cell.  Warm stores are held by a
+:class:`~repro.serve.stores.StoreRegistry` (one pair per tenant) and
+are safe under concurrent handler threads because the stores themselves
+lock internally (DESIGN.md §5.13).
+
+Auth: with :attr:`ServeConfig.token` set, every request must carry
+``Authorization: Bearer <token>`` or is rejected with 401 before any
+store or job state is touched; the same secret is forwarded to the
+job fleet's coordinator/workers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..bench.runner import CellResult, effective_budget
+from ..dist.config import DistConfig
+from ..dist.protocol import encode
+from ..errors import FaultSpecError
+from ..faults import injected_faults, parse_faults
+from ..machine.platforms import get_platform
+from ..obs.registry import current_registry, scoped_registry
+from .config import ServeConfig
+from .jobs import DONE, FAILED, JobManager, PlanJob
+from .stores import DEFAULT_TENANT, GridStores, StoreRegistry
+
+#: variants a plan can ask for; ``best`` picks the fastest tuned one
+VARIANT_CHOICES = ("NEW", "TH", "FFTW", "best")
+
+#: objective spellings a request may use and how they are reported
+OBJECTIVE_CHOICES = ("fft_time", "speedup")
+
+
+class BadRequest(ValueError):
+    """A malformed plan request (mapped to HTTP 400)."""
+
+
+class _AmbientGate:
+    """Readers/writer gate around the process-global fault stack.
+
+    A fault-injected tuning job must install its spec ambiently
+    (:mod:`repro.faults` is process-global by design — pool workers
+    inherit it), so while one runs, no other job may compute cell keys.
+    Fault-free jobs are readers (any number at once), faulted jobs are
+    writers (exclusive).  With the default single job thread this gate
+    never blocks.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    @contextmanager
+    def reading(self):
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                self._cond.notify_all()
+
+    @contextmanager
+    def writing(self):
+        with self._cond:
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+def normalize_request(body: dict, config: ServeConfig) -> dict:
+    """Validate and canonicalize one ``POST /plan`` body.
+
+    Returns the normalized request dict (canonical platform name,
+    effective budget, canonical fault key, ...) or raises
+    :class:`BadRequest` with a client-facing message.
+    """
+    if not isinstance(body, dict):
+        raise BadRequest("plan request must be a JSON object")
+    try:
+        platform = get_platform(str(body["platform"])).name
+    except KeyError as exc:
+        raise BadRequest(str(exc.args[0] if exc.args else exc)) from exc
+    try:
+        p = int(body["p"])
+        n = int(body["n"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BadRequest(f"need integer 'p' and 'n' fields: {exc}") from exc
+    if p <= 0 or n <= 0:
+        raise BadRequest(f"p and n must be positive (got p={p}, n={n})")
+    variant = str(body.get("variant", "NEW"))
+    if variant not in VARIANT_CHOICES:
+        raise BadRequest(
+            f"unknown variant {variant!r}; choose from {VARIANT_CHOICES}"
+        )
+    objective = str(body.get("objective", "fft_time"))
+    if objective not in OBJECTIVE_CHOICES:
+        raise BadRequest(
+            f"unknown objective {objective!r}; choose from "
+            f"{OBJECTIVE_CHOICES}"
+        )
+    try:
+        budget = body.get("budget")
+        budget = effective_budget(
+            p, int(budget) if budget is not None else config.default_budget
+        )
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad 'budget': {exc}") from exc
+    faults_text = str(body.get("faults", "") or "")
+    faults_key = ""
+    if faults_text:
+        try:
+            faults_key = parse_faults(faults_text).key()
+        except FaultSpecError as exc:
+            raise BadRequest(f"bad 'faults': {exc}") from exc
+    tenant = str(body.get("tenant", DEFAULT_TENANT))
+    return {
+        "tenant": tenant,
+        "platform": platform,
+        "p": p,
+        "n": n,
+        "variant": variant,
+        "objective": objective,
+        "budget": budget,
+        "faults": faults_key,
+    }
+
+
+def plan_key(req: dict) -> tuple:
+    """The single-flight/store identity of a request.
+
+    The variant and objective are *not* part of it: one tuning job
+    produces the whole cell (all variants tuned), so requests differing
+    only in variant share the job and the stored cell.
+    """
+    return (req["tenant"], req["platform"], req["p"], req["n"],
+            req["budget"], req["faults"])
+
+
+class PlanServer:
+    """HTTP front end + job runner for one store root (see module doc)."""
+
+    def __init__(self, config: ServeConfig = ServeConfig()) -> None:
+        self.config = config
+        self.stores = StoreRegistry(config.root)
+        self.jobs = JobManager(
+            self._run_job, threads=config.job_threads, clock=config.clock
+        )
+        self._gate = _AmbientGate()
+        # captured at construction, like the coordinator's: handler and
+        # job threads have their own (empty) thread-local stacks
+        self.registry = current_registry()
+        self._t0 = config.clock()
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        for name, help_ in (
+            ("serve_plan_hits_total",
+             "Plan requests answered from a warm store."),
+            ("serve_plan_misses_total",
+             "Plan requests that needed a tuning job."),
+            ("serve_jobs_enqueued_total",
+             "Background tuning jobs created (single-flight)."),
+            ("serve_jobs_completed_total",
+             "Background tuning jobs finished successfully."),
+            ("serve_jobs_failed_total",
+             "Background tuning jobs that raised."),
+            ("serve_auth_rejects_total",
+             "Requests rejected for a missing or wrong bearer token."),
+            ("serve_bad_requests_total",
+             "Malformed plan requests rejected with 400."),
+        ):
+            self.registry.inc(name, 0, help=help_)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> str:
+        """Bind and serve on a daemon thread; returns the URL."""
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        if self.config.announce is not None:
+            self.config.announce(self.url)
+        return self.url
+
+    @property
+    def url(self) -> str:
+        if self._server is None:
+            raise RuntimeError("plan server not started")
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def stop(self, wait_jobs: bool = True) -> None:
+        """Stop serving, drain (or abandon) jobs, flush eval stores."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.jobs.shutdown(wait=wait_jobs)
+        self.stores.flush_all()
+
+    # -- request handling (called from handler threads) --------------------
+
+    def authorized(self, header: str | None) -> bool:
+        token = self.config.token
+        if not token:
+            return True
+        if header == f"Bearer {token}":
+            return True
+        self.registry.inc("serve_auth_rejects_total")
+        return False
+
+    def handle_plan(self, body: dict) -> tuple[int, dict]:
+        """``POST /plan``: warm hit -> 200, cold miss -> 202 + job."""
+        req = normalize_request(body, self.config)
+        stores = self.stores.get(req["tenant"])
+        cell = stores.results.get(
+            req["platform"], req["p"], req["n"], req["budget"], req["faults"]
+        )
+        if cell is not None:
+            self.registry.inc("serve_plan_hits_total")
+            return 200, self._plan_payload(req, cell, stores,
+                                           source="result-store")
+        self.registry.inc("serve_plan_misses_total")
+        job, created = self.jobs.submit(plan_key(req), req["tenant"], req)
+        if created:
+            self.registry.inc("serve_jobs_enqueued_total")
+        out = job.snapshot()
+        out["poll"] = f"/plan/{job.id}"
+        out["created"] = created
+        return 202, out
+
+    def handle_plan_poll(self, job_id: str) -> tuple[int, dict]:
+        """``GET /plan/<id>``: job state; the plan itself once done."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        snap = job.snapshot()
+        if snap["state"] != DONE:
+            return 200, snap
+        req = job.request
+        stores = self.stores.get(req["tenant"])
+        cell = stores.results.get(
+            req["platform"], req["p"], req["n"], req["budget"], req["faults"]
+        )
+        if cell is None:  # store vanished under a finished job
+            snap["error"] = "job finished but its cell left the store"
+            snap["state"] = FAILED
+            return 500, snap
+        out = self._plan_payload(req, cell, stores, source="job")
+        out.update(snap)
+        return 200, out
+
+    def handle_status(self) -> dict:
+        now = self.config.clock()
+        counts = self.jobs.counts()
+        return {
+            "uptime_s": round(max(now - self._t0, 0.0), 3),
+            "tenants": self.stores.tenants(),
+            "jobs": counts,
+            "stores": {
+                tenant: {
+                    "cells": len(self.stores.get(tenant).results),
+                    "eval_records": len(self.stores.get(tenant).evals),
+                    **self.stores.get(tenant).results.stats(),
+                }
+                for tenant in self.stores.tenants()
+            },
+        }
+
+    def metrics_text(self) -> str:
+        """``/metrics``: refresh the point-in-time gauges, then render
+        the whole registry as Prometheus text exposition."""
+        reg = self.registry
+        counts = self.jobs.counts()
+        for state, value in counts.items():
+            reg.set("serve_jobs", value, help="Tuning jobs per state.",
+                    state=state)
+        reg.set("serve_tenants", len(self.stores.tenants()),
+                help="Tenants with a store pair.")
+        uptime = max(self.config.clock() - self._t0, 0.0)
+        reg.set("serve_uptime_seconds", round(uptime, 6),
+                help="Seconds since the plan server started.")
+        return reg.render_prometheus()
+
+    def _plan_payload(self, req: dict, cell: CellResult,
+                      stores: GridStores, source: str) -> dict:
+        """The 200 body for a served plan (warm hit or finished job)."""
+        variant = req["variant"]
+        if variant == "best":
+            variant = min(cell.times, key=lambda v: cell.times[v])
+        if req["objective"] == "speedup":
+            objective = cell.speedup(variant)
+        else:
+            objective = cell.times[variant]
+        cell_file = stores.results.path_for(
+            req["platform"], req["p"], req["n"], req["budget"], req["faults"]
+        )
+        try:
+            age_s = round(max(time.time() - cell_file.stat().st_mtime, 0.0), 3)
+        except OSError:
+            age_s = None
+        return {
+            "plan": {
+                "tenant": req["tenant"],
+                "platform": req["platform"],
+                "p": req["p"],
+                "n": req["n"],
+                "budget": req["budget"],
+                "faults": req["faults"],
+                "variant": variant,
+                "params": cell.params[variant].as_dict(),
+                "objective": objective,
+                "objective_kind": req["objective"],
+                "fft_time": cell.times[variant],
+                "times": dict(cell.times),
+                "tuning_time": cell.tuning_times[variant],
+                "evaluations": cell.evaluations[variant],
+            },
+            "provenance": {
+                "source": source,
+                "store_key": cell_file.name,
+                "age_s": age_s,
+                "eval_records": len(stores.evals),
+                "simulations": 0 if source == "result-store" else None,
+            },
+        }
+
+    # -- job side (runs on JobManager pool threads) -------------------------
+
+    def _run_job(self, job: PlanJob) -> None:
+        """Tune one cold cell and write it through the tenant's stores.
+
+        Runs under the server's registry (job telemetry — including the
+        internal coordinator's ``dist_*`` counters when a fleet is
+        configured — lands on ``/metrics``) and under the ambient-fault
+        gate (see :class:`_AmbientGate`).
+        """
+        from ..exec import evaluate_cells  # heavy import, job-side only
+
+        req = job.request
+        stores = self.stores.get(req["tenant"])
+        dispatch, dist_cfg = "local", None
+        if self.config.workers:
+            dispatch = "dist"
+            dist_cfg = DistConfig(
+                workers=self.config.workers,
+                worker_jobs=self.config.worker_jobs,
+                lease_ttl=self.config.lease_ttl,
+                token=self.config.token,
+                poll_s=0.05,
+            )
+
+        def tune() -> None:
+            cells = evaluate_cells(
+                req["platform"], [(req["p"], req["n"])],
+                max_evaluations=req["budget"],
+                store=stores.results,
+                eval_store=stores.evals,
+                dispatch=dispatch,
+                dist=dist_cfg,
+            )
+            # evaluate_cells leaves memo hits disk-lazy; a job is only
+            # done when *this tenant's* store holds the cell (another
+            # tenant may have primed the process memo with it)
+            for cell in cells:
+                if not stores.results.path_for(*cell.key()).exists():
+                    stores.results.put(cell)
+
+        with scoped_registry(self.registry):
+            try:
+                if req["faults"]:
+                    with self._gate.writing(), \
+                            injected_faults(parse_faults(req["faults"])):
+                        tune()
+                else:
+                    with self._gate.reading():
+                        tune()
+            except Exception:
+                self.registry.inc("serve_jobs_failed_total")
+                raise
+            self.registry.inc("serve_jobs_completed_total")
+            stores.flush()
+
+
+def _make_handler(server: PlanServer) -> type[BaseHTTPRequestHandler]:
+    """A handler class closed over one plan server (coordinator idiom)."""
+    from ..dist.protocol import decode
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # the CLI summary is the UI; no per-request spam
+
+        def _reply(self, payload: dict, code: int = 200) -> None:
+            raw = encode(payload)
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
+        def _reply_text(self, text: str, code: int = 200) -> None:
+            raw = text.encode("utf-8")
+            self.send_response(code)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            try:
+                if not server.authorized(self.headers.get("Authorization")):
+                    self._reply({"error": "unauthorized"}, 401)
+                elif self.path == "/status":
+                    self._reply(server.handle_status())
+                elif self.path == "/metrics":
+                    self._reply_text(server.metrics_text())
+                elif self.path.startswith("/plan/"):
+                    code, payload = server.handle_plan_poll(
+                        self.path[len("/plan/"):]
+                    )
+                    self._reply(payload, code)
+                else:
+                    self._reply({"error": f"unknown path {self.path}"}, 404)
+            except Exception as exc:
+                self._reply({"error": str(exc)}, 500)
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            try:
+                if not server.authorized(self.headers.get("Authorization")):
+                    self._reply({"error": "unauthorized"}, 401)
+                    return
+                if self.path != "/plan":
+                    self._reply({"error": f"unknown path {self.path}"}, 404)
+                    return
+                length = int(self.headers.get("Content-Length", 0))
+                body = decode(self.rfile.read(length)) if length else {}
+                code, payload = server.handle_plan(body)
+                self._reply(payload, code)
+            except (BadRequest, ValueError) as exc:
+                server.registry.inc("serve_bad_requests_total")
+                self._reply({"error": str(exc)}, 400)
+            except Exception as exc:
+                self._reply({"error": str(exc)}, 500)
+
+    return Handler

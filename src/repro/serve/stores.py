@@ -1,0 +1,99 @@
+"""Multi-grid store registry: one warm store pair per tenant.
+
+The plan server is multi-tenant in the narrow sense the ROADMAP asks
+for: several independent grids (teams, experiments, clusters) behind
+one process, each with its own :class:`~repro.exec.ResultStore`
+directory and :class:`~repro.tuning.evalstore.EvalStore` JSONL under a
+shared root::
+
+    <root>/<tenant>/results/*.json    per-cell tuned results
+    <root>/<tenant>/evals.jsonl       every timed configuration
+
+Store pairs are created lazily on first touch and kept warm for the
+life of the server — that is the whole point of serving plans instead
+of re-deriving them.  The registry itself is guarded by a lock;
+the stores it hands out carry their own internal locks (the PR-8
+concurrency hardening), so handler threads can share them freely.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exec.store import ResultStore
+from ..tuning.evalstore import EvalStore
+
+#: the tenant used when a request does not name one
+DEFAULT_TENANT = "default"
+
+
+def valid_tenant(name: str) -> bool:
+    """Tenant names become directory names; keep them boring."""
+    return bool(name) and all(
+        c.isalnum() or c in "-_." for c in name
+    ) and name not in (".", "..")
+
+
+@dataclass
+class GridStores:
+    """One tenant's warm store pair."""
+
+    tenant: str
+    results: ResultStore
+    evals: EvalStore
+    evals_path: Path
+
+    def flush(self) -> int:
+        """Merge-save the eval store back to disk (same-process saves
+        are serialized inside :meth:`EvalStore.save`)."""
+        return self.evals.save(self.evals_path)
+
+
+class StoreRegistry:
+    """Lazily populated map from tenant name to :class:`GridStores`."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._grids: dict[str, GridStores] = {}
+
+    def get(self, tenant: str = DEFAULT_TENANT) -> GridStores:
+        """The tenant's store pair, created/loaded on first touch.
+
+        Raises :class:`ValueError` for names that cannot safely become
+        directories (the server maps that to a 400).
+        """
+        if not valid_tenant(tenant):
+            raise ValueError(f"invalid tenant name {tenant!r}")
+        with self._lock:
+            grids = self._grids.get(tenant)
+            if grids is None:
+                base = self.root / tenant
+                evals_path = base / "evals.jsonl"
+                grids = self._grids[tenant] = GridStores(
+                    tenant=tenant,
+                    results=ResultStore(base / "results"),
+                    evals=EvalStore.load(evals_path),
+                    evals_path=evals_path,
+                )
+            return grids
+
+    def tenants(self) -> list[str]:
+        """Every tenant: loaded ones plus any found on disk (a restart
+        lists its predecessors' grids before they are touched)."""
+        with self._lock:
+            loaded = set(self._grids)
+        on_disk = {
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and valid_tenant(p.name)
+        }
+        return sorted(loaded | on_disk)
+
+    def flush_all(self) -> int:
+        """Merge-save every loaded eval store; returns records written."""
+        with self._lock:
+            grids = list(self._grids.values())
+        return sum(g.flush() for g in grids)

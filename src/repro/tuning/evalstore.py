@@ -24,12 +24,24 @@ Keys are opaque strings (see :func:`eval_key`), so merging is a plain
 dict union — first-wins per key, which is lossless because every value
 is a deterministic pure function of its key (the simulator is
 deterministic and the objective mode is part of the key).
+
+Thread safety: every store is shared state the moment it is served —
+the plan server (:mod:`repro.serve`) and the distributed coordinator
+both read and mutate one store from ``ThreadingHTTPServer`` handler
+threads.  All mutating and reading paths therefore hold an internal
+:class:`threading.RLock` (re-entrant because ``save`` merges, and
+``merge`` may be called under the lock), and same-process saves to one
+path are additionally serialized by a per-path module lock — without
+it two threads can each merge the *same* stale disk snapshot and the
+``os.replace`` loser's new records silently vanish.  Cross-process
+concurrency stays what it always was: first-wins read-merge-replace.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -70,6 +82,25 @@ def eval_key(
     return key
 
 
+#: per-path locks serializing same-process :meth:`EvalStore.save` calls;
+#: two stores saving the same file must not interleave their
+#: read-merge-replace cycles (the lost-update race pinned by
+#: ``tests/tuning/test_evalstore_threads.py``)
+_SAVE_LOCKS: dict[str, threading.Lock] = {}
+_SAVE_LOCKS_GUARD = threading.Lock()
+
+
+def _save_lock(target: Path) -> threading.Lock:
+    """The process-wide lock for saves to ``target`` (created on first
+    use; keyed by the resolved path so spellings of one file alias)."""
+    key = str(target.resolve())
+    with _SAVE_LOCKS_GUARD:
+        lock = _SAVE_LOCKS.get(key)
+        if lock is None:
+            lock = _SAVE_LOCKS[key] = threading.Lock()
+        return lock
+
+
 @dataclass(frozen=True)
 class EvalRecord:
     """One stored measurement."""
@@ -85,35 +116,50 @@ class EvalStore:
     Tracks which records were added after construction/loading
     (:meth:`new_jsonl`) so pool workers can ship *only their deltas*
     back to the parent, and counts hits/misses for reporting.
+
+    All record/counter access holds :attr:`_lock` (re-entrant), so one
+    store can be hammered by many HTTP handler threads without losing
+    records, dropping new-record deltas, or skewing hit/miss counters.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._records: dict[str, EvalRecord] = {}
         self._new: set[str] = set()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._records
+        with self._lock:
+            return key in self._records
 
     @property
     def new_records(self) -> int:
         """Records added since this store was constructed or loaded."""
-        return len(self._new)
+        with self._lock:
+            return len(self._new)
 
     # -- queries ---------------------------------------------------------
 
     def get_key(self, key: str) -> EvalRecord | None:
         """Record for an exact key, or ``None`` (counts hit/miss)."""
-        rec = self._records.get(key)
-        if rec is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return rec
+        with self._lock:
+            rec = self._records.get(key)
+            if rec is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return rec
+
+    def add_hits(self, n: int) -> None:
+        """Fold ``n`` externally counted hits in (worker-shipped hit
+        counts; the read-modify-write must happen under the lock)."""
+        with self._lock:
+            self.hits += n
 
     def get(
         self,
@@ -132,10 +178,11 @@ class EvalStore:
 
     def put_key(self, key: str, record: EvalRecord) -> None:
         """Insert a record (first-wins: an existing key is kept)."""
-        if key in self._records:
-            return
-        self._records[key] = record
-        self._new.add(key)
+        with self._lock:
+            if key in self._records:
+                return
+            self._records[key] = record
+            self._new.add(key)
 
     def put(
         self,
@@ -159,14 +206,22 @@ class EvalStore:
         key — lossless, values are pure functions of their keys).
         Returns the number of records actually added.  ``mark_new=False``
         folds records in without counting them as this store's own work
-        (used when reconciling with a file another writer updated)."""
+        (used when reconciling with a file another writer updated).
+
+        Lock order: ``other``'s lock is taken only to copy its records,
+        and released before this store's lock is acquired — the locks
+        are never nested, so two stores merging each other from two
+        threads cannot deadlock."""
+        with other._lock:
+            incoming = list(other._records.items())
         added = 0
-        for key, rec in other._records.items():
-            if key not in self._records:
-                self._records[key] = rec
-                if mark_new:
-                    self._new.add(key)
-                added += 1
+        with self._lock:
+            for key, rec in incoming:
+                if key not in self._records:
+                    self._records[key] = rec
+                    if mark_new:
+                        self._new.add(key)
+                    added += 1
         return added
 
     def scope(
@@ -184,19 +239,21 @@ class EvalStore:
     def to_jsonl(self, keys: set[str] | None = None) -> str:
         """Serialize (a subset of) the store, one record per line."""
         lines = []
-        for key in sorted(self._records if keys is None else keys):
-            rec = self._records[key]
-            lines.append(json.dumps({
-                "key": key,
-                "objective": rec.objective,
-                "cost": rec.cost,
-                "executed": rec.executed,
-            }))
+        with self._lock:
+            for key in sorted(self._records if keys is None else keys):
+                rec = self._records[key]
+                lines.append(json.dumps({
+                    "key": key,
+                    "objective": rec.objective,
+                    "cost": rec.cost,
+                    "executed": rec.executed,
+                }))
         return "\n".join(lines) + ("\n" if lines else "")
 
     def new_jsonl(self) -> str:
         """Only the records added since construction (worker deltas)."""
-        return self.to_jsonl(self._new)
+        with self._lock:
+            return self.to_jsonl(set(self._new))
 
     @classmethod
     def from_jsonl(cls, text: str) -> "EvalStore":
@@ -228,23 +285,36 @@ class EvalStore:
     def save(self, path: str | Path) -> int:
         """Merge with the on-disk store and atomically replace it.
 
-        Read-merge-replace makes concurrent savers additive: whichever
-        writer loses the ``os.replace`` race has already folded the
-        other's records in (both read before writing), and a reader never
-        observes a truncated file because the rename is atomic.  Returns
-        the number of records written.
+        Cross-process, read-merge-replace makes concurrent savers
+        additive: whichever writer loses the ``os.replace`` race has
+        already folded the other's records in (both read before
+        writing), and a reader never observes a truncated file because
+        the rename is atomic.  That argument fails *within* a process —
+        two threads can both read the same stale snapshot before either
+        replaces it, and the loser's new records vanish — so
+        same-process saves to one path are serialized by a per-path
+        lock: the second saver's read is guaranteed to see the first
+        saver's file.  The temp name carries the thread id as well as
+        the pid, so two in-flight saves can never clobber each other's
+        temp file.  Returns the number of records written.
         """
         target = Path(path)
-        if target.exists():
-            try:
-                self.merge(EvalStore.from_jsonl(target.read_text()),
-                           mark_new=False)
-            except OSError:
-                pass
-        tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
-        tmp.write_text(self.to_jsonl())
-        os.replace(tmp, target)
-        return len(self)
+        with _save_lock(target):
+            if target.exists():
+                try:
+                    self.merge(EvalStore.from_jsonl(target.read_text()),
+                               mark_new=False)
+                except OSError:
+                    pass
+            with self._lock:
+                payload = self.to_jsonl()
+                count = len(self._records)
+            tmp = target.with_name(
+                target.name + f".tmp.{os.getpid()}.{threading.get_ident()}"
+            )
+            tmp.write_text(payload)
+            os.replace(tmp, target)
+        return count
 
     @classmethod
     def load(cls, path: str | Path) -> "EvalStore":

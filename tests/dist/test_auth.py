@@ -1,0 +1,102 @@
+"""Bearer-token auth on the dist coordinator (and by extension the
+plan server, which reuses the same header/check/401 discipline).
+
+The contract: with ``DistConfig.token`` set, every request must carry
+``Authorization: Bearer <token>`` or be rejected with 401 before any
+queue state is touched; with no token configured the header is neither
+sent nor checked, so existing fleets keep working unchanged.
+"""
+
+import pytest
+
+from repro.bench import clear_cache
+from repro.bench.runner import cell_key
+from repro.dist import Coordinator, DistConfig, GridJob, run_worker
+from repro.dist.protocol import call, fetch_text
+from repro.errors import DistProtocolError
+
+BUDGET = 4
+CELLS = [(4, 32)]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def make_coord(token=None):
+    todo = [cell_key("UMD-Cluster", p, n, BUDGET) for p, n in CELLS]
+    job = GridJob(
+        platform="UMD-Cluster",
+        todo=todo,
+        labels=[f"p{p} N{n}" for p, n in CELLS],
+        lease_ttl=5.0,
+    )
+    coord = Coordinator(job, DistConfig(token=token))
+    url = coord.start()
+    return coord, url
+
+
+class TestTokenRequired:
+    def test_missing_token_is_401(self):
+        coord, url = make_coord(token="s3cret")
+        try:
+            with pytest.raises(DistProtocolError, match="401"):
+                call(url, "/status")
+            with pytest.raises(DistProtocolError, match="401"):
+                call(url, "/lease", {"worker": "w", "max_cells": 1})
+            with pytest.raises(DistProtocolError, match="401"):
+                fetch_text(url, "/metrics")
+        finally:
+            coord.stop()
+
+    def test_wrong_token_is_401_and_counted(self):
+        coord, url = make_coord(token="s3cret")
+        try:
+            with pytest.raises(DistProtocolError, match="401"):
+                call(url, "/status", token="wrong")
+            metrics = fetch_text(url, "/metrics", token="s3cret")
+            lines = dict(
+                line.rsplit(" ", 1)
+                for line in metrics.splitlines()
+                if line and not line.startswith("#")
+            )
+            assert float(lines["dist_auth_rejects_total"]) >= 1
+        finally:
+            coord.stop()
+
+    def test_right_token_serves_the_grid(self):
+        """An authed worker completes the whole grid end to end."""
+        coord, url = make_coord(token="s3cret")
+        try:
+            assert call(url, "/status", token="s3cret")["finished"] is False
+            stats = run_worker(url, poll_s=0.05, token="s3cret")
+            assert stats.cells_done == len(CELLS)
+            assert coord.queue.finished
+        finally:
+            coord.stop()
+
+    def test_rejected_request_touches_no_queue_state(self):
+        coord, url = make_coord(token="s3cret")
+        try:
+            with pytest.raises(DistProtocolError, match="401"):
+                call(url, "/lease", {"worker": "w", "max_cells": 1})
+            assert coord.queue.counts()["leased"] == 0
+        finally:
+            coord.stop()
+
+
+class TestTokenDisabled:
+    def test_no_token_accepts_everything(self):
+        """Auth off: bare requests and requests that volunteer a token
+        both pass (the server does not even look at the header)."""
+        coord, url = make_coord(token=None)
+        try:
+            assert call(url, "/status")["finished"] is False
+            assert call(url, "/status", token="whatever")["finished"] is False
+            stats = run_worker(url, poll_s=0.05)
+            assert stats.cells_done == len(CELLS)
+        finally:
+            coord.stop()

@@ -183,7 +183,7 @@ class TestFleetLoss:
 
         monkeypatch.setattr(
             "repro.dist.coordinator.launch_workers",
-            lambda url, spec, jobs: DeadFleet(),
+            lambda url, spec, jobs, token=None: DeadFleet(),
         )
         todo = [cell_key("UMD-Cluster", p, n, BUDGET) for p, n in GRID]
         labels = [f"p{p} N{n}" for p, n in GRID]

@@ -1,6 +1,7 @@
 """On-disk result store: atomicity, key discipline, corruption handling."""
 
 import json
+import threading
 
 import pytest
 
@@ -66,3 +67,45 @@ class TestResultStore:
         assert item["platform"] == "UMD-Cluster"
         assert item["budget"] == BUDGET
         assert set(item["times"]) == {"FFTW", "NEW", "TH"}
+
+    def test_counters_and_stats(self, tmp_path, cell):
+        store = ResultStore(tmp_path)
+        assert store.get("UMD-Cluster", 4, 32, BUDGET) is None
+        store.put(cell)
+        assert store.get("UMD-Cluster", 4, 32, BUDGET) == cell
+        assert store.stats() == {"hits": 1, "misses": 1, "puts": 1}
+
+
+class TestResultStoreThreads:
+    """The serve layer shares one store across handler + job threads
+    (DESIGN.md §5.13); these pin the concurrency contract."""
+
+    def test_same_cell_put_storm_stays_readable(self, tmp_path, cell):
+        """8 threads putting + getting the same cell: the thread-id'd
+        temp names mean no thread ever promotes another's half-written
+        file, so every interleaved read sees a complete payload."""
+        store = ResultStore(tmp_path)
+        threads_n, rounds = 8, 25
+        barrier = threading.Barrier(threads_n)
+        failures: list[str] = []
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(rounds):
+                store.put(cell)
+                got = store.get("UMD-Cluster", 4, 32, BUDGET)
+                if got != cell:
+                    failures.append(f"read back {got!r}")
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert failures == []
+        leftovers = [f for f in store.root.iterdir() if ".tmp." in f.name]
+        assert leftovers == []
+        stats = store.stats()
+        assert stats["puts"] == threads_n * rounds
+        assert stats["hits"] == threads_n * rounds
+        assert stats["hits"] + stats["misses"] == threads_n * rounds

@@ -1,0 +1,181 @@
+"""Plan-server benchmark: write BENCH_serve.json.
+
+Usage:  python tools/bench_serve.py [--budget B] [--clients N] [--out PATH]
+
+Proves the PR-8 serving story end to end against a real
+:class:`~repro.serve.PlanServer` (real HTTP, threaded handlers):
+
+1. **cold miss** — one request tunes the cell through a background job
+   (wall time recorded as the price of a miss).
+2. **warm-hit latency** — the same plan is requested ``--samples``
+   times sequentially; p50/p95/p99 request latency is recorded, and the
+   server registry must show **zero** simulated runs for the whole
+   phase (plans come from the store, not the simulator).
+3. **concurrent throughput** — ``--clients`` threads each fire
+   ``--per-client`` warm requests at once; total requests/second is
+   recorded along with the single-flight proof from the cold phase
+   (exactly one tuning job despite ``--clients`` racing first posts).
+
+The JSON keeps the raw counters so the trajectory is comparable across
+commits, same shape discipline as BENCH_dist.json.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import clear_cache  # noqa: E402
+from repro.obs.registry import MetricsRegistry, scoped_registry  # noqa: E402
+from repro.serve import (  # noqa: E402
+    PlanServer,
+    ServeConfig,
+    request_plan,
+    wait_for_plan,
+)
+
+PLATFORM = "UMD-Cluster"
+P, N = 4, 32
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(int(round(q * (len(ordered) - 1))), len(ordered) - 1)
+    return ordered[idx]
+
+
+def sim_runs(reg: MetricsRegistry) -> float:
+    fam = reg.snapshot().get("sim_runs_total")
+    return sum(v for _, v in fam["samples"]) if fam else 0.0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--budget", type=int, default=4)
+    ap.add_argument("--samples", type=int, default=200,
+                    help="sequential warm requests for the latency phase")
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--per-client", type=int, default=50)
+    ap.add_argument("--out", default="BENCH_serve.json")
+    args = ap.parse_args()
+
+    clear_cache()
+    reg = MetricsRegistry()
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp:
+        with scoped_registry(reg):
+            server = PlanServer(ServeConfig(
+                root=str(Path(tmp) / "store"), default_budget=args.budget,
+            ))
+        url = server.start()
+        try:
+            # -- 1. cold miss: racing first posts, then one tuning job --
+            print(f"cold miss: {args.clients} concurrent first requests")
+            barrier = threading.Barrier(args.clients)
+            first: list = [None] * args.clients
+
+            def cold(i: int) -> None:
+                barrier.wait()
+                first[i] = request_plan(url, PLATFORM, P, N)
+
+            threads = [threading.Thread(target=cold, args=(i,))
+                       for i in range(args.clients)]
+            t0 = time.monotonic()
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            # stragglers may land after the job finished and see a warm
+            # 200 — fine; the single-flight proof is one job id + the
+            # enqueued counter below
+            jobs = {body["job"] for code, body in first if code == 202}
+            assert len(jobs) == 1, f"single-flight broken: {jobs}"
+            wait_for_plan(url, jobs.pop(), timeout=600)
+            cold_wall = round(time.monotonic() - t0, 4)
+            enqueued = reg.value("serve_jobs_enqueued_total")
+            assert enqueued == 1, f"{enqueued} jobs for one plan key"
+            print(f"  tuned in {cold_wall}s, {int(enqueued)} job "
+                  f"for {args.clients} clients")
+
+            # -- 2. warm-hit latency, sequential ------------------------
+            sims_before = sim_runs(reg)
+            lat: list[float] = []
+            for _ in range(args.samples):
+                t = time.perf_counter()
+                code, _body = request_plan(url, PLATFORM, P, N)
+                lat.append(time.perf_counter() - t)
+                assert code == 200
+            warm = {
+                "samples": args.samples,
+                "p50_ms": round(percentile(lat, 0.50) * 1e3, 3),
+                "p95_ms": round(percentile(lat, 0.95) * 1e3, 3),
+                "p99_ms": round(percentile(lat, 0.99) * 1e3, 3),
+                "mean_ms": round(statistics.mean(lat) * 1e3, 3),
+            }
+            warm_sims = sim_runs(reg) - sims_before
+            assert warm_sims == 0, f"warm phase simulated {warm_sims} runs"
+            print(f"  warm hits: p50 {warm['p50_ms']}ms  "
+                  f"p99 {warm['p99_ms']}ms  (0 simulations)")
+
+            # -- 3. concurrent warm throughput --------------------------
+            total = args.clients * args.per_client
+            barrier = threading.Barrier(args.clients)
+            errors: list[str] = []
+
+            def hammer() -> None:
+                barrier.wait()
+                for _ in range(args.per_client):
+                    code, _b = request_plan(url, PLATFORM, P, N)
+                    if code != 200:
+                        errors.append(f"code {code}")
+
+            threads = [threading.Thread(target=hammer)
+                       for _ in range(args.clients)]
+            t0 = time.monotonic()
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            wall = time.monotonic() - t0
+            assert not errors, errors[:3]
+            throughput = {
+                "clients": args.clients,
+                "requests": total,
+                "wall_s": round(wall, 4),
+                "requests_per_s": round(total / wall, 1),
+            }
+            print(f"  {total} concurrent warm requests in "
+                  f"{throughput['wall_s']}s -> "
+                  f"{throughput['requests_per_s']} req/s")
+        finally:
+            server.stop()
+
+    payload = {
+        "benchmark": "plan server: cold single-flight + warm-hit latency",
+        "platform": PLATFORM,
+        "cell": [P, N],
+        "budget": args.budget,
+        "cold": {
+            "clients": args.clients,
+            "wall_s": cold_wall,
+            "tuning_jobs": int(enqueued),
+        },
+        "warm_latency": warm,
+        "warm_simulations": warm_sims,
+        "throughput": throughput,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"ok  ->  {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
