@@ -56,6 +56,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import threading
 import time
 from contextlib import contextmanager
 
@@ -523,6 +524,8 @@ def cmd_worker(args) -> int:
 
 def cmd_serve(args) -> int:
     """``repro serve``: long-lived tuned-plan server (DESIGN.md §5.13)."""
+    import signal
+
     from .serve import PlanServer, ServeConfig
 
     host, _, port_text = args.bind.partition(":")
@@ -541,23 +544,48 @@ def cmd_serve(args) -> int:
         lease_ttl=args.lease_ttl,
         job_threads=args.job_threads,
         default_budget=args.budget,
+        journal=not args.no_journal,
+        drain_timeout=args.drain_timeout,
+        job_timeout=args.job_timeout,
     )
+    # SIGTERM (supervisors) and SIGINT (ctrl-C) both take the graceful
+    # path: flip readiness, let active jobs finish up to --drain-timeout,
+    # journal survivors as interrupted for the next incarnation to
+    # replay.  Installed before the server binds so a signal racing
+    # startup still drains instead of dying on the default disposition.
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+
     server = PlanServer(config)
     url = server.start()
     mode = (f"fleet: {config.workers}" if config.workers
             else "in-process tuning")
     auth = "bearer-token auth" if config.token else "auth disabled"
-    print(f"plan server listening on {url} ({mode}, {auth})")
+    # flush=True throughout: subprocess harnesses (chaos tests, the
+    # recovery benchmark) parse the URL from a pipe before any newline
+    # pressure would flush it naturally
+    print(f"plan server listening on {url} ({mode}, {auth})", flush=True)
     print(f"  stores under {args.root}/<tenant>/ ; "
-          f"POST {url}/plan , GET {url}/status , GET {url}/metrics")
-    try:
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        print("\nplan server shutting down (flushing eval stores)...",
-              file=sys.stderr)
-        server.stop(wait_jobs=False)
-        return 0
+          f"POST {url}/plan , GET {url}/status , GET {url}/metrics , "
+          f"GET {url}/healthz", flush=True)
+    if server.recovered_jobs:
+        print(f"  recovered {server.recovered_jobs} interrupted job(s) "
+              f"from the journal", flush=True)
+
+    while not stop.is_set():
+        stop.wait(1.0)
+    print(f"\nplan server draining (up to {config.drain_timeout:g}s)...",
+          file=sys.stderr, flush=True)
+    outcome = server.drain()
+    if outcome["drained"]:
+        print("plan server drained cleanly; all jobs journaled final",
+              file=sys.stderr, flush=True)
+    else:
+        ids = ", ".join(outcome["interrupted"])
+        print(f"drain timeout expired; journaled as interrupted: {ids}",
+              file=sys.stderr, flush=True)
+    return 0
 
 
 def cmd_top(args) -> int:
@@ -817,6 +845,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget", type=int, default=None,
         help="tuning budget when a request omits one (default: paper "
              "scale for the requested p)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECS",
+        help="on SIGTERM/SIGINT, wait this long for active tuning jobs "
+             "before journaling them interrupted and exiting (default 30)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECS",
+        help="fail a tuning job stuck RUNNING past this wall time and "
+             "free its single-flight key (default: no watchdog)",
+    )
+    p_serve.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the job journal (<root>/jobs.journal.jsonl): no "
+             "crash recovery, interrupted jobs are lost on restart",
     )
     _add_token_arg(p_serve)
     p_serve.set_defaults(func=cmd_serve)

@@ -308,6 +308,21 @@ class Coordinator:
             accepted += 1
         return {"accepted": accepted, "finished": self.queue.finished}
 
+    def handle_healthz(self) -> tuple[int, dict]:
+        """Liveness/readiness for supervisors: 200 while the grid still
+        has work to hand out, 503 once the queue is finished (the
+        coordinator is about to shut down, stop routing to it).  Served
+        without auth — probes don't carry bearer tokens."""
+        ready = not self.queue.finished
+        uptime = max(self.config.clock() - self._t0, 0.0)
+        body = {
+            "live": True,
+            "ready": ready,
+            "finished": self.queue.finished,
+            "uptime_s": round(uptime, 3),
+        }
+        return (200 if ready else 503), body
+
     def handle_status(self) -> dict:
         counts = self.queue.counts()
         now = self.config.clock()
@@ -501,7 +516,12 @@ def _make_handler(coord: Coordinator) -> type[BaseHTTPRequestHandler]:
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             try:
-                if not coord.authorized(self.headers.get("Authorization")):
+                if self.path == "/healthz":
+                    # before the auth gate: supervisor probes are
+                    # anonymous and the body leaks nothing sensitive
+                    code, payload = coord.handle_healthz()
+                    self._reply(payload, code)
+                elif not coord.authorized(self.headers.get("Authorization")):
                     self._reply({"error": "unauthorized"}, 401)
                 elif self.path == "/config":
                     self._reply(coord.job.descriptor())

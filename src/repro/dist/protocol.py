@@ -21,6 +21,8 @@ path      method  body -> response
                   attempts, timed_out}]} -> {accepted, finished}
 /status   GET     -> queue counters, lease ages, per-worker heartbeat
                   lag, completion rate + ETA
+/healthz  GET     -> liveness/readiness probe (no auth; 200 ready /
+                  503 finished-or-draining); also on the plan server
 /metrics  GET     -> Prometheus text exposition (fleet-wide registry:
                   coordinator counters + merged worker deltas); fetch
                   with :func:`fetch_text`, not :func:`call`
@@ -42,15 +44,35 @@ checked — existing fleets keep working unchanged.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Callable
 
-from ..errors import DistProtocolError
+from ..errors import DistProtocolError, DistUnreachableError
+from ..obs.registry import count as _count_metric
 
 #: bumped on incompatible wire changes; both sides check it
 PROTOCOL_VERSION = 1
+
+#: retry backoff shape: exponential with full-range cap, then jitter
+BACKOFF_FACTOR = 2.0
+MAX_BACKOFF_S = 5.0
+
+#: jitter source for retry backoff.  Module-level and *not* seeded from
+#: anything deterministic on purpose: the whole point of jitter is that
+#: a fleet of clients knocked over by one coordinator restart does not
+#: come back in lockstep.  Tests monkeypatch this for determinism.
+_jitter = random.Random()
+
+
+def _backoff_delay(attempt: int, base: float) -> float:
+    """Delay before retry ``attempt`` (0-based): exponential growth
+    capped at :data:`MAX_BACKOFF_S`, scaled by a uniform jitter in
+    ``[0.5, 1.0)`` so synchronized clients desynchronize."""
+    raw = min(base * (BACKOFF_FACTOR ** attempt), MAX_BACKOFF_S)
+    return raw * (0.5 + _jitter.random() * 0.5)
 
 
 def encode(payload: dict) -> bytes:
@@ -82,26 +104,42 @@ def fetch_text(
     path: str,
     timeout: float = 10.0,
     token: str | None = None,
+    retries: int = 0,
+    backoff_s: float = 0.2,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> str:
     """One GET for a plain-text endpoint (``/metrics``).
 
-    No retries: the callers are pollers (``repro top``, benchmark
-    probes) that have their own cadence and treat a miss as "coordinator
-    gone", not as an error worth backing off on.
+    ``retries`` defaults to 0: the usual callers are pollers
+    (``repro top``, benchmark probes) that have their own cadence and
+    treat a miss as "coordinator gone".  Callers that *do* want to ride
+    out a restart blip pass ``retries > 0`` and get the same jittered
+    exponential backoff as :func:`call` (transient ``URLError``/5xx
+    only; 4xx rejections raise immediately).
     """
     url = base_url.rstrip("/") + path
-    req = urllib.request.Request(url, headers=_headers(token))
-    try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return resp.read().decode("utf-8")
-    except urllib.error.HTTPError as exc:
-        raise DistProtocolError(
-            f"{path} rejected ({exc.code}): {exc.reason}"
-        ) from exc
-    except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
-        raise DistProtocolError(
-            f"coordinator unreachable at {url}: {exc}"
-        ) from exc
+    last: Exception | None = None
+    for attempt in range(retries + 1):
+        req = urllib.request.Request(url, headers=_headers(token))
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            if exc.code < 500:
+                raise DistProtocolError(
+                    f"{path} rejected ({exc.code}): {exc.reason}"
+                ) from exc
+            last = exc
+        except (urllib.error.URLError, ConnectionError, TimeoutError,
+                OSError) as exc:
+            last = exc
+        if attempt < retries:
+            _count_metric("proto_retries_total",
+                          help="Transport-level protocol retries.")
+            sleep(_backoff_delay(attempt, backoff_s))
+    raise DistUnreachableError(
+        f"coordinator unreachable at {url}: {last}"
+    ) from last
 
 
 def call(
@@ -118,10 +156,16 @@ def call(
     """One request against the coordinator; GET when ``payload`` is None.
 
     Transport-level failures (connection refused mid-restart, dropped
-    sockets, 5xx) are retried with linear backoff — the coordinator's
-    endpoints are idempotent, so a retried request is always safe.
-    Protocol-level rejections (4xx with a JSON ``error``) raise
-    :class:`~repro.errors.DistProtocolError` immediately.
+    sockets, 5xx) are retried with **jittered exponential backoff**
+    (see :func:`_backoff_delay`) — the coordinator's endpoints are
+    idempotent, so a retried request is always safe, and the jitter
+    keeps a fleet of clients knocked over by one restart from
+    stampeding back in lockstep.  Each retry is counted on the current
+    metrics registry as ``proto_retries_total``.  Exhausting the budget
+    raises :class:`~repro.errors.DistUnreachableError` (a
+    :class:`~repro.errors.DistProtocolError` subclass); protocol-level
+    rejections (4xx with a JSON ``error``) raise
+    :class:`~repro.errors.DistProtocolError` immediately, no retry.
 
     With ``with_status=True`` returns ``(status_code, body)`` instead of
     just the body — the plan server distinguishes 200 (warm hit) from
@@ -155,7 +199,9 @@ def call(
         except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
             last = exc
         if attempt < retries:
-            sleep(backoff_s * (attempt + 1))
-    raise DistProtocolError(
+            _count_metric("proto_retries_total",
+                          help="Transport-level protocol retries.")
+            sleep(_backoff_delay(attempt, backoff_s))
+    raise DistUnreachableError(
         f"coordinator unreachable at {url} after {retries + 1} attempt(s): {last}"
     ) from last

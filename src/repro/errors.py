@@ -139,5 +139,13 @@ class DistProtocolError(DistError):
     """A coordinator/worker exchange could not be completed or parsed."""
 
 
+class DistUnreachableError(DistProtocolError):
+    """A transport-level failure (refused/dropped/5xx) survived every
+    retry — the peer is down or restarting, as opposed to having
+    *rejected* the request.  Subclasses :class:`DistProtocolError`, so
+    existing handlers keep working; pollers that want to ride out a
+    restart window (``wait_for_plan``) catch this one specifically."""
+
+
 class DistWorkersLost(DistError):
     """Every spawned worker exited while grid cells were still pending."""

@@ -3,6 +3,8 @@
 Public surface:
 
 * :class:`PlanServer` / :class:`ServeConfig` — the server itself
+* :class:`JobJournal` / :class:`JournalEntry` — the per-root job
+  write-ahead journal behind crash recovery (DESIGN.md §5.14)
 * :class:`StoreRegistry` / :class:`GridStores` — per-tenant warm stores
 * :func:`request_plan` / :func:`poll_plan` / :func:`wait_for_plan` —
   stdlib client helpers
@@ -10,14 +12,18 @@ Public surface:
 
 from .client import poll_plan, request_plan, wait_for_plan
 from .config import ServeConfig
-from .jobs import JobManager, PlanJob
+from .jobs import JobManager, JobsDraining, PlanJob
+from .journal import JobJournal, JournalEntry
 from .server import PlanServer, normalize_request, plan_key
 from .stores import DEFAULT_TENANT, GridStores, StoreRegistry
 
 __all__ = [
     "DEFAULT_TENANT",
     "GridStores",
+    "JobJournal",
     "JobManager",
+    "JobsDraining",
+    "JournalEntry",
     "PlanJob",
     "PlanServer",
     "ServeConfig",

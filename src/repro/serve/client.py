@@ -17,7 +17,11 @@ from __future__ import annotations
 import time
 
 from ..dist.protocol import call
-from ..errors import DistProtocolError, ItemTimeoutError
+from ..errors import (
+    DistProtocolError,
+    DistUnreachableError,
+    ItemTimeoutError,
+)
 
 
 def request_plan(
@@ -64,22 +68,36 @@ def wait_for_plan(
 ) -> dict:
     """Poll a job until its plan is ready; returns the plan body.
 
+    Rides out server restarts: a poll that fails with
+    :class:`DistUnreachableError` (connection refused while the server
+    is down, 503 while it drains) is retried until the deadline — the
+    job journal replays interrupted jobs under the *same* job id, so the
+    handle this client is polling stays valid across the restart.  Only
+    when the deadline expires does the transport error surface.
+
     Raises :class:`ItemTimeoutError` on timeout and
     :class:`DistProtocolError` if the job failed (the server's error
     message is carried through).
     """
     deadline = time.monotonic() + timeout
+    state: str | None = None
     while True:
-        _, body = poll_plan(base_url, job_id, token=token)
-        state = body.get("state")
-        if state == "done":
-            return body
-        if state == "failed":
-            raise DistProtocolError(
-                f"tuning job {job_id} failed: {body.get('error', '?')}"
-            )
-        if time.monotonic() >= deadline:
-            raise ItemTimeoutError(
-                f"plan job {job_id} still {state!r} after {timeout:.0f}s"
-            )
+        try:
+            _, body = poll_plan(base_url, job_id, token=token)
+        except DistUnreachableError:
+            if time.monotonic() >= deadline:
+                raise
+        else:
+            state = body.get("state")
+            if state == "done":
+                return body
+            if state == "failed":
+                raise DistProtocolError(
+                    f"tuning job {job_id} failed: {body.get('error', '?')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ItemTimeoutError(
+                    f"plan job {job_id}",
+                    f"still {state!r} after {timeout:.0f}s",
+                )
         time.sleep(poll_s)

@@ -42,6 +42,18 @@ class ServeConfig:
     #: tuning budget when a request omits ``budget`` (None = the
     #: paper-scale default for the requested p, like the grid command)
     default_budget: int | None = None
+    #: write every job state transition to ``<root>/jobs.journal.jsonl``
+    #: and replay interrupted jobs on startup (:mod:`repro.serve.journal`)
+    journal: bool = True
+    #: seconds a graceful shutdown (SIGTERM/SIGINT) waits for active
+    #: tuning jobs before journaling them ``interrupted`` and exiting
+    drain_timeout: float = 30.0
+    #: wall seconds a single tuning job may run before the watchdog
+    #: fails it and frees its single-flight key (None = no watchdog)
+    job_timeout: float | None = None
+    #: ``Retry-After`` seconds sent with 503s while draining (None =
+    #: derive from ``drain_timeout``)
+    retry_after_s: int | None = None
     #: called with the server URL once it is listening
     announce: Callable[[str], None] | None = None
     clock: Callable[[], float] = time.monotonic

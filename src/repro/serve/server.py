@@ -32,15 +32,30 @@ lock internally (DESIGN.md §5.13).
 Auth: with :attr:`ServeConfig.token` set, every request must carry
 ``Authorization: Bearer <token>`` or is rejected with 401 before any
 store or job state is touched; the same secret is forwarded to the
-job fleet's coordinator/workers.
+job fleet's coordinator/workers.  ``GET /healthz`` is the one
+unauthenticated path — load balancers and process supervisors probe it
+without credentials, and it leaks nothing but liveness/readiness.
+
+Durability (DESIGN.md §5.14): with :attr:`ServeConfig.journal` on
+(default), every job state transition is journaled to
+``<root>/jobs.journal.jsonl`` and :meth:`PlanServer.start` replays
+jobs that were queued/running when the previous incarnation died —
+under their original ids, so clients polling across the restart keep
+their handles.  :meth:`PlanServer.drain` is the SIGTERM path: refuse
+new plans with 503 + ``Retry-After``, wait for active jobs up to
+``drain_timeout``, journal every final state, flush stores, stop.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any
 
 from ..bench.runner import CellResult, effective_budget
@@ -51,7 +66,8 @@ from ..faults import injected_faults, parse_faults
 from ..machine.platforms import get_platform
 from ..obs.registry import current_registry, scoped_registry
 from .config import ServeConfig
-from .jobs import DONE, FAILED, JobManager, PlanJob
+from .jobs import DONE, FAILED, JobManager, JobsDraining, PlanJob
+from .journal import INTERRUPTED, JobJournal
 from .stores import DEFAULT_TENANT, GridStores, StoreRegistry
 
 #: variants a plan can ask for; ``best`` picks the fastest tuned one
@@ -63,6 +79,33 @@ OBJECTIVE_CHOICES = ("fft_time", "speedup")
 
 class BadRequest(ValueError):
     """A malformed plan request (mapped to HTTP 400)."""
+
+
+def _chaos_maybe_kill(label: str) -> None:
+    """Test/bench hook: SIGKILL the serve process once, mid-job.
+
+    ``$REPRO_SERVE_CHAOS="kill-once:<substr>@<dir>"`` makes the first
+    tuning job whose label contains ``<substr>`` kill the whole server
+    process — after the job's stores are flushed but *before* its
+    terminal state reaches the journal, the worst-possible crash point
+    for the recovery story (mirrors ``$REPRO_EXEC_CHAOS`` in
+    :mod:`repro.exec.pool`).  The "once" latch is an ``O_EXCL``-created
+    sentinel file in ``<dir>``, so the restarted incarnation's replay
+    of the same job runs to completion.
+    """
+    spec = os.environ.get("REPRO_SERVE_CHAOS", "")
+    if not spec.startswith("kill-once:"):
+        return
+    substr, _, where = spec[len("kill-once:"):].partition("@")
+    if substr and substr not in label:
+        return
+    sentinel = os.path.join(where or ".", "serve-chaos-killed")
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 class _AmbientGate:
@@ -183,14 +226,26 @@ class PlanServer:
     def __init__(self, config: ServeConfig = ServeConfig()) -> None:
         self.config = config
         self.stores = StoreRegistry(config.root)
+        self.journal = (
+            JobJournal(Path(config.root) / "jobs.journal.jsonl")
+            if config.journal else None
+        )
         self.jobs = JobManager(
-            self._run_job, threads=config.job_threads, clock=config.clock
+            self._run_job,
+            threads=config.job_threads,
+            clock=config.clock,
+            journal=self.journal,
+            job_timeout=config.job_timeout,
+            on_timeout=self._job_timed_out,
         )
         self._gate = _AmbientGate()
         # captured at construction, like the coordinator's: handler and
         # job threads have their own (empty) thread-local stacks
         self.registry = current_registry()
         self._t0 = config.clock()
+        self._draining = False
+        #: jobs replayed from the journal by the last :meth:`start`
+        self.recovered_jobs = 0
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         for name, help_ in (
@@ -204,6 +259,12 @@ class PlanServer:
              "Background tuning jobs finished successfully."),
             ("serve_jobs_failed_total",
              "Background tuning jobs that raised."),
+            ("serve_jobs_recovered_total",
+             "Interrupted jobs re-enqueued from the journal on startup."),
+            ("serve_job_timeouts_total",
+             "Jobs failed by the stuck-job watchdog."),
+            ("serve_drains_total",
+             "Graceful drains initiated (SIGTERM/SIGINT)."),
             ("serve_auth_rejects_total",
              "Requests rejected for a missing or wrong bearer token."),
             ("serve_bad_requests_total",
@@ -214,7 +275,8 @@ class PlanServer:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> str:
-        """Bind and serve on a daemon thread; returns the URL."""
+        """Recover journaled jobs, then bind and serve; returns the URL."""
+        self.recovered_jobs = self.recover()
         handler = _make_handler(self)
         self._server = ThreadingHTTPServer(
             (self.config.host, self.config.port), handler
@@ -229,6 +291,59 @@ class PlanServer:
             self.config.announce(self.url)
         return self.url
 
+    def recover(self) -> int:
+        """Replay the journal: re-enqueue jobs the previous incarnation
+        left queued/running (or interrupted), under their original ids.
+
+        Replayed work is near-free by construction — the tuning path
+        reads through the warm per-tenant stores, so every evaluation
+        the dead incarnation managed to flush answers without a
+        simulation, and a job killed after its final flush re-tunes
+        with zero simulations at all.  Returns the number of jobs
+        re-enqueued; malformed journal entries and vanished tenant
+        directories degrade to warnings, never startup failures.
+        """
+        if self.journal is None:
+            return 0
+        entries = self.journal.load()
+        self.jobs.reserve_seq(JobJournal.max_seq(entries))
+        recovered = 0
+        for entry in sorted(
+            (e for e in entries.values() if e.replayable),
+            key=lambda e: e.job_id,
+        ):
+            try:
+                req = normalize_request(dict(entry.request), self.config)
+            except BadRequest as exc:
+                warnings.warn(
+                    f"job journal: cannot replay {entry.job_id} "
+                    f"(unusable request: {exc}); dropping it",
+                    RuntimeWarning,
+                )
+                continue
+            tenant_dir = Path(self.config.root) / req["tenant"]
+            if not tenant_dir.exists():
+                warnings.warn(
+                    f"job journal: tenant directory {tenant_dir} is gone; "
+                    f"{entry.job_id} will re-tune against a cold store",
+                    RuntimeWarning,
+                )
+            # mark the prior incarnation interrupted (provenance), then
+            # re-enqueue under the same id with the incarnation bumped
+            self.journal.record(
+                entry.job_id, INTERRUPTED, tenant=req["tenant"],
+                error="interrupted by server restart",
+                incarnation=entry.incarnation,
+            )
+            job = self.jobs.resubmit(
+                plan_key(req), req["tenant"], req,
+                job_id=entry.job_id, incarnation=entry.incarnation + 1,
+            )
+            if job is not None:
+                recovered += 1
+                self.registry.inc("serve_jobs_recovered_total")
+        return recovered
+
     @property
     def url(self) -> str:
         if self._server is None:
@@ -236,15 +351,55 @@ class PlanServer:
         host, port = self._server.server_address[:2]
         return f"http://{host}:{port}"
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> dict:
+        """Graceful shutdown (the SIGTERM/SIGINT path).
+
+        Flips readiness (``/healthz`` answers 503, ``POST /plan``
+        answers 503 + ``Retry-After``) while *keeping the HTTP server
+        up* so clients can poll their jobs to completion, waits for
+        active jobs up to ``drain_timeout``, journals every job's final
+        state (``interrupted`` for any survivor, which the next
+        incarnation replays), flushes the stores, then stops serving.
+        Returns ``{"drained": bool, "interrupted": [job ids]}``.
+        """
+        self._draining = True
+        self.registry.inc("serve_drains_total")
+        leftover = self.jobs.drain(self.config.drain_timeout)
+        self.stores.flush_all()
+        self._stop_http()
+        return {
+            "drained": not leftover,
+            "interrupted": [job.id for job in leftover],
+        }
+
     def stop(self, wait_jobs: bool = True) -> None:
         """Stop serving, drain (or abandon) jobs, flush eval stores."""
+        self._draining = True
+        self._stop_http()
+        self.jobs.shutdown(wait=wait_jobs)
+        self.stores.flush_all()
+
+    def _stop_http(self) -> None:
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
+            self._server = None
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-        self.jobs.shutdown(wait=wait_jobs)
-        self.stores.flush_all()
+            self._thread = None
+
+    def retry_after_s(self) -> int:
+        """Seconds clients should wait before retrying a drained 503."""
+        if self.config.retry_after_s is not None:
+            return max(int(self.config.retry_after_s), 1)
+        return max(int(round(self.config.drain_timeout)), 1)
+
+    def _job_timed_out(self, job: PlanJob) -> None:
+        self.registry.inc("serve_job_timeouts_total")
 
     # -- request handling (called from handler threads) --------------------
 
@@ -258,7 +413,14 @@ class PlanServer:
         return False
 
     def handle_plan(self, body: dict) -> tuple[int, dict]:
-        """``POST /plan``: warm hit -> 200, cold miss -> 202 + job."""
+        """``POST /plan``: warm hit -> 200, cold miss -> 202 + job.
+
+        While draining (or when the job executor shut down under a
+        racing request) answers 503 with a ``retry_after`` hint — the
+        handler mirrors it into a real ``Retry-After`` header.
+        """
+        if self._draining:
+            return 503, self._unavailable_payload()
         req = normalize_request(body, self.config)
         stores = self.stores.get(req["tenant"])
         cell = stores.results.get(
@@ -269,13 +431,34 @@ class PlanServer:
             return 200, self._plan_payload(req, cell, stores,
                                            source="result-store")
         self.registry.inc("serve_plan_misses_total")
-        job, created = self.jobs.submit(plan_key(req), req["tenant"], req)
+        try:
+            job, created = self.jobs.submit(plan_key(req), req["tenant"], req)
+        except JobsDraining as exc:
+            return 503, self._unavailable_payload(str(exc))
         if created:
             self.registry.inc("serve_jobs_enqueued_total")
         out = job.snapshot()
         out["poll"] = f"/plan/{job.id}"
         out["created"] = created
         return 202, out
+
+    def _unavailable_payload(self, message: str = "") -> dict:
+        return {
+            "error": message or "server is draining; retry later",
+            "retry_after": self.retry_after_s(),
+        }
+
+    def handle_healthz(self) -> tuple[int, dict]:
+        """``GET /healthz``: liveness is answering at all; readiness
+        flips to 503 during drain so load balancers stop routing plans
+        here while in-flight jobs finish."""
+        ready = not self._draining
+        return (200 if ready else 503), {
+            "live": True,
+            "ready": ready,
+            "draining": self._draining,
+            "uptime_s": round(max(self.config.clock() - self._t0, 0.0), 3),
+        }
 
     def handle_plan_poll(self, job_id: str) -> tuple[int, dict]:
         """``GET /plan/<id>``: job state; the plan itself once done."""
@@ -325,6 +508,8 @@ class PlanServer:
                     state=state)
         reg.set("serve_tenants", len(self.stores.tenants()),
                 help="Tenants with a store pair.")
+        reg.set("serve_draining", 1.0 if self._draining else 0.0,
+                help="1 while a graceful drain is in progress.")
         uptime = max(self.config.clock() - self._t0, 0.0)
         reg.set("serve_uptime_seconds", round(uptime, 6),
                 help="Seconds since the plan server started.")
@@ -428,6 +613,12 @@ class PlanServer:
                 raise
             self.registry.inc("serve_jobs_completed_total")
             stores.flush()
+        # chaos hook *after* the flush and *before* the manager journals
+        # DONE: the crash point where all the work is on disk but the
+        # journal still says running — replay must then cost ~nothing
+        _chaos_maybe_kill(
+            f"{job.id} {req['platform']} p{req['p']} N{req['n']}"
+        )
 
 
 def _make_handler(server: PlanServer) -> type[BaseHTTPRequestHandler]:
@@ -445,6 +636,8 @@ def _make_handler(server: PlanServer) -> type[BaseHTTPRequestHandler]:
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(raw)))
+            if code == 503 and "retry_after" in payload:
+                self.send_header("Retry-After", str(payload["retry_after"]))
             self.end_headers()
             self.wfile.write(raw)
 
@@ -460,7 +653,13 @@ def _make_handler(server: PlanServer) -> type[BaseHTTPRequestHandler]:
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             try:
-                if not server.authorized(self.headers.get("Authorization")):
+                if self.path == "/healthz":
+                    # deliberately unauthenticated: probes come from
+                    # supervisors without credentials, and the body is
+                    # liveness/readiness only
+                    code, payload = server.handle_healthz()
+                    self._reply(payload, code)
+                elif not server.authorized(self.headers.get("Authorization")):
                     self._reply({"error": "unauthorized"}, 401)
                 elif self.path == "/status":
                     self._reply(server.handle_status())

@@ -1,0 +1,150 @@
+"""The job journal: append/fold round-trips, torn-tail tolerance,
+replay idempotency (DESIGN.md §5.14)."""
+
+import json
+
+import pytest
+
+from repro.serve.journal import (
+    INTERRUPTED,
+    JOURNAL_STATES,
+    REPLAY_STATES,
+    JobJournal,
+)
+
+REQ = {"platform": "UMD-Cluster", "p": 4, "n": 32, "budget": 4,
+       "variant": "NEW", "objective": "fft_time", "faults": "",
+       "tenant": "default"}
+
+
+def make_journal(tmp_path, **kwargs):
+    return JobJournal(tmp_path / "jobs.journal.jsonl", **kwargs)
+
+
+class TestRoundTrip:
+    def test_record_then_load_folds_last_record_wins(self, tmp_path):
+        j = make_journal(tmp_path)
+        j.record("job-000001", "queued", tenant="teamA", request=REQ)
+        j.record("job-000001", "running", tenant="teamA")
+        j.record("job-000002", "queued", tenant="teamB", request=REQ)
+        j.record("job-000001", "done", tenant="teamA")
+
+        entries = j.load()
+        assert set(entries) == {"job-000001", "job-000002"}
+        assert entries["job-000001"].state == "done"
+        assert not entries["job-000001"].replayable
+        assert entries["job-000002"].state == "queued"
+        assert entries["job-000002"].replayable
+        # the request sticks from the queued record even though later
+        # records omit it — replay needs no other source of truth
+        assert entries["job-000001"].request == REQ
+        assert entries["job-000001"].tenant == "teamA"
+
+    def test_error_and_incarnation_carry_through(self, tmp_path):
+        j = make_journal(tmp_path)
+        j.record("job-000001", "queued", request=REQ)
+        j.record("job-000001", INTERRUPTED,
+                 error="interrupted by server restart", incarnation=0)
+        j.record("job-000001", "queued", request=REQ, incarnation=1)
+
+        entry = j.load()["job-000001"]
+        assert entry.state == "queued"
+        assert entry.incarnation == 1
+        assert "restart" in entry.error
+        assert entry.replayable
+
+    def test_unknown_state_is_rejected_at_write_time(self, tmp_path):
+        j = make_journal(tmp_path)
+        with pytest.raises(ValueError, match="unknown journal state"):
+            j.record("job-000001", "zombified")
+
+    def test_every_lifecycle_state_round_trips(self, tmp_path):
+        j = make_journal(tmp_path)
+        for i, state in enumerate(JOURNAL_STATES, start=1):
+            j.record(f"job-{i:06d}", state)
+        entries = j.load()
+        assert {e.state for e in entries.values()} == set(JOURNAL_STATES)
+        assert all(
+            e.replayable == (e.state in REPLAY_STATES)
+            for e in entries.values()
+        )
+
+
+class TestTolerantLoad:
+    def test_missing_file_is_empty_not_fatal(self, tmp_path):
+        j = make_journal(tmp_path)
+        assert j.load() == {}
+        assert j.replayable() == []
+
+    def test_torn_trailing_line_warns_and_is_skipped(self, tmp_path):
+        """The SIGKILL case: the tail is half a record.  Every complete
+        record before it must survive, with one warning, no exception."""
+        j = make_journal(tmp_path)
+        j.record("job-000001", "queued", request=REQ)
+        j.record("job-000001", "running")
+        with open(j.path, "a", encoding="utf-8") as fh:
+            fh.write('{"ts": 1.0, "job": "job-000001", "sta')  # no newline
+
+        with pytest.warns(RuntimeWarning, match="skipped 1 unreadable"):
+            entries = j.load()
+        assert entries["job-000001"].state == "running"
+        assert entries["job-000001"].replayable
+
+    def test_garbage_and_foreign_records_are_counted_not_fatal(
+        self, tmp_path
+    ):
+        j = make_journal(tmp_path)
+        j.record("job-000001", "queued", request=REQ)
+        with open(j.path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"ts": 1.0}) + "\n")                # no job
+            fh.write(json.dumps(
+                {"job": "job-000002", "state": "zombified"}) + "\n")
+            fh.write(json.dumps([1, 2, 3]) + "\n")                  # not dict
+        j.record("job-000003", "queued", request=REQ)
+
+        with pytest.warns(RuntimeWarning, match="skipped 4 unreadable"):
+            entries = j.load()
+        assert set(entries) == {"job-000001", "job-000003"}
+
+    def test_unknown_extra_fields_are_ignored(self, tmp_path):
+        j = make_journal(tmp_path)
+        rec = {"ts": 1.0, "job": "job-000001", "state": "queued",
+               "inc": 0, "request": REQ, "future_field": {"x": 1}}
+        j.path.write_text(json.dumps(rec) + "\n")
+        entries = j.load()  # no warning expected
+        assert entries["job-000001"].state == "queued"
+
+
+class TestReplaySemantics:
+    def test_duplicate_transitions_collapse(self, tmp_path):
+        """Replay idempotency: a crash during replay re-appends the
+        same records; folding them is a no-op."""
+        j = make_journal(tmp_path)
+        for _ in range(3):  # three crashed replay attempts
+            j.record("job-000001", INTERRUPTED,
+                     error="interrupted by server restart")
+            j.record("job-000001", "queued", request=REQ, incarnation=1)
+        entries = j.load()
+        assert len(entries) == 1
+        assert entries["job-000001"].state == "queued"
+        assert entries["job-000001"].replayable
+
+    def test_replayable_sorted_by_job_id(self, tmp_path):
+        j = make_journal(tmp_path)
+        j.record("job-000003", "running", request=REQ)
+        j.record("job-000001", "queued", request=REQ)
+        j.record("job-000002", "done")
+        ids = [e.job_id for e in j.replayable()]
+        assert ids == ["job-000001", "job-000003"]
+
+    def test_max_seq_over_ids(self, tmp_path):
+        j = make_journal(tmp_path)
+        j.record("job-000007", "done")
+        j.record("job-000002", "queued", request=REQ)
+        entries = j.load()
+        assert JobJournal.max_seq(entries) == 7
+        assert JobJournal.max_seq({}) == 0
+        # non-numeric ids don't break the scan
+        j.record("weird-id", "queued")
+        assert JobJournal.max_seq(j.load()) == 7

@@ -1,0 +1,307 @@
+"""Serve-plane durability: journal replay across restarts, graceful
+drain, readiness flips, and restart-riding clients (DESIGN.md §5.14).
+
+The PR-9 acceptance property lives here: a server killed with one job
+RUNNING and one QUEUED, restarted over the same root, replays both to
+DONE under their original ids — with **zero** re-simulation, because
+every evaluation the dead incarnation flushed answers from the warm
+stores.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.bench import clear_cache
+from repro.errors import DistUnreachableError, ItemTimeoutError
+from repro.obs.registry import MetricsRegistry, scoped_registry
+from repro.serve import (
+    PlanServer,
+    ServeConfig,
+    request_plan,
+    wait_for_plan,
+)
+from repro.serve import client as serve_client
+from repro.serve.journal import JobJournal
+
+BUDGET = 4
+PLATFORM = "UMD-Cluster"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def sim_runs(reg: MetricsRegistry) -> float:
+    fam = reg.snapshot().get("sim_runs_total")
+    if not fam:
+        return 0.0
+    return sum(value for _, value in fam["samples"])
+
+
+def start_server(tmp_path, **kwargs):
+    reg = MetricsRegistry()
+    with scoped_registry(reg):
+        srv = PlanServer(ServeConfig(
+            root=str(tmp_path / "store"), default_budget=BUDGET, **kwargs
+        ))
+    url = srv.start()
+    return srv, url, reg
+
+
+def http_get(url: str) -> tuple[int, dict, dict]:
+    """Raw GET returning (code, json body, headers) — unlike the
+    protocol client, does not retry 5xx (healthz/503 assertions)."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def http_post(url: str, body: dict) -> tuple[int, dict, dict]:
+    req = urllib.request.Request(
+        url, data=json.dumps(body).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestRecovery:
+    def test_interrupted_jobs_replay_to_done_with_zero_sims(self, tmp_path):
+        """Acceptance: one job RUNNING and one QUEUED at 'crash' time
+        both reach DONE after restart, via replay, without a single
+        simulated run — and clients keep their original job handles."""
+        srv, url, _ = start_server(tmp_path)
+        try:
+            _, b1 = request_plan(url, PLATFORM, 4, 32)
+            wait_for_plan(url, b1["job"], timeout=120)
+            _, b2 = request_plan(url, PLATFORM, 4, 64)
+            wait_for_plan(url, b2["job"], timeout=120)
+        finally:
+            srv.stop()
+
+        # forge the crash: the journal's last words claim job 1 was
+        # RUNNING and job 2 QUEUED when the process died (their queued
+        # records above already carry the requests)
+        journal = JobJournal(tmp_path / "store" / "jobs.journal.jsonl")
+        journal.record(b1["job"], "running", tenant="default")
+        journal.record(b2["job"], "queued", tenant="default")
+
+        clear_cache()  # a real restart has an empty in-process memo
+        srv2, url2, reg2 = start_server(tmp_path)
+        try:
+            assert srv2.recovered_jobs == 2
+            assert reg2.value("serve_jobs_recovered_total") == 2
+            for job_id in (b1["job"], b2["job"]):
+                done = wait_for_plan(url2, job_id, timeout=120)
+                assert done["state"] == "done"
+                assert done["recovered"] is True
+                assert done["interrupted_incarnations"] == 1
+                assert done["plan"]["params"]
+            assert sim_runs(reg2) == 0, (
+                "replaying journaled jobs re-simulated warm cells"
+            )
+            # the journal's last words are now terminal: a third start
+            # replays nothing
+            assert journal.replayable() == []
+        finally:
+            srv2.stop()
+
+        clear_cache()
+        srv3, url3, reg3 = start_server(tmp_path)
+        try:
+            assert srv3.recovered_jobs == 0
+            assert reg3.value("serve_jobs_recovered_total") == 0
+        finally:
+            srv3.stop()
+
+    def test_fresh_ids_never_collide_with_recovered_history(self, tmp_path):
+        srv, url, _ = start_server(tmp_path)
+        try:
+            _, b1 = request_plan(url, PLATFORM, 4, 32)
+            wait_for_plan(url, b1["job"], timeout=120)
+        finally:
+            srv.stop()
+        journal = JobJournal(tmp_path / "store" / "jobs.journal.jsonl")
+        journal.record(b1["job"], "running", tenant="default")
+
+        clear_cache()
+        srv2, url2, _ = start_server(tmp_path)
+        try:
+            wait_for_plan(url2, b1["job"], timeout=120)
+            # a brand-new cold cell gets an id *after* the journaled one
+            _, b2 = request_plan(url2, PLATFORM, 8, 32)
+            assert b2["job"] > b1["job"]
+        finally:
+            srv2.stop()
+
+    def test_torn_journal_tail_warns_but_server_starts(self, tmp_path):
+        srv, url, _ = start_server(tmp_path)
+        try:
+            _, b1 = request_plan(url, PLATFORM, 4, 32)
+            wait_for_plan(url, b1["job"], timeout=120)
+        finally:
+            srv.stop()
+        path = tmp_path / "store" / "jobs.journal.jsonl"
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"job": "job-0000')  # SIGKILL mid-write
+
+        clear_cache()
+        with pytest.warns(RuntimeWarning, match="unreadable record"):
+            srv2, url2, _ = start_server(tmp_path)
+        try:
+            code, _ = request_plan(url2, PLATFORM, 4, 32)
+            assert code == 200  # warm store intact behind the torn journal
+        finally:
+            srv2.stop()
+
+    def test_unusable_journaled_request_is_dropped_with_warning(
+        self, tmp_path
+    ):
+        (tmp_path / "store").mkdir(parents=True)
+        journal = JobJournal(tmp_path / "store" / "jobs.journal.jsonl")
+        journal.record(
+            "job-000001", "queued", tenant="default",
+            request={"platform": "NoSuchMachine", "p": 4, "n": 32},
+        )
+        with pytest.warns(RuntimeWarning, match="cannot replay"):
+            srv, url, reg = start_server(tmp_path)
+        try:
+            assert srv.recovered_jobs == 0
+            assert srv.jobs.get("job-000001") is None
+        finally:
+            srv.stop()
+
+    def test_journal_disabled_means_no_replay(self, tmp_path):
+        (tmp_path / "store").mkdir(parents=True)
+        journal = JobJournal(tmp_path / "store" / "jobs.journal.jsonl")
+        journal.record(
+            "job-000001", "queued", tenant="default",
+            request={"platform": PLATFORM, "p": 4, "n": 32,
+                     "budget": BUDGET},
+        )
+        srv, url, reg = start_server(tmp_path, journal=False)
+        try:
+            assert srv.recovered_jobs == 0
+            assert srv.journal is None
+        finally:
+            srv.stop()
+
+
+class TestDrain:
+    def test_drain_journals_final_states_and_stops_serving(self, tmp_path):
+        """Acceptance: a drained shutdown leaves every job's final state
+        in the journal (DONE here — the jobs finish inside the drain
+        window), and the next incarnation replays nothing."""
+        srv, url, reg = start_server(tmp_path)
+        _, body = request_plan(url, PLATFORM, 4, 32)
+        wait_for_plan(url, body["job"], timeout=120)
+
+        outcome = srv.drain()
+        assert outcome == {"drained": True, "interrupted": []}
+        assert reg.value("serve_drains_total") == 1
+        journal = JobJournal(tmp_path / "store" / "jobs.journal.jsonl")
+        assert journal.load()[body["job"]].state == "done"
+        assert journal.replayable() == []
+        # HTTP is down after the drain completes
+        with pytest.raises(DistUnreachableError):
+            request_plan(url, PLATFORM, 4, 32)
+
+    def test_draining_server_answers_503_with_retry_after(self, tmp_path):
+        """During the drain window (readiness down, HTTP still up so
+        clients can poll their jobs) POST /plan is 503 + Retry-After
+        and /healthz reports not-ready."""
+        srv, url, reg = start_server(tmp_path, retry_after_s=7)
+        try:
+            code, body, _ = http_get(f"{url}/healthz")
+            assert code == 200
+            assert body["ready"] is True and body["live"] is True
+
+            srv._draining = True  # the drain window, frozen open
+            code, body, headers = http_post(
+                f"{url}/plan", {"platform": PLATFORM, "p": 4, "n": 32}
+            )
+            assert code == 503
+            assert body["retry_after"] == 7
+            assert headers.get("Retry-After") == "7"
+
+            code, body, _ = http_get(f"{url}/healthz")
+            assert code == 503
+            assert body["live"] is True      # alive, just not ready
+            assert body["ready"] is False
+            assert body["draining"] is True
+
+            text = srv.metrics_text()
+            assert "serve_draining 1" in text
+        finally:
+            srv._draining = False
+            srv.stop()
+
+    def test_retry_after_defaults_to_drain_timeout(self, tmp_path):
+        srv, url, _ = start_server(tmp_path, drain_timeout=12.0)
+        try:
+            assert srv.retry_after_s() == 12
+        finally:
+            srv.stop()
+
+    def test_healthz_is_served_without_auth(self, tmp_path):
+        srv, url, _ = start_server(tmp_path, token="s3cret")
+        try:
+            code, body, _ = http_get(f"{url}/healthz")  # no token sent
+            assert code == 200 and body["ready"] is True
+        finally:
+            srv.stop()
+
+
+class TestClientRetry:
+    def test_wait_for_plan_rides_out_a_restart_window(self, monkeypatch):
+        """Two refused polls (the server is restarting), then the
+        replayed job answers — the client never sees the blip."""
+        calls = {"n": 0}
+
+        def flaky_poll(base_url, job_id, token=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise DistUnreachableError("connection refused")
+            return 200, {"state": "done", "plan": {"params": {"ok": 1}}}
+
+        monkeypatch.setattr(serve_client, "poll_plan", flaky_poll)
+        body = serve_client.wait_for_plan(
+            "http://127.0.0.1:1", "job-000001", timeout=30.0, poll_s=0.01
+        )
+        assert body["plan"]["params"] == {"ok": 1}
+        assert calls["n"] == 3
+
+    def test_wait_for_plan_surfaces_unreachable_after_deadline(
+        self, monkeypatch
+    ):
+        def dead_poll(base_url, job_id, token=None):
+            raise DistUnreachableError("connection refused")
+
+        monkeypatch.setattr(serve_client, "poll_plan", dead_poll)
+        with pytest.raises(DistUnreachableError):
+            serve_client.wait_for_plan(
+                "http://127.0.0.1:1", "job-000001",
+                timeout=0.05, poll_s=0.01,
+            )
+
+    def test_wait_for_plan_still_times_out_on_slow_jobs(self, monkeypatch):
+        monkeypatch.setattr(
+            serve_client, "poll_plan",
+            lambda base_url, job_id, token=None: (200, {"state": "running"}),
+        )
+        with pytest.raises(ItemTimeoutError, match="still 'running'"):
+            serve_client.wait_for_plan(
+                "http://127.0.0.1:1", "job-000001",
+                timeout=0.05, poll_s=0.01,
+            )

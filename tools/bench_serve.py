@@ -15,6 +15,13 @@ Proves the PR-8 serving story end to end against a real
    ``--per-client`` warm requests at once; total requests/second is
    recorded along with the single-flight proof from the cold phase
    (exactly one tuning job despite ``--clients`` racing first posts).
+4. **kill-and-restart recovery** (PR-9) — a real ``repro serve``
+   subprocess SIGKILLs itself mid-job at the worst crash point (stores
+   flushed, journal still says running); a restart over the same root
+   must replay the job to DONE under its original id.  Recorded: the
+   recovery wall (restart to plan served), replayed-job count, and the
+   proof that recovery **re-simulated zero evaluations**; the restarted
+   server then drains cleanly on SIGTERM (exit 0).
 
 The JSON keeps the raw counters so the trajectory is comparable across
 commits, same shape discipline as BENCH_dist.json.
@@ -24,11 +31,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import statistics
+import subprocess
 import sys
 import tempfile
 import threading
 import time
+import urllib.request
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]
@@ -56,6 +67,84 @@ def percentile(samples: list[float], q: float) -> float:
 def sim_runs(reg: MetricsRegistry) -> float:
     fam = reg.snapshot().get("sim_runs_total")
     return sum(v for _, v in fam["samples"]) if fam else 0.0
+
+
+def spawn_serve(root: Path, budget: int,
+                extra_env: dict | None = None) -> tuple:
+    """A real ``repro serve`` subprocess; returns (proc, url)."""
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    env.update(extra_env or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--root", str(root), "--budget", str(budget)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    assert "plan server listening on " in line, (
+        f"no URL from serve: {line!r} / {proc.stderr.read()!r}"
+    )
+    return proc, line.split("listening on ", 1)[1].split()[0]
+
+
+def prom_metric(text: str, name: str) -> float:
+    return sum(
+        float(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith(name) and not line.startswith("#")
+    )
+
+
+def bench_recovery(tmp: Path, budget: int) -> dict:
+    """Phase 4: SIGKILL a serve process mid-job, restart, replay."""
+    from repro.dist.protocol import fetch_text
+    from repro.serve import wait_for_plan
+
+    root = tmp / "recovery_store"
+    chaos = {"REPRO_SERVE_CHAOS": f"kill-once:job-@{tmp}"}
+    proc, url = spawn_serve(root, budget, chaos)
+    t0 = time.monotonic()
+    try:
+        body = json.dumps({"platform": PLATFORM, "p": P, "n": N}).encode()
+        req = urllib.request.Request(
+            f"{url}/plan", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.status == 202
+            job_id = json.loads(resp.read())["job"]
+        proc.wait(timeout=600)  # the chaos hook SIGKILLs mid-job
+        assert proc.returncode == -signal.SIGKILL, proc.returncode
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    killed_after = round(time.monotonic() - t0, 4)
+
+    t1 = time.monotonic()
+    proc2, url2 = spawn_serve(root, budget, chaos)
+    try:
+        done = wait_for_plan(url2, job_id, timeout=600)
+        recovery_wall = round(time.monotonic() - t1, 4)
+        assert done["recovered"] is True, "job did not come back via replay"
+        text = fetch_text(url2, "/metrics")
+        replayed = prom_metric(text, "serve_jobs_recovered_total")
+        resims = prom_metric(text, "sim_runs_total")
+        assert replayed >= 1, "no job replayed from the journal"
+        assert resims == 0, f"recovery re-simulated {resims} evaluations"
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        proc2.wait(timeout=120)
+    assert proc2.returncode == 0, "drained shutdown did not exit 0"
+    print(f"  killed mid-job after {killed_after}s; restart replayed "
+          f"{int(replayed)} job(s) to DONE in {recovery_wall}s "
+          f"(0 re-simulations)")
+    return {
+        "killed_after_s": killed_after,
+        "recovery_wall_s": recovery_wall,
+        "replayed_jobs": int(replayed),
+        "resimulated_evals": int(resims),
+        "drained_exit_code": proc2.returncode,
+    }
 
 
 def main() -> int:
@@ -158,6 +247,10 @@ def main() -> int:
         finally:
             server.stop()
 
+        # -- 4. kill-and-restart recovery (subprocess, real signals) ----
+        print("recovery: SIGKILL a serve process mid-job, restart, replay")
+        recovery = bench_recovery(Path(tmp), args.budget)
+
     payload = {
         "benchmark": "plan server: cold single-flight + warm-hit latency",
         "platform": PLATFORM,
@@ -171,6 +264,7 @@ def main() -> int:
         "warm_latency": warm,
         "warm_simulations": warm_sims,
         "throughput": throughput,
+        "recovery": recovery,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"ok  ->  {args.out}")
