@@ -13,7 +13,7 @@ a two-body configuration against the direct pairwise sum.
 
 import numpy as np
 
-from repro.core import parallel_fft3d, parallel_ifft3d
+from repro.apps import solve_poisson
 from repro.machine import HOPPER
 
 N = 32          # grid cells per dimension
@@ -50,16 +50,15 @@ def cic_deposit(pos: np.ndarray, mass: np.ndarray) -> np.ndarray:
 
 
 def solve_potential(rho: np.ndarray) -> tuple[np.ndarray, float]:
-    """FFT Poisson solve: laplace(phi) = 4 pi G rho (mean removed)."""
-    rho_hat, fwd = parallel_fft3d(rho.astype(np.complex128), P, HOPPER)
-    k = 2 * np.pi * np.fft.fftfreq(N, d=BOX / N)
-    kx, ky, kz = np.meshgrid(k, k, k, indexing="ij")
-    k2 = kx**2 + ky**2 + kz**2
-    k2[0, 0, 0] = 1.0
-    phi_hat = -4 * np.pi * G * rho_hat / k2
-    phi_hat[0, 0, 0] = 0.0
-    phi, inv = parallel_ifft3d(phi_hat, P, HOPPER)
-    return phi.real, fwd.elapsed + inv.elapsed
+    """FFT Poisson solve: laplace(phi) = 4 pi G rho (mean removed).
+
+    Delegates to the shared :func:`repro.apps.solve_poisson` helper (the
+    same k-space division the Poisson app driver runs every step).
+    """
+    phi, (fwd, inv) = solve_poisson(
+        4 * np.pi * G * rho, P, HOPPER, box=BOX
+    )
+    return phi, fwd.elapsed + inv.elapsed
 
 
 def grid_forces(phi: np.ndarray) -> np.ndarray:

@@ -7,60 +7,29 @@ Kolmogorov-like -5/3 energy law, computes its 3-D spectrum with the
 *distributed real-to-complex* pipeline (Section 2.3 extension), bins the
 energy into shells, and recovers the imposed slope.
 
+The field synthesis and shell binning live in
+:mod:`repro.apps.turbulence` (shared with the pseudo-spectral app
+driver); this example keeps its CLI face as a thin wrapper.
+
     python examples/turbulence_spectrum.py
 """
 
 import numpy as np
 
+from repro.apps import shell_spectrum, synth_velocity
 from repro.core.realfft3d import parallel_rfft3d
 from repro.machine import HOPPER
 
 N, P = 64, 8
 
 
-def synth_velocity(seed: int) -> np.ndarray:
-    """Random field with amplitude ~ k^(-(5/3+2)/2) so E(k) ~ k^-5/3."""
-    rng = np.random.default_rng(seed)
-    k = np.fft.fftfreq(N, d=1.0 / N)
-    kx, ky, kz = np.meshgrid(k, k, k, indexing="ij")
-    kk = np.sqrt(kx**2 + ky**2 + kz**2)
-    kk[0, 0, 0] = 1.0
-    amp = kk ** (-(5.0 / 3.0 + 2.0) / 2.0)
-    amp[0, 0, 0] = 0.0
-    amp[kk > N // 3] = 0.0  # dealias the high shell
-    phase = np.exp(2j * np.pi * rng.random((N, N, N)))
-    spec = amp * phase
-    # Hermitian-symmetrize so the field is real.
-    u = np.fft.ifftn(spec).real
-    return u / np.abs(u).max()
-
-
-def shell_spectrum(half_spec: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Bin |u_hat|^2 into integer-|k| shells from the half spectrum."""
-    k = np.fft.fftfreq(N, d=1.0 / N)
-    kzh = np.arange(N // 2 + 1)
-    kx, ky, kz = np.meshgrid(k, k, kzh, indexing="ij")
-    kk = np.sqrt(kx**2 + ky**2 + kz**2)
-    # rfft keeps only half of z: double interior-plane energy.
-    weight = np.full(half_spec.shape, 2.0)
-    weight[:, :, 0] = 1.0
-    if N % 2 == 0:
-        weight[:, :, -1] = 1.0
-    energy = weight * np.abs(half_spec) ** 2
-    shells = np.arange(1, N // 3)
-    e_k = np.array(
-        [energy[(kk >= s - 0.5) & (kk < s + 0.5)].sum() for s in shells]
-    )
-    return shells, e_k
-
-
 def main() -> None:
     print(f"Turbulence spectrum via distributed r2c FFT ({N}^3, {P} ranks)")
-    u = synth_velocity(7)
+    u = synth_velocity(7, N)
     half, sim = parallel_rfft3d(u, P, HOPPER)
     print(f"  simulated transform time: {sim.elapsed * 1e3:.2f} ms")
 
-    shells, e_k = shell_spectrum(half)
+    shells, e_k = shell_spectrum(half, N)
     # Fit the log-log slope over the inertial range.
     sel = (shells >= 3) & (shells <= N // 4) & (e_k > 0)
     slope = np.polyfit(np.log(shells[sel]), np.log(e_k[sel]), 1)[0]

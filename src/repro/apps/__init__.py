@@ -1,0 +1,62 @@
+"""Traffic-shaped application workloads over the simulated pipelines.
+
+Public surface:
+
+* :class:`AppDriver` / :class:`AppConfig` / :class:`AppResult` — the
+  warmup/measure harness with steady-state throughput accounting;
+* :func:`resolve_plan` / :class:`PlanResolution` — tuned-parameter
+  resolution (explicit → plan server → local tuner → baseline);
+* the concrete drivers (:data:`APPS`): spectral Poisson solve, 3-D
+  convolution, and the turbulence-style pseudo-spectral stepper;
+* :func:`solve_poisson` — the shared single-solve helper the examples
+  wrap.
+"""
+
+from .convolution import ConvolutionDriver, gaussian_kernel
+from .driver import (
+    AppConfig,
+    AppDriver,
+    AppResult,
+    PlanResolution,
+    percentile,
+    resolve_plan,
+)
+from .poisson import (
+    PoissonDriver,
+    manufactured_problem,
+    serial_poisson,
+    solve_poisson,
+)
+from .turbulence import (
+    TurbulenceDriver,
+    shell_spectrum,
+    smooth_field,
+    synth_velocity,
+)
+
+#: CLI / bench name -> driver class.
+APPS: dict[str, type[AppDriver]] = {
+    "poisson": PoissonDriver,
+    "convolution": ConvolutionDriver,
+    "turbulence": TurbulenceDriver,
+}
+
+__all__ = [
+    "APPS",
+    "AppConfig",
+    "AppDriver",
+    "AppResult",
+    "ConvolutionDriver",
+    "PlanResolution",
+    "PoissonDriver",
+    "TurbulenceDriver",
+    "gaussian_kernel",
+    "manufactured_problem",
+    "percentile",
+    "resolve_plan",
+    "serial_poisson",
+    "shell_spectrum",
+    "smooth_field",
+    "solve_poisson",
+    "synth_velocity",
+]

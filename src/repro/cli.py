@@ -5,6 +5,13 @@ Commands
 ``run``
     Simulate one 3-D FFT (any variant/platform/size) and print the time
     and per-step breakdown.
+``app``
+    Run a traffic-shaped application workload (spectral Poisson solve,
+    3-D convolution, turbulence-style time-stepper) for N steps with
+    plan/wisdom reuse, reporting steady-state transforms/sec (warmup
+    excluded), per-step p50/p95, and a numerics check vs a serial
+    oracle; tuned params come from ``--params``, ``--plan-server``, a
+    local ``--budget`` tuning session, or the variant baseline.
 ``tune``
     Auto-tune a variant for a setting; prints the winning configuration,
     objective, and tuning cost.
@@ -331,6 +338,70 @@ def cmd_multi(args) -> int:
               f" (N={args.size}^3, p={args.procs})",
     ))
     return 0
+
+
+def cmd_app(args) -> int:
+    """``repro app``: run a traffic-shaped application workload."""
+    from .apps import APPS, AppConfig
+    from .errors import DistProtocolError, DistUnreachableError, ItemTimeoutError
+
+    platform = get_platform(args.machine)
+    if args.shape:
+        try:
+            nx, ny, nz = (int(v) for v in args.shape.split(","))
+        except ValueError:
+            raise SystemExit("error: --shape expects NX,NY,NZ")
+        shape = ProblemShape(nx, ny, nz, args.procs)
+    else:
+        shape = _shape(args)
+    evals = _load_eval_store(args)
+    cfg = AppConfig(
+        shape=shape, platform=platform, variant=args.variant,
+        steps=args.steps, warmup=args.warmup, seed=args.seed,
+        params=_parse_params(args.params),
+        plan_server=args.plan_server, tenant=args.tenant,
+        token=_resolve_token(args), budget=args.budget,
+        eval_store=evals, plan_effort=args.plan_effort,
+    )
+    with _maybe_faults(args), _maybe_trace(args, rank_spans=False):
+        try:
+            result = APPS[args.app](cfg).run()
+        except (DistUnreachableError, DistProtocolError,
+                ItemTimeoutError) as exc:
+            raise SystemExit(f"error: {exc}")
+    _save_eval_store(args, evals)
+
+    if args.json:
+        import json
+
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        return 0 if result.numerics_ok else 1
+
+    plan = result.plan
+    print(f"{result.app} on {platform.name}: "
+          f"{shape.nx}x{shape.ny}x{shape.nz}, p={shape.p}, {result.variant}")
+    if plan.source == "server":
+        print(f"plan: {plan.source} ({args.plan_server}), "
+              f"{plan.sim_runs} local simulations, "
+              f"{plan.wall_s:.3f} s fetch, "
+              f"provenance {plan.provenance.get('source', '?')}")
+    elif plan.source == "tuned":
+        print(f"plan: locally tuned, {plan.sim_runs} simulations, "
+              f"{plan.wall_s:.2f} s")
+    else:
+        print(f"plan: {plan.source}")
+    print(f"steps: {result.steps} measured + {result.warmup} warmup, "
+          f"{result.transforms_per_step} transforms/step")
+    print(f"steady-state: {result.transforms_per_sec:.1f} transforms/s "
+          f"(warmup excluded); per-step p50 {result.step_p50_s * 1e3:.2f} ms, "
+          f"p95 {result.step_p95_s * 1e3:.2f} ms")
+    print(f"plan-reuse speedup: {result.plan_reuse_speedup:.2f}x "
+          f"(first step {result.first_step_s * 1e3:.2f} ms)")
+    print(f"virtual time: {result.virtual_step_s * 1e3:.2f} ms/step")
+    status = "ok" if result.numerics_ok else "FAIL"
+    print(f"numerics: max rel error {result.numerics_error:.2e} vs serial "
+          f"oracle (tol {result.numerics_tol:g}) -- {status}")
+    return 0 if result.numerics_ok else 1
 
 
 def cmd_tune(args) -> int:
@@ -712,6 +783,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_multi.add_argument("--arrays", type=int, default=4,
                          help="number of successive transforms")
     p_multi.set_defaults(func=cmd_multi)
+
+    p_app = sub.add_parser(
+        "app", help="run a traffic-shaped application workload"
+    )
+    p_app.add_argument("app", choices=("poisson", "convolution", "turbulence"),
+                       help="application driver (see repro.apps)")
+    _add_setting_args(p_app)
+    p_app.add_argument("--shape", metavar="NX,NY,NZ", default=None,
+                       help="anisotropic grid (overrides -n)")
+    p_app.add_argument("--steps", type=int, default=10,
+                       help="measured application steps")
+    p_app.add_argument("--warmup", type=int, default=2,
+                       help="untimed warmup steps excluded from throughput")
+    p_app.add_argument("--seed", type=int, default=0,
+                       help="seed for the synthetic input fields")
+    p_app.add_argument("--params", help="config as 'T=32,W=2,Px=8,...'")
+    p_app.add_argument("--plan-server", metavar="URL", default=None,
+                       help="resolve tuned params from a running "
+                            "`repro serve` (warm hit = zero simulations)")
+    p_app.add_argument("--tenant", default=None,
+                       help="plan-server tenant namespace")
+    p_app.add_argument("--budget", type=int, default=None,
+                       help="tune locally with this evaluation budget "
+                            "(ignored when --params/--plan-server resolve)")
+    p_app.add_argument("--plan-effort", default=None,
+                       choices=("estimate", "measure", "patient", "exhaustive"),
+                       help="FFTW-style planner effort for the app's plans "
+                            "(default: estimate; the paper tunes with patient)")
+    p_app.add_argument("--json", action="store_true",
+                       help="emit the result record as JSON")
+    _add_eval_store_arg(p_app)
+    _add_token_arg(p_app)
+    _add_trace_arg(p_app)
+    _add_faults_arg(p_app)
+    p_app.set_defaults(func=cmd_app)
 
     p_tune = sub.add_parser("tune", help="auto-tune a variant")
     _add_setting_args(p_tune)

@@ -12,7 +12,18 @@ Public surface:
 """
 
 from .dftmat import BACKWARD, FORWARD, direct_dft
-from .plan import Flag, Plan1D, Plan3D, fft, fftn, ifft, ifftn
+from .plan import (
+    Flag,
+    Plan1D,
+    Plan3D,
+    clear_plan_cache,
+    default_planning_flag,
+    fft,
+    fftn,
+    ifft,
+    ifftn,
+    planning_effort,
+)
 from .realfft import RealPlan1D, irfft, rfft
 from .wisdom import GLOBAL_WISDOM, WisdomStore
 
@@ -25,11 +36,14 @@ __all__ = [
     "Plan3D",
     "RealPlan1D",
     "WisdomStore",
+    "clear_plan_cache",
+    "default_planning_flag",
     "direct_dft",
     "fft",
     "fftn",
     "ifft",
     "ifftn",
     "irfft",
+    "planning_effort",
     "rfft",
 ]

@@ -28,7 +28,9 @@ so identical plans are free.
 
 from __future__ import annotations
 
+import contextlib
 import enum
+import threading
 import time
 from dataclasses import dataclass
 
@@ -57,6 +59,75 @@ _EFFORT = {
     Flag.PATIENT: (3, (4, 32)),
     Flag.EXHAUSTIVE: (7, (4, 32, 128)),
 }
+
+#: Process-wide default effort used when a plan is built with ``flag=None``.
+_DEFAULT_FLAG = Flag.ESTIMATE
+_DEFAULT_FLAG_LOCK = threading.Lock()
+
+
+def default_planning_flag() -> Flag:
+    """Current process-wide default planner effort."""
+    return _DEFAULT_FLAG
+
+
+@contextlib.contextmanager
+def planning_effort(flag: Flag):
+    """Override the default planner effort for plans built in this block.
+
+    Plans (and the 3-D/real helpers built on them) that don't pass an
+    explicit ``flag`` pick up this default, so an application can opt a
+    whole pipeline into e.g. ``Flag.PATIENT`` — the level the paper uses
+    for all FFTW tuning — without threading a flag through every layer.
+    The override is process-global (matching the process-global wisdom
+    store), so apply it around setup/warmup, not concurrently with other
+    planning at different levels.
+    """
+    global _DEFAULT_FLAG
+    if not isinstance(flag, Flag):
+        flag = Flag(str(flag).lower())
+    with _DEFAULT_FLAG_LOCK:
+        previous = _DEFAULT_FLAG
+        _DEFAULT_FLAG = flag
+    try:
+        yield flag
+    finally:
+        with _DEFAULT_FLAG_LOCK:
+            _DEFAULT_FLAG = previous
+
+
+#: Built kernels shared across plans: kernels are immutable after
+#: construction (twiddle tables, chirp vectors), so one instance per
+#: ``(descriptor, n, sign)`` serves every plan in the process.
+_KERNEL_CACHE: dict[tuple[str, int, int], object] = {}
+_KERNEL_CACHE_LOCK = threading.Lock()
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached kernels (test isolation; wisdom is separate)."""
+    with _KERNEL_CACHE_LOCK:
+        _KERNEL_CACHE.clear()
+
+
+def _count(name: str, value: int = 1, **labels: str) -> None:
+    # Deferred import: repro.obs pulls in the engine stack, and importing
+    # it at module scope would cycle back through repro.fft.
+    from ..obs.registry import count
+
+    count(name, value, **labels)
+
+
+def _cached_kernel(descriptor: str, n: int, sign: int):
+    """Shared-kernel lookup; builds (and counts) on first use."""
+    key = (descriptor, n, sign)
+    with _KERNEL_CACHE_LOCK:
+        kern = _KERNEL_CACHE.get(key)
+    if kern is not None:
+        _count("fft_kernel_cache_hits_total")
+        return kern
+    kern = _make_kernel(descriptor, n, sign)
+    _count("fft_kernel_builds_total")
+    with _KERNEL_CACHE_LOCK:
+        return _KERNEL_CACHE.setdefault(key, kern)
 
 
 @dataclass(frozen=True)
@@ -122,7 +193,8 @@ class Plan1D:
         ``n`` for the inverse, or use :meth:`execute` with
         ``normalize=True``).
     flag:
-        Planner effort level.
+        Planner effort level (``None`` picks up the process default, see
+        :func:`planning_effort`).
     wisdom:
         Wisdom store consulted/updated during planning (defaults to the
         process-global store).
@@ -132,7 +204,7 @@ class Plan1D:
         self,
         n: int,
         sign: int = FORWARD,
-        flag: Flag = Flag.ESTIMATE,
+        flag: Flag | None = None,
         wisdom: WisdomStore | None = None,
     ) -> None:
         if n < 1:
@@ -141,25 +213,27 @@ class Plan1D:
             raise PlanError(f"sign must be -1 or +1, got {sign}")
         self.n = n
         self.sign = sign
-        self.flag = flag
+        self.flag = flag if flag is not None else _DEFAULT_FLAG
         self._wisdom = wisdom if wisdom is not None else GLOBAL_WISDOM
         self.kernel_name = self._plan()
-        self._kernel = _make_kernel(self.kernel_name, n, sign)
+        self._kernel = _cached_kernel(self.kernel_name, n, sign)
 
     # -- planning --------------------------------------------------------
 
     def _plan(self) -> str:
         cached = self._wisdom.lookup(self.n, self.sign, self.flag.value)
         if cached is not None:
+            _count("fft_wisdom_hits_total")
             return cached
+        _count("fft_plans_built_total", flag=self.flag.value)
         names = _candidates(self.n)
         if self.flag is Flag.ESTIMATE or len(names) == 1:
-            best = min(names, key=lambda d: _make_kernel(d, self.n, self.sign).flop_estimate)
+            best = min(names, key=lambda d: _cached_kernel(d, self.n, self.sign).flop_estimate)
         else:
             reps, batches = _EFFORT[self.flag]
             best, best_t = names[0], float("inf")
             for name in names:
-                kern = _make_kernel(name, self.n, self.sign)
+                kern = _cached_kernel(name, self.n, self.sign)
                 t = 0.0
                 for b in batches:
                     x = np.ones((b, self.n), dtype=np.complex128)
@@ -228,7 +302,7 @@ class Plan3D:
         self,
         shape: tuple[int, int, int],
         sign: int = FORWARD,
-        flag: Flag = Flag.ESTIMATE,
+        flag: Flag | None = None,
     ) -> None:
         if len(shape) != 3:
             raise PlanError(f"Plan3D requires a 3-D shape, got {shape}")

@@ -3,7 +3,7 @@
 from .ascii import format_bars, format_stacked_breakdown, format_table
 from .cdf import format_cdf, summarize_cdf
 from .gantt import occupancy, render_strip, render_traces
-from .markdown import md_section, md_table, overlap_table
+from .markdown import apps_table, md_section, md_table, overlap_table
 
 __all__ = [
     "format_bars",
@@ -12,6 +12,7 @@ __all__ = [
     "format_table",
     "md_section",
     "occupancy",
+    "apps_table",
     "overlap_table",
     "render_strip",
     "render_traces",

@@ -133,3 +133,35 @@ def overlap_table(cells) -> str:
     if any_faults:
         headers.append("faults")
     return md_table(headers, rows)
+
+
+def apps_table(results) -> str:
+    """Application-workload results as a markdown table.
+
+    ``results`` is an iterable of :class:`~repro.apps.AppResult` (or the
+    dicts their ``as_dict`` produces) — one row per app run: plan
+    source, steady-state throughput with warmup excluded, per-step
+    percentiles, the plan-reuse speedup, and the oracle check.
+    """
+    rows = []
+    for res in results:
+        d = res if isinstance(res, dict) else res.as_dict()
+        nx, ny, nz = d["shape"]
+        rows.append([
+            d["app"],
+            f"{nx}x{ny}x{nz}",
+            d["p"],
+            d["plan"]["source"],
+            f"{d['transforms_per_sec']:.1f}",
+            f"{d['step_p50_s'] * 1e3:.2f}",
+            f"{d['step_p95_s'] * 1e3:.2f}",
+            f"{d['plan_reuse_speedup']:.2f}x",
+            "ok" if d["numerics_ok"] else "FAIL",
+        ])
+    if not rows:
+        return "*(no application runs recorded)*"
+    return md_table(
+        ["app", "grid", "p", "plan", "transforms/s",
+         "step p50 (ms)", "step p95 (ms)", "reuse speedup", "numerics"],
+        rows,
+    )

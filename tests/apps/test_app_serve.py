@@ -1,0 +1,94 @@
+"""Apps x serve plane: plan resolution through a real PlanServer."""
+
+import pytest
+
+from repro.apps import AppConfig, PoissonDriver, resolve_plan
+from repro.core.params import ProblemShape
+from repro.errors import DistUnreachableError
+from repro.machine import UMD_CLUSTER
+from repro.obs.registry import MetricsRegistry, scoped_registry
+from repro.serve import PlanServer, ServeConfig, request_plan, wait_for_plan
+
+P, N = 4, 32
+BUDGET = 4
+
+
+@pytest.fixture(autouse=True)
+def cold_cell_cache():
+    """Each test tunes from scratch (the bench cell memo is per-process)."""
+    from repro.bench import clear_cache
+
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def sim_runs(reg: MetricsRegistry) -> float:
+    fam = reg.snapshot().get("sim_runs_total")
+    return sum(v for _, v in fam["samples"]) if fam else 0.0
+
+
+@pytest.fixture()
+def server(tmp_path):
+    reg = MetricsRegistry()
+    with scoped_registry(reg):
+        srv = PlanServer(ServeConfig(
+            root=str(tmp_path / "store"), default_budget=BUDGET,
+        ))
+    url = srv.start()
+    try:
+        yield srv, url, reg
+    finally:
+        srv.stop()
+
+
+def app_config(url, **kw):
+    base = dict(shape=ProblemShape(N, N, N, P), platform=UMD_CLUSTER,
+                steps=2, warmup=1, plan_server=url)
+    base.update(kw)
+    return AppConfig(**base)
+
+
+class TestWarmFetch:
+    def test_warm_fetch_runs_zero_simulations(self, server):
+        srv, url, reg = server
+        code, body = request_plan(url, UMD_CLUSTER.name, P, N)
+        if code == 202:
+            wait_for_plan(url, body["job"], timeout=300)
+        server_sims_before = sim_runs(reg)
+
+        res = PoissonDriver(app_config(url)).run()
+        assert res.plan.source == "server"
+        assert res.plan.sim_runs == 0           # client side: pure fetch
+        assert res.plan.provenance.get("simulations") == 0
+        assert res.plan.provenance.get("source") == "result-store"
+        # The server answered from its store, not its simulator.
+        assert sim_runs(reg) == server_sims_before
+        assert res.plan.params is not None
+        assert res.numerics_ok
+
+    def test_app_adopts_server_resolved_variant(self, server):
+        srv, url, reg = server
+        code, body = request_plan(url, UMD_CLUSTER.name, P, N)
+        if code == 202:
+            wait_for_plan(url, body["job"], timeout=300)
+        res = PoissonDriver(app_config(url)).run()
+        assert res.variant in ("NEW", "TH", "PIP")  # a concrete variant
+
+
+class TestColdFetch:
+    def test_cold_fetch_waits_for_tuning_job(self, server):
+        srv, url, reg = server
+        plan = resolve_plan(app_config(url))
+        assert plan.source == "server"
+        assert plan.sim_runs == 0               # server did the tuning
+        assert plan.provenance.get("status_code") == 202
+        assert plan.params is not None
+        assert sim_runs(reg) > 0                # ... in its own registry
+
+
+class TestUnreachable:
+    def test_unreachable_server_surfaces_dist_error(self):
+        cfg = app_config("http://127.0.0.1:9")   # nothing listens here
+        with pytest.raises(DistUnreachableError):
+            resolve_plan(cfg)

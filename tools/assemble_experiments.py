@@ -166,6 +166,34 @@ larger N).  Scheduler handoff/probe counters are identical across all
 configurations, and `tools/check_perf_smoke.py` guards them in CI
 against the committed `BENCH_smoke.json`.
 
+## Application workloads — steady-state throughput (BENCH_apps.json)
+
+Beyond the paper: traffic-shaped workloads (`repro.apps`, DESIGN.md
+§5.15) that call the tuned pipelines every step instead of once.
+`tools/bench_apps.py` records three phases into `BENCH_apps.json`
+(host wall time except where marked virtual):
+
+* **Plan + wisdom reuse.** Spectral Poisson on an anisotropic
+  24x30x36 grid (three distinct 1-D plan sizes), p=4, EXHAUSTIVE
+  planning from cold wisdom: first step ~92 ms, steady p50 ~20 ms —
+  a **4.7x** first-step/steady speedup, with the registry proving the
+  mechanism (3 plans built in step 1, zero in steps 2..N, and a warm
+  rerun in the same process builds 0 plans; the conjugation-identity
+  inverse keeps inverse transforms on FORWARD plans).
+* **Warm plan-server startup.** A `repro serve` instance tuned the
+  (p=4, 32^3) cell once; an app pointed at it via `--plan-server`
+  fetches tuned params in ~1 ms and runs **zero simulations on both
+  sides** (client registry and server registry both flat), vs ~0.27 s
+  to tune the same cell locally from cold — a ~8x startup speedup
+  with identical steady-state virtual step time (1.98 ms, 1008
+  virtual transforms/s — deterministic, so CI holds it at 5%).
+* **Driver sweep.** All three drivers at 16^3/p=4: 108–131
+  transforms/s steady, oracle error at machine epsilon.
+
+`tools/check_perf_smoke.py --apps` guards the speedup floor (1.5x),
+the deterministic virtual throughput (5%), and wall throughput under
+the cross-host factor, against the committed `BENCH_apps.json`.
+
 ## Known deviations
 
 * **Absolute seconds** come from analytic models; per-cell ratios vs the

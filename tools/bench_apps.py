@@ -1,0 +1,242 @@
+"""Application-workload benchmark: write BENCH_apps.json.
+
+Usage:  python tools/bench_apps.py [--steps N] [--out PATH]
+
+Proves the `repro.apps` traffic story (PR 10) end to end:
+
+1. **plan reuse** — a Poisson app on an *anisotropic* grid (three
+   distinct 1-D plan sizes) under EXHAUSTIVE planning effort, warmup=0
+   so step 1 pays the full cold planning bill.  Recorded: first-step
+   wall vs steady p50 (the plan/wisdom-reuse speedup, must be >= 1.5x)
+   and the registry proof that steps 2..N built **zero** new plans
+   (`fft_plans_built_total` stays at the step-1 count) while a warm
+   rerun in the same process builds none at all.
+2. **warm plan server** — a real :class:`~repro.serve.PlanServer` is
+   warmed by one cold request, then the app resolves its plan through
+   ``--plan-server``: the fetch must run **zero** client-side
+   simulations and leave the server's `sim_runs_total` untouched.
+3. **cold local tuning** — the same app resolves the same cell through
+   a local tuning session instead; recorded as the startup price a warm
+   server saves (warm fetch wall vs local tuning wall).
+4. **apps sweep** — all three drivers run once; steady-state
+   transforms/sec and the serial-oracle error are recorded and must
+   pass.
+
+The JSON keeps raw counters so the trajectory is comparable across
+commits, same shape discipline as BENCH_serve.json.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.apps import APPS, AppConfig, PoissonDriver  # noqa: E402
+from repro.core.params import ProblemShape  # noqa: E402
+from repro.fft import GLOBAL_WISDOM, clear_plan_cache  # noqa: E402
+from repro.machine.platforms import get_platform  # noqa: E402
+from repro.obs.registry import MetricsRegistry, scoped_registry  # noqa: E402
+from repro.serve import PlanServer, ServeConfig, request_plan, wait_for_plan  # noqa: E402
+
+PLATFORM = "UMD-Cluster"
+SERVE_P, SERVE_N = 4, 32
+
+
+def reg_total(reg: MetricsRegistry, name: str) -> float:
+    fam = reg.snapshot().get(name)
+    return sum(v for _, v in fam["samples"]) if fam else 0.0
+
+
+def bench_plan_reuse(steps: int) -> dict:
+    """Phase 1: cold-plan first step vs plan/wisdom-reuse steady state."""
+    platform = get_platform(PLATFORM)
+    shape = ProblemShape(24, 30, 36, 4)
+    # Cold process state: no wisdom, no shared kernels.
+    GLOBAL_WISDOM.forget()
+    clear_plan_cache()
+    cfg = AppConfig(shape=shape, platform=platform, steps=steps, warmup=0,
+                    plan_effort="exhaustive")
+    with scoped_registry(MetricsRegistry()) as reg:
+        res = PoissonDriver(cfg).run()
+        plans_built = reg_total(reg, "fft_plans_built_total")
+        wisdom_hits = reg_total(reg, "fft_wisdom_hits_total")
+    assert res.numerics_ok, f"numerics failed: {res.numerics_error}"
+    # One plan per distinct 1-D size (the inverse rides the forward
+    # pipeline via conjugation); everything after step 1 is wisdom.
+    assert plans_built <= 3, f"{plans_built} plans built for 3 sizes"
+    speedup = res.plan_reuse_speedup
+    assert speedup >= 1.5, (
+        f"plan-reuse speedup {speedup:.2f}x < 1.5x "
+        f"(first {res.first_step_s:.4f}s, p50 {res.step_p50_s:.4f}s)"
+    )
+    # A warm rerun in the same process must replan nothing at all.
+    with scoped_registry(MetricsRegistry()) as reg2:
+        warm_cfg = AppConfig(shape=shape, platform=platform, steps=3,
+                             warmup=0, plan_effort="exhaustive")
+        warm = PoissonDriver(warm_cfg).run()
+        warm_plans = reg_total(reg2, "fft_plans_built_total")
+    assert warm_plans == 0, f"warm rerun built {warm_plans} plans"
+    print(f"  first step {res.first_step_s * 1e3:.1f}ms, steady p50 "
+          f"{res.step_p50_s * 1e3:.1f}ms -> {speedup:.2f}x reuse speedup; "
+          f"{int(plans_built)} plans built, warm rerun 0")
+    return {
+        "app": "poisson",
+        "shape": [24, 30, 36],
+        "p": 4,
+        "plan_effort": "exhaustive",
+        "steps": steps,
+        "first_step_s": round(res.first_step_s, 5),
+        "steady_p50_s": round(res.step_p50_s, 5),
+        "steady_p95_s": round(res.step_p95_s, 5),
+        "speedup": round(speedup, 3),
+        "plans_built": int(plans_built),
+        "wisdom_hits": int(wisdom_hits),
+        "warm_rerun_plans_built": int(warm_plans),
+        "warm_rerun_p50_s": round(warm.step_p50_s, 5),
+    }
+
+
+def bench_serve_phases(tmp: Path, budget: int, steps: int) -> tuple[dict, dict]:
+    """Phases 2+3: warm plan-server fetch vs cold local tuning."""
+    platform = get_platform(PLATFORM)
+    shape = ProblemShape(SERVE_N, SERVE_N, SERVE_N, SERVE_P)
+    server_reg = MetricsRegistry()
+    with scoped_registry(server_reg):
+        server = PlanServer(ServeConfig(
+            root=str(tmp / "store"), default_budget=budget,
+        ))
+    url = server.start()
+    try:
+        # Warm the store with one cold request (the serve-plane price).
+        t0 = time.monotonic()
+        code, body = request_plan(url, PLATFORM, SERVE_P, SERVE_N)
+        if code == 202:
+            wait_for_plan(url, body["job"], timeout=600)
+        cold_tune_wall = round(time.monotonic() - t0, 4)
+
+        server_sims_before = reg_total(server_reg, "sim_runs_total")
+        cfg = AppConfig(shape=shape, platform=platform, steps=steps,
+                        warmup=1, plan_server=url)
+        res = PoissonDriver(cfg).run()
+        server_sims = reg_total(server_reg, "sim_runs_total") - server_sims_before
+    finally:
+        server.stop()
+    assert res.plan.source == "server"
+    assert res.plan.sim_runs == 0, (
+        f"warm fetch ran {res.plan.sim_runs} client simulations"
+    )
+    assert res.plan.provenance.get("simulations") == 0
+    assert server_sims == 0, f"server simulated {server_sims} runs when warm"
+    assert res.numerics_ok
+    warm = {
+        "cell": [SERVE_P, SERVE_N],
+        "budget": budget,
+        "cold_tune_wall_s": cold_tune_wall,
+        "fetch_wall_s": round(res.plan.wall_s, 4),
+        "client_sim_runs": res.plan.sim_runs,
+        "server_sim_runs_during_app": int(server_sims),
+        "transforms_per_sec": round(res.transforms_per_sec, 2),
+        "step_p50_s": round(res.step_p50_s, 5),
+        # Simulated seconds per step are a deterministic function of the
+        # tuned params + pipeline code -> the guard's tight 5% bound.
+        "virtual_step_s": round(res.virtual_step_s, 6),
+        "virtual_transforms_per_sec": round(
+            res.transforms_per_step / res.virtual_step_s, 2),
+    }
+    print(f"  warm fetch {warm['fetch_wall_s']}s (0 simulations), steady "
+          f"{warm['transforms_per_sec']} transforms/s")
+
+    # Phase 3: resolve the same cell with a local tuning session.
+    t0 = time.monotonic()
+    cfg = AppConfig(shape=shape, platform=platform, steps=steps,
+                    warmup=1, budget=budget)
+    res_local = PoissonDriver(cfg).run()
+    assert res_local.plan.source == "tuned"
+    assert res_local.plan.sim_runs > 0, "local tuning simulated nothing"
+    assert res_local.numerics_ok
+    cold = {
+        "cell": [SERVE_P, SERVE_N],
+        "budget": budget,
+        "resolve_wall_s": round(res_local.plan.wall_s, 4),
+        "sim_runs": res_local.plan.sim_runs,
+        "transforms_per_sec": round(res_local.transforms_per_sec, 2),
+        "step_p50_s": round(res_local.step_p50_s, 5),
+        "virtual_step_s": round(res_local.virtual_step_s, 6),
+        "total_wall_s": round(time.monotonic() - t0, 4),
+    }
+    startup_speedup = cold["resolve_wall_s"] / max(warm["fetch_wall_s"], 1e-9)
+    print(f"  cold local tuning {cold['resolve_wall_s']}s "
+          f"({cold['sim_runs']} simulations) -> warm startup "
+          f"{startup_speedup:.1f}x faster")
+    warm["startup_speedup_vs_local"] = round(startup_speedup, 2)
+    return warm, cold
+
+
+def bench_apps_sweep(steps: int) -> list[dict]:
+    """Phase 4: every driver once, throughput + oracle error."""
+    platform = get_platform(PLATFORM)
+    out = []
+    for name, cls in sorted(APPS.items()):
+        cfg = AppConfig(shape=ProblemShape(16, 16, 16, 4), platform=platform,
+                        steps=steps, warmup=1)
+        res = cls(cfg).run()
+        assert res.numerics_ok, f"{name}: error {res.numerics_error}"
+        out.append({
+            "app": name,
+            "shape": [16, 16, 16],
+            "p": 4,
+            "transforms_per_sec": round(res.transforms_per_sec, 2),
+            "step_p50_s": round(res.step_p50_s, 5),
+            "step_p95_s": round(res.step_p95_s, 5),
+            "virtual_step_s": round(res.virtual_step_s, 6),
+            "numerics_error": float(f"{res.numerics_error:.3e}"),
+        })
+        print(f"  {name}: {out[-1]['transforms_per_sec']} transforms/s, "
+              f"err {out[-1]['numerics_error']:.1e}")
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--steps", type=int, default=12,
+                    help="measured steps for the plan-reuse phase")
+    ap.add_argument("--serve-steps", type=int, default=5,
+                    help="measured steps for the serve/local phases")
+    ap.add_argument("--budget", type=int, default=4,
+                    help="tuning budget for the serve/local phases")
+    ap.add_argument("--out", default="BENCH_apps.json")
+    args = ap.parse_args()
+
+    print("plan reuse: cold exhaustive planning vs wisdom-warm steady state")
+    plan_reuse = bench_plan_reuse(args.steps)
+
+    print("plan server: warm fetch vs cold local tuning")
+    with tempfile.TemporaryDirectory(prefix="bench_apps_") as tmp:
+        warm, cold = bench_serve_phases(Path(tmp), args.budget,
+                                        args.serve_steps)
+
+    print("apps sweep: all drivers")
+    apps = bench_apps_sweep(args.serve_steps)
+
+    payload = {
+        "benchmark": "application workloads: plan reuse + serve-plane startup",
+        "platform": PLATFORM,
+        "plan_reuse": plan_reuse,
+        "warm_plan_server": warm,
+        "cold_local": cold,
+        "apps": apps,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"ok  ->  {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

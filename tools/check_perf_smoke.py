@@ -31,6 +31,20 @@ against the committed baseline and enforces two kinds of bounds:
   loop.  A missing ``BENCH_obs.json`` skips the check (the counter and
   wall guards above never require it).
 
+* **Application workloads** (DESIGN.md §5.15): when a fresh
+  ``BENCH_apps.json`` (``tools/bench_apps.py``) is present, three
+  checks run.  The plan-reuse speedup must stay >= ``--apps-speedup``
+  (default 1.5x — a wall-clock *ratio* on one host, so it transfers
+  across hosts).  The warm plan-server steady-state *virtual*
+  throughput (simulated transforms per simulated second — a
+  deterministic function of the tuned params and pipeline code, like
+  the scheduler counters) may not drop more than ``--apps-tol``
+  (default 5%) below the committed baseline.  And the warm-plan
+  steady-state *wall* throughput only guards catastrophic slowdowns:
+  it may not drop below ``1 / --wall-tol`` of the committed baseline
+  (throughput is inverse wall, so the cross-host slack applies
+  reciprocally).  A missing ``BENCH_apps.json`` skips the checks.
+
 The baseline is read from ``git show HEAD:BENCH_smoke.json`` when
 available (so running the guard after regenerating the file still
 compares against what is committed), falling back to ``--baseline``.
@@ -86,6 +100,14 @@ def main(argv=None) -> int:
     ap.add_argument("--registry-tol", type=float, default=5.0, metavar="PCT",
                     help="allowed metrics-registry wall overhead in "
                          "percent (default 5.0)")
+    ap.add_argument("--apps", default=str(ROOT / "BENCH_apps.json"),
+                    help="fresh application-workload numbers; the apps "
+                         "checks are skipped when absent")
+    ap.add_argument("--apps-speedup", type=float, default=1.5, metavar="F",
+                    help="required plan-reuse speedup (default 1.5)")
+    ap.add_argument("--apps-tol", type=float, default=0.05, metavar="F",
+                    help="allowed fractional drop in warm-plan virtual "
+                         "throughput vs baseline (default 0.05)")
     args = ap.parse_args(argv)
 
     try:
@@ -145,6 +167,53 @@ def main(argv=None) -> int:
                 )
     else:
         print(f"skip: registry overhead ({args.obs} not present)")
+    apps_path = Path(args.apps)
+    if apps_path.exists():
+        try:
+            apps = json.loads(apps_path.read_text())
+            apps_base, apps_base_src = load_baseline(apps_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read apps numbers {args.apps!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # 1. host-independent: plan-reuse speedup floor.
+        speedup = apps["plan_reuse"]["speedup"]
+        status = "OK" if speedup >= args.apps_speedup else "FAIL"
+        print(f"{status}: apps plan-reuse speedup: {speedup}x "
+              f"(floor {args.apps_speedup:g}x)")
+        if speedup < args.apps_speedup:
+            failures.append(
+                f"plan-reuse speedup {speedup}x below {args.apps_speedup:g}x"
+            )
+        # 2. deterministic: warm-plan virtual throughput within 5% of
+        # the committed baseline (simulated time has no host noise).
+        vtps = apps["warm_plan_server"]["virtual_transforms_per_sec"]
+        base_vtps = apps_base["warm_plan_server"]["virtual_transforms_per_sec"]
+        floor = base_vtps * (1.0 - args.apps_tol)
+        status = "OK" if vtps >= floor else "FAIL"
+        print(f"{status}: apps warm virtual throughput: {vtps} vs baseline "
+              f"{base_vtps} (floor {floor:.2f})")
+        if vtps < floor:
+            failures.append(
+                f"warm-plan virtual throughput regressed >"
+                f"{100 * args.apps_tol:g}%: {vtps} < {base_vtps}"
+            )
+        # 3. cross-host: warm-plan wall throughput vs committed baseline
+        # (throughput is inverse wall, so the wall slack applies as 1/x).
+        tps = apps["warm_plan_server"]["transforms_per_sec"]
+        base_tps = apps_base["warm_plan_server"]["transforms_per_sec"]
+        floor = base_tps / args.wall_tol
+        status = "OK" if tps >= floor else "FAIL"
+        print(f"{status}: apps warm steady throughput: {tps} vs baseline "
+              f"{base_tps} (floor {floor:.2f})")
+        if tps < floor:
+            failures.append(
+                f"warm-plan steady throughput regressed: {tps} < "
+                f"{base_tps} / {args.wall_tol:g}"
+            )
+        print(f"apps baseline: {apps_base_src}")
+    else:
+        print(f"skip: application workloads ({args.apps} not present)")
     print(f"baseline: {base_src}")
     if failures:
         for f in failures:
